@@ -1,0 +1,52 @@
+// Figure 10: performance of LFS (with the buffer cache as NVRAM) as a function of available
+// idle time, at 80% disk utilization. Bursts of random 4 KB updates are separated by idle
+// intervals during which dirty data is flushed and the cleaner runs. One curve per burst size.
+// Expected shape: improvement arrives only at relatively long idle intervals (the cleaner
+// moves segment-sized data), in visible steps; small bursts that fit in a cleaned segment
+// converge to memory speed.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/benchmarks.h"
+#include "src/workload/platform.h"
+
+int main() {
+  using namespace vlog;
+  bench::Header("Figure 10: LFS (with NVRAM) latency vs idle interval length (80% util)");
+  const uint64_t bursts_kb[] = {128, 256, 504, 1008, 2016, 4032};
+  const double idles_s[] = {0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+
+  std::printf("%9s", "idle(s)");
+  for (const uint64_t b : bursts_kb) {
+    std::printf(" %8lluK", static_cast<unsigned long long>(b));
+  }
+  std::printf("   (ms per 4 KB update)\n");
+
+  for (const double idle : idles_s) {
+    std::printf("%9.1f", idle);
+    for (const uint64_t burst_kb : bursts_kb) {
+      workload::PlatformConfig config;
+      config.fs_kind = workload::FsKind::kLfs;
+      config.disk_kind = workload::DiskKind::kRegular;
+      workload::Platform platform(config);
+      bench::Check(platform.Format(), "format");
+      const uint64_t capacity =
+          static_cast<uint64_t>(platform.log_disk()->LogicalBlocks()) * 4096;
+      const uint64_t file_bytes = capacity * 8 / 10 / 4096 * 4096;
+      // Keep total update traffic roughly constant (~16 MB) so the cleaner/compactor reaches
+      // steady state even for small bursts.
+      const int rounds = std::max(10, static_cast<int>((16 << 20) / (burst_kb << 10)));
+      const auto latency = bench::CheckOk(
+          workload::RunBurstIdle(platform, file_bytes, burst_kb << 10, common::Seconds(idle),
+                                 rounds, /*warmup_rounds=*/rounds / 3),
+          "burst");
+      std::printf(" %9.3f", bench::Ms(latency));
+    }
+    std::printf("\n");
+  }
+  bench::Note("\nColumns are burst sizes. LFS only benefits from long idle intervals because");
+  bench::Note("cleaning moves whole segments; without enough idle to flush the burst, latency");
+  bench::Note("stays poor.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6: small file performance — create, read back (after a cache flush), and delete 1500
+// 1 KB files on empty disks, for the four configurations of Figure 5. Performance is shown
+// normalized to UFS on the regular disk, as in the paper. Expected shape: the VLD speeds up
+// the UFS create/delete phases dramatically (synchronous metadata becomes eager writes), reads
+// are slightly worse on the VLD, and LFS (fully buffered) improves modestly on the VLD.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/benchmarks.h"
+#include "src/workload/platform.h"
+
+int main() {
+  using namespace vlog;
+  using workload::DiskKind;
+  using workload::FsKind;
+  bench::Header("Figure 6: small-file performance (1500 x 1 KB create/read/delete)");
+
+  struct Config {
+    const char* label;
+    FsKind fs;
+    DiskKind disk;
+  };
+  const Config configs[] = {
+      {"UFS/regular", FsKind::kUfs, DiskKind::kRegular},
+      {"UFS/VLD", FsKind::kUfs, DiskKind::kVld},
+      {"LFS/regular", FsKind::kLfs, DiskKind::kRegular},
+      {"LFS/VLD", FsKind::kLfs, DiskKind::kVld},
+  };
+
+  workload::SmallFileResult results[4];
+  for (int i = 0; i < 4; ++i) {
+    workload::PlatformConfig config;
+    config.fs_kind = configs[i].fs;
+    config.disk_kind = configs[i].disk;
+    workload::Platform platform(config);
+    bench::Check(platform.Format(), "format");
+    results[i] = bench::CheckOk(workload::RunSmallFile(platform), configs[i].label);
+  }
+
+  const workload::SmallFileResult& base = results[0];
+  std::printf("%-14s %12s %12s %12s %10s %8s %8s\n", "config", "create(ms)", "read(ms)",
+              "delete(ms)", "x create", "x read", "x del");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-14s %12.1f %12.1f %12.1f %10.2f %8.2f %8.2f\n", configs[i].label,
+                bench::Ms(results[i].create), bench::Ms(results[i].read),
+                bench::Ms(results[i].remove),
+                static_cast<double>(base.create) / results[i].create,
+                static_cast<double>(base.read) / results[i].read,
+                static_cast<double>(base.remove) / results[i].remove);
+  }
+  bench::Note("\n(x columns are speedups normalized to UFS/regular, the paper's unit bar.)");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 8: latency per random synchronous 4 KB update as a function of disk utilization, with
+// no idle time. Three curves: UFS on the regular disk (update-in-place: flat and high — two
+// half-rotation-class I/Os per update), LFS with its cache treated as NVRAM on the regular disk
+// (excellent until the file outgrows the NVRAM, then cleaner-dominated), and UFS on the VLD
+// (low, rising gently with utilization as free sectors get scarcer).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/benchmarks.h"
+#include "src/workload/platform.h"
+
+namespace {
+
+using namespace vlog;
+
+workload::UpdateResult RunPoint(workload::FsKind fs, workload::DiskKind disk,
+                                double target_util, int updates, int warmup) {
+  workload::PlatformConfig config;
+  config.fs_kind = fs;
+  config.disk_kind = disk;
+  workload::Platform platform(config);
+  bench::Check(platform.Format(), "format");
+  // Size the file against the FS data capacity so the df-style utilization lands near target.
+  uint64_t capacity;
+  if (fs == workload::FsKind::kUfs) {
+    const auto& sb = platform.ufs()->superblock();
+    capacity = static_cast<uint64_t>(sb.cg_count) * sb.DataBlocksPerCg() * 4096;
+  } else {
+    capacity = static_cast<uint64_t>(platform.log_disk()->LogicalBlocks()) * 4096;
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(target_util * capacity) / 4096 * 4096;
+  return bench::CheckOk(
+      workload::RunRandomUpdates(platform, file_bytes, updates, warmup), "updates");
+}
+
+}  // namespace
+
+int main() {
+  using workload::DiskKind;
+  using workload::FsKind;
+  bench::Header(
+      "Figure 8: random synchronous 4 KB updates vs disk utilization (no idle time)");
+  std::printf("%7s | %-24s | %-24s | %-24s\n", "", "UFS/regular", "UFS/VLD",
+              "LFS+NVRAM/regular");
+  std::printf("%7s | %10s %11s | %10s %11s | %10s %11s\n", "target%", "df util", "ms/4KB",
+              "df util", "ms/4KB", "df util", "ms/4KB");
+  const double targets[] = {0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.85};
+  for (const double t : targets) {
+    const auto ufs_reg = RunPoint(FsKind::kUfs, DiskKind::kRegular, t, 300, 60);
+    const auto ufs_vld = RunPoint(FsKind::kUfs, DiskKind::kVld, t, 300, 60);
+    // LFS needs a longer warm-up to reach cleaner steady state once past the NVRAM size.
+    const auto lfs_reg = RunPoint(FsKind::kLfs, DiskKind::kRegular, t, 1500, 2500);
+    std::printf("%6.0f%% | %9.1f%% %11.3f | %9.1f%% %11.3f | %9.1f%% %11.3f\n", t * 100,
+                ufs_reg.fs_utilization * 100, bench::Ms(ufs_reg.avg_latency),
+                ufs_vld.fs_utilization * 100, bench::Ms(ufs_vld.avg_latency),
+                lfs_reg.fs_utilization * 100, bench::Ms(lfs_reg.avg_latency));
+  }
+  bench::Note("\nLFS NVRAM = 6.1 MB buffer cache (~26% of the disk): the cliff past that point");
+  bench::Note("is the cleaner. The VLD curve rises only gently with utilization.");
+  return 0;
+}

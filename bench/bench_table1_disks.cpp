@@ -1,0 +1,30 @@
+// Table 1: parameters of the HP97560 and the Seagate ST19101 disks, as realized by the
+// simulator presets (plus the derived quantities the analysis in §2 uses).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/simdisk/disk_params.h"
+
+int main() {
+  using namespace vlog;
+  bench::Header("Table 1: disk parameters (simulator presets)");
+  const simdisk::DiskParams hp = simdisk::Hp97560();
+  const simdisk::DiskParams st = simdisk::SeagateSt19101();
+  std::printf("%-28s %12s %12s\n", "", "HP97560", "ST19101");
+  std::printf("%-28s %12u %12u\n", "Sectors per Track (n)", hp.geometry.sectors_per_track,
+              st.geometry.sectors_per_track);
+  std::printf("%-28s %12u %12u\n", "Tracks per Cylinder (t)", hp.geometry.tracks_per_cylinder,
+              st.geometry.tracks_per_cylinder);
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "Head Switch (s)", bench::Ms(hp.head_switch),
+              bench::Ms(st.head_switch));
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "Minimum Seek",
+              bench::Ms(hp.seek.SeekTime(1)), bench::Ms(st.seek.SeekTime(1)));
+  std::printf("%-28s %12.0f %12.0f\n", "Rotation Speed (RPM)", hp.rpm, st.rpm);
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "SCSI Overhead (o)", bench::Ms(hp.scsi_overhead),
+              bench::Ms(st.scsi_overhead));
+  std::printf("%-28s %7.2f MB/s %7.2f MB/s\n", "Media bandwidth (derived)",
+              hp.MediaBandwidthMbPerS(), st.MediaBandwidthMbPerS());
+  std::printf("%-28s %9.2f ms %9.2f ms\n", "Half rotation (derived)",
+              bench::Ms(hp.RotationPeriod() / 2), bench::Ms(st.RotationPeriod() / 2));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Small table-printing helpers shared by the figure/table reproduction binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace vlog::bench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+// Aborts the benchmark with a readable message when a simulation step fails.
+inline void Check(const common::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(common::StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+inline double Ms(common::Duration d) { return common::ToMilliseconds(d); }
+
+// Bandwidth in MB/s for `bytes` moved in `elapsed`.
+inline double Mbps(uint64_t bytes, common::Duration elapsed) {
+  if (elapsed <= 0) {
+    return 0;
+  }
+  return static_cast<double>(bytes) / 1e6 / common::ToSeconds(elapsed);
+}
+
+}  // namespace vlog::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

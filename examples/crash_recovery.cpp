@@ -1,0 +1,101 @@
+// Recovery-cost anatomy: the three recovery paths of the virtual log.
+//
+// 1. Parked tail (clean shutdown): traverse only the live map sectors — milliseconds.
+// 2. Crash without a park: full-disk scan for cryptographically signed map sectors.
+// 3. Crash after a checkpoint: scan still needed, but the log replay is bounded; with a park,
+//    recovery reads just the checkpoint and the short log tail.
+// The paper's §3.2 design makes (1) the common case precisely so (2) stays rare.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/vld.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+using namespace vlog;
+
+namespace {
+
+struct RecoveryCost {
+  double ms;
+  uint64_t sectors;
+  bool scan;
+};
+
+RecoveryCost Recover(simdisk::SimDisk& raw, common::Clock& clock) {
+  core::Vld vld(&raw);
+  const common::Time t0 = clock.Now();
+  auto info = vld.Recover();
+  if (!info.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {common::ToMilliseconds(clock.Now() - t0), info->log_sectors_read, info->used_scan};
+}
+
+}  // namespace
+
+int main() {
+  common::Clock clock;
+  simdisk::SimDisk raw(simdisk::Truncated(simdisk::SeagateSt19101(), 11), &clock);
+
+  // Build up a working set: thousands of committed writes.
+  {
+    core::Vld vld(&raw);
+    if (!vld.Format().ok()) {
+      return 1;
+    }
+    common::Rng rng(9);
+    std::vector<std::byte> block(4096, std::byte{1});
+    for (int i = 0; i < 3000; ++i) {
+      if (!vld.Write(rng.Below(vld.logical_blocks()) * 8, block).ok()) {
+        return 1;
+      }
+    }
+    if (!vld.Park().ok()) {
+      return 1;
+    }
+  }
+  std::printf("after 3000 committed 4 KB writes on a 23 MB VLD:\n\n");
+  std::printf("%-38s %10s %12s %8s\n", "scenario", "time (ms)", "sectors", "scan?");
+
+  // 1. Clean shutdown: the parked tail bootstraps traversal.
+  auto parked = Recover(raw, clock);
+  std::printf("%-38s %10.2f %12llu %8s\n", "parked tail (clean shutdown)", parked.ms,
+              static_cast<unsigned long long>(parked.sectors), parked.scan ? "yes" : "no");
+
+  // 2. Crash: the previous recovery cleared the park record, so this one must scan.
+  auto crash = Recover(raw, clock);
+  std::printf("%-38s %10.2f %12llu %8s\n", "crash (no park): signed-sector scan", crash.ms,
+              static_cast<unsigned long long>(crash.sectors), crash.scan ? "yes" : "no");
+
+  // 3. Checkpoint + a little more work + park: recovery is checkpoint + short log tail.
+  {
+    core::Vld vld(&raw);
+    if (!vld.Recover().ok()) {
+      return 1;
+    }
+    if (!vld.Checkpoint().ok()) {
+      return 1;
+    }
+    std::vector<std::byte> block(4096, std::byte{2});
+    for (int i = 0; i < 10; ++i) {
+      if (!vld.Write(static_cast<simdisk::Lba>(i) * 8, block).ok()) {
+        return 1;
+      }
+    }
+    if (!vld.Park().ok()) {
+      return 1;
+    }
+  }
+  auto ckpt = Recover(raw, clock);
+  std::printf("%-38s %10.2f %12llu %8s\n", "checkpoint + 10 writes + park", ckpt.ms,
+              static_cast<unsigned long long>(ckpt.sectors), ckpt.scan ? "yes" : "no");
+
+  std::printf("\nspeedup of parked over scan recovery: %.0fx\n", crash.ms / parked.ms);
+  std::printf("(Mime scanned free segments to recover its map; the parked tail plus the\n"
+              " backward tree makes normal recovery proportional to the live map instead.)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: a Virtual Log Disk in ~60 lines.
+//
+// Builds a simulated Seagate ST19101, layers a VLD on it, and shows the core properties:
+// synchronous 4 KB writes at a fraction of a rotation, atomic multi-extent commits, and
+// recovery after a crash without any scan when the tail was parked.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/vld.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+using namespace vlog;
+
+int main() {
+  // A shared virtual clock: every disk operation advances it; nothing sleeps.
+  common::Clock clock;
+  simdisk::SimDisk raw(simdisk::Truncated(simdisk::SeagateSt19101(), 11), &clock);
+  core::Vld vld(&raw);
+  if (!vld.Format().ok()) {
+    std::fprintf(stderr, "format failed\n");
+    return 1;
+  }
+  std::printf("VLD ready: %llu logical 4 KB blocks on a %.1f MB disk\n",
+              static_cast<unsigned long long>(vld.logical_blocks()),
+              static_cast<double>(raw.geometry().CapacityBytes()) / 1e6);
+
+  // Synchronous small writes: each returns with the data (and its map entry) on the platter.
+  std::vector<std::byte> block(4096, std::byte{0x42});
+  const common::Time t0 = clock.Now();
+  for (int i = 0; i < 100; ++i) {
+    if (!vld.Write(static_cast<simdisk::Lba>(i) * 8, block).ok()) {
+      return 1;
+    }
+  }
+  std::printf("100 synchronous 4 KB writes: %.3f ms each (half a rotation alone would be %.1f ms)\n",
+              common::ToMilliseconds(clock.Now() - t0) / 100,
+              common::ToMilliseconds(raw.params().RotationPeriod() / 2));
+
+  // Atomic multi-extent commit: both blocks or neither, guaranteed by the virtual log.
+  std::vector<std::byte> a(4096, std::byte{0xAA}), b(4096, std::byte{0xBB});
+  std::vector<core::Vld::AtomicWrite> txn;
+  txn.push_back({0, a});
+  txn.push_back({40000, b});
+  if (!vld.WriteAtomic(txn).ok()) {
+    return 1;
+  }
+  std::printf("atomic two-extent commit done\n");
+
+  // Power down cleanly: the firmware parks the log tail in the landing zone...
+  if (!vld.Park().ok()) {
+    return 1;
+  }
+  core::Vld after_reboot(&raw);
+  auto info = after_reboot.Recover();
+  if (!info.ok()) {
+    return 1;
+  }
+  std::printf("recovery after clean shutdown: %llu log sectors read, scan=%s\n",
+              static_cast<unsigned long long>(info->log_sectors_read),
+              info->used_scan ? "yes" : "no");
+
+  // ...or crash without parking: recovery falls back to scanning for signed map sectors.
+  core::Vld after_crash(&raw);
+  info = after_crash.Recover();
+  if (!info.ok()) {
+    return 1;
+  }
+  std::vector<std::byte> check(4096);
+  if (!after_crash.Read(40000, check).ok() || check != b) {
+    std::fprintf(stderr, "data lost!\n");
+    return 1;
+  }
+  std::printf("recovery after crash: %llu sectors examined, scan=%s, data intact\n",
+              static_cast<unsigned long long>(info->log_sectors_read),
+              info->used_scan ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Little-endian byte (de)serialization helpers for on-disk record formats.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace vlog::common {
+
+// Writes `value` little-endian at `out[offset..offset+sizeof(T))`. The caller guarantees the
+// span is large enough; these are building blocks for fixed-layout sectors.
+template <typename T>
+void StoreLe(std::span<std::byte> out, size_t offset, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out[offset + i] = static_cast<std::byte>(static_cast<uint64_t>(value) >> (8 * i));
+  }
+}
+
+template <typename T>
+T LoadLe(std::span<const std::byte> in, size_t offset) {
+  static_assert(std::is_integral_v<T>);
+  uint64_t v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[offset + i])) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace vlog::common
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,38 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace vlog::common {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78;  // Reflected CRC-32C polynomial.
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
+  const auto& table = Table();
+  uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(b)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace vlog::common

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) used to protect on-disk virtual-log records and the parked log tail.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vlog::common {
+
+// Computes CRC-32C over `data`, chaining from `seed` (pass the previous result to extend).
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed = 0);
+
+}  // namespace vlog::common
+
+#endif  // SRC_COMMON_CRC32_H_

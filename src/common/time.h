@@ -1,0 +1,56 @@
+// Simulated-time primitives.
+//
+// The whole repository runs on a virtual clock: every disk operation, host CPU charge, and idle
+// interval advances a shared sim::Clock instead of sleeping. Durations are integral nanoseconds,
+// which keeps event arithmetic exact and runs deterministic.
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace vlog::common {
+
+// A span of simulated time in nanoseconds. Negative durations are permitted in intermediate
+// arithmetic but never observed by the clock.
+using Duration = int64_t;
+
+// An absolute point in simulated time: nanoseconds since simulation start.
+using Time = int64_t;
+
+constexpr Duration Nanoseconds(int64_t n) { return n; }
+constexpr Duration Microseconds(double us) { return static_cast<Duration>(us * 1e3); }
+constexpr Duration Milliseconds(double ms) { return static_cast<Duration>(ms * 1e6); }
+constexpr Duration Seconds(double s) { return static_cast<Duration>(s * 1e9); }
+
+constexpr double ToMicroseconds(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMilliseconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+// The virtual clock. Time only moves forward.
+class Clock {
+ public:
+  Clock() = default;
+
+  Time Now() const { return now_; }
+
+  // Advances the clock by `d` (no-op for non-positive durations).
+  void Advance(Duration d) {
+    if (d > 0) {
+      now_ += d;
+    }
+  }
+
+  // Advances the clock to `t` if `t` is in the future; otherwise leaves it unchanged.
+  void AdvanceTo(Time t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  Time now_ = 0;
+};
+
+}  // namespace vlog::common
+
+#endif  // SRC_COMMON_TIME_H_

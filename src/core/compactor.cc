@@ -1,0 +1,117 @@
+#include "src/core/compactor.h"
+
+#include <vector>
+
+namespace vlog::core {
+
+Compactor::Compactor(CompactionBackend* backend, simdisk::SimDisk* disk,
+                     EagerAllocator* allocator, VirtualLog* vlog, CompactorConfig config,
+                     uint64_t seed)
+    : backend_(backend),
+      disk_(disk),
+      allocator_(allocator),
+      vlog_(vlog),
+      config_(config),
+      rng_(seed) {}
+
+uint64_t Compactor::CountEmptyTracks() const {
+  const FreeSpaceMap& space = allocator_->space();
+  uint64_t empty = 0;
+  for (uint64_t t = 0; t < space.total_tracks(); ++t) {
+    if (space.TrackEmpty(t)) {
+      ++empty;
+    }
+  }
+  return empty;
+}
+
+std::optional<uint64_t> Compactor::PickVictim() {
+  const FreeSpaceMap& space = allocator_->space();
+  std::vector<uint64_t> candidates;
+  for (uint64_t t = 0; t < space.total_tracks(); ++t) {
+    if (space.LiveInTrack(t) == 0 || space.TrackHasSystem(t)) {
+      continue;
+    }
+    // Pinned map sectors cannot be moved (their on-disk pointers are load-bearing); skip
+    // tracks containing one — the pinned-sector valve bounds how long that lasts.
+    const uint32_t base = static_cast<uint32_t>(t * space.blocks_per_track());
+    bool has_pinned = false;
+    for (uint32_t b = 0; b < space.blocks_per_track(); ++b) {
+      if (space.state(base + b) == BlockState::kLive && vlog_->IsPinnedBlock(base + b)) {
+        has_pinned = true;
+        break;
+      }
+    }
+    if (has_pinned) {
+      continue;
+    }
+    candidates.push_back(t);
+  }
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  return candidates[rng_.Below(candidates.size())];
+}
+
+bool Compactor::CompactTrack(uint64_t track) {
+  FreeSpaceMap& space = allocator_->space();
+  // Writes triggered by the relocation must not land back on the victim, and go into holes of
+  // already-occupied tracks (hole-plugging) rather than into fresh fill tracks.
+  allocator_->SetExcludedTrack(track);
+  allocator_->SetCompactionMode(true);
+  const uint32_t base = static_cast<uint32_t>(track * space.blocks_per_track());
+  bool ok = true;
+  for (uint32_t b = 0; b < space.blocks_per_track() && ok; ++b) {
+    const uint32_t block = base + b;
+    if (space.state(block) != BlockState::kLive) {
+      continue;
+    }
+    if (const auto piece = vlog_->PieceAtBlock(block)) {
+      ok = backend_->RewritePiece(*piece).ok();
+      if (ok) {
+        ++stats_.map_sectors_rewritten;
+      }
+    } else {
+      ok = backend_->RelocateDataBlock(block).ok();
+      if (ok) {
+        ++stats_.data_blocks_moved;
+      }
+    }
+  }
+  allocator_->SetCompactionMode(false);
+  allocator_->SetExcludedTrack(std::nullopt);
+  if (ok && space.TrackEmpty(track)) {
+    allocator_->NoteEmptyTrack(track);
+    return true;
+  }
+  return false;
+}
+
+uint32_t Compactor::RunUntil(common::Time deadline) {
+  ++stats_.idle_runs;
+  const common::Time start = disk_->clock()->Now();
+  uint32_t emptied = 0;
+  // A victim can legitimately fail to empty (e.g. rewriting its map sector pinned the old copy
+  // in place); tolerate a bounded number of such failures rather than giving up the interval.
+  uint32_t failures = 0;
+  while (disk_->clock()->Now() < deadline && failures < 8) {
+    if (CountEmptyTracks() >= config_.target_empty_tracks) {
+      break;
+    }
+    const auto victim = PickVictim();
+    if (!victim) {
+      break;
+    }
+    if (CompactTrack(*victim)) {
+      ++stats_.tracks_compacted;
+      ++emptied;
+      failures = 0;
+    } else {
+      ++failures;
+    }
+  }
+  stats_.busy_time += disk_->clock()->Now() - start;
+  return emptied;
+}
+
+}  // namespace vlog::core

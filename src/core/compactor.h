@@ -1,0 +1,71 @@
+// Idle-time free-space compactor (§2.3, §4.2).
+//
+// During idle periods the disk processor reads a victim track and hole-plugs its live blocks
+// into free space elsewhere (via normal eager writes), producing entirely empty tracks for the
+// allocator's fill-to-threshold mode. Work proceeds at track granularity, so even short idle
+// intervals are useful — the property Figure 11 contrasts with the segment-granularity LFS
+// cleaner. Victims are chosen randomly among compactable tracks, as in the paper.
+#ifndef SRC_CORE_COMPACTOR_H_
+#define SRC_CORE_COMPACTOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/eager_allocator.h"
+#include "src/core/virtual_log.h"
+
+namespace vlog::core {
+
+// What the compactor needs from the VLD to move a live block.
+class CompactionBackend {
+ public:
+  virtual ~CompactionBackend() = default;
+  // Moves the data block at `phys_block` to a freshly allocated location (map update included).
+  virtual common::Status RelocateDataBlock(uint32_t phys_block) = 0;
+  // Re-appends `piece`'s map sector, freeing its old block.
+  virtual common::Status RewritePiece(uint32_t piece) = 0;
+};
+
+struct CompactorConfig {
+  uint32_t target_empty_tracks = 4;  // Stop compacting once this many empty tracks exist.
+};
+
+struct CompactorStats {
+  uint64_t idle_runs = 0;
+  uint64_t tracks_compacted = 0;
+  uint64_t data_blocks_moved = 0;
+  uint64_t map_sectors_rewritten = 0;
+  common::Duration busy_time = 0;
+};
+
+class Compactor {
+ public:
+  Compactor(CompactionBackend* backend, simdisk::SimDisk* disk, EagerAllocator* allocator,
+            VirtualLog* vlog, CompactorConfig config, uint64_t seed);
+
+  // Compacts until `deadline`, enough empty tracks exist, or no victim remains. Each victim
+  // track is finished once started (track-granularity work units). Returns tracks emptied.
+  uint32_t RunUntil(common::Time deadline);
+
+  const CompactorStats& stats() const { return stats_; }
+
+ private:
+  std::optional<uint64_t> PickVictim();
+  bool CompactTrack(uint64_t track);
+  uint64_t CountEmptyTracks() const;
+
+  CompactionBackend* backend_;
+  simdisk::SimDisk* disk_;
+  EagerAllocator* allocator_;
+  VirtualLog* vlog_;
+  CompactorConfig config_;
+  common::Rng rng_;
+  CompactorStats stats_;
+};
+
+}  // namespace vlog::core
+
+#endif  // SRC_CORE_COMPACTOR_H_

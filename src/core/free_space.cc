@@ -1,0 +1,85 @@
+#include "src/core/free_space.h"
+
+#include <cassert>
+
+namespace vlog::core {
+
+FreeSpaceMap::FreeSpaceMap(const simdisk::DiskGeometry& geometry, uint32_t block_sectors)
+    : block_sectors_(block_sectors),
+      blocks_per_track_(geometry.sectors_per_track / block_sectors),
+      sectors_per_track_(geometry.sectors_per_track) {
+  assert(geometry.sectors_per_track % block_sectors == 0 &&
+         "physical block size must divide the track");
+  const uint64_t tracks = geometry.TotalTracks();
+  states_.assign(tracks * blocks_per_track_, BlockState::kFree);
+  track_free_.assign(tracks, blocks_per_track_);
+  track_live_.assign(tracks, 0);
+  track_system_.assign(tracks, 0);
+  free_blocks_ = states_.size();
+}
+
+void FreeSpaceMap::MarkSystem(uint32_t block) {
+  assert(states_[block] == BlockState::kFree);
+  states_[block] = BlockState::kSystem;
+  const uint64_t track = TrackOfBlock(block);
+  --track_free_[track];
+  ++track_system_[track];
+  --free_blocks_;
+  ++system_blocks_;
+}
+
+void FreeSpaceMap::MarkLive(uint32_t block) {
+  assert(states_[block] == BlockState::kFree);
+  states_[block] = BlockState::kLive;
+  const uint64_t track = TrackOfBlock(block);
+  --track_free_[track];
+  ++track_live_[track];
+  --free_blocks_;
+  ++live_blocks_;
+}
+
+void FreeSpaceMap::Free(uint32_t block) {
+  assert(states_[block] == BlockState::kLive);
+  states_[block] = BlockState::kFree;
+  const uint64_t track = TrackOfBlock(block);
+  ++track_free_[track];
+  --track_live_[track];
+  ++free_blocks_;
+  --live_blocks_;
+}
+
+bool FreeSpaceMap::TrackEmpty(uint64_t track) const {
+  return track_live_[track] == 0 && track_system_[track] == 0;
+}
+
+std::optional<uint32_t> FreeSpaceMap::NearestFreeInTrack(uint64_t track, uint32_t from_sector,
+                                                         uint32_t* skip_sectors) const {
+  if (track_free_[track] == 0) {
+    return std::nullopt;
+  }
+  const uint32_t base = static_cast<uint32_t>(track * blocks_per_track_);
+  // The first block whose start is at or after from_sector (blocks are block_sectors_-aligned).
+  const uint32_t first =
+      (from_sector + block_sectors_ - 1) / block_sectors_;  // Candidate slot index in track.
+  for (uint32_t i = 0; i < blocks_per_track_; ++i) {
+    const uint32_t slot = (first + i) % blocks_per_track_;
+    if (states_[base + slot] == BlockState::kFree) {
+      if (skip_sectors != nullptr) {
+        const uint32_t start = slot * block_sectors_;
+        *skip_sectors = (start + sectors_per_track_ - from_sector) % sectors_per_track_;
+      }
+      return base + slot;
+    }
+  }
+  return std::nullopt;
+}
+
+double FreeSpaceMap::Utilization() const {
+  const uint64_t usable = states_.size() - system_blocks_;
+  if (usable == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(live_blocks_) / static_cast<double>(usable);
+}
+
+}  // namespace vlog::core

@@ -1,0 +1,77 @@
+// Physical-block free-space accounting for the VLD.
+//
+// The VLD allocates and frees fixed-size physical blocks (4 KB by default — §4.2 chooses the
+// file system block size per Appendix A.1). This map tracks per-block state plus per-track
+// free/live counts so the eager allocator and the compactor can reason at track granularity.
+#ifndef SRC_CORE_FREE_SPACE_H_
+#define SRC_CORE_FREE_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/simdisk/geometry.h"
+
+namespace vlog::core {
+
+enum class BlockState : uint8_t {
+  kFree = 0,
+  kLive,    // Holds current data or a live map sector.
+  kSystem,  // Park sector / checkpoint region; never allocated or compacted.
+};
+
+class FreeSpaceMap {
+ public:
+  FreeSpaceMap(const simdisk::DiskGeometry& geometry, uint32_t block_sectors);
+
+  uint32_t block_sectors() const { return block_sectors_; }
+  uint32_t blocks_per_track() const { return blocks_per_track_; }
+  uint64_t total_blocks() const { return states_.size(); }
+  uint64_t total_tracks() const { return track_free_.size(); }
+  uint64_t free_blocks() const { return free_blocks_; }
+  uint64_t live_blocks() const { return live_blocks_; }
+  uint64_t system_blocks() const { return system_blocks_; }
+
+  simdisk::Lba BlockToLba(uint32_t block) const {
+    return static_cast<simdisk::Lba>(block) * block_sectors_;
+  }
+  uint32_t LbaToBlock(simdisk::Lba lba) const { return static_cast<uint32_t>(lba / block_sectors_); }
+  uint64_t TrackOfBlock(uint32_t block) const { return block / blocks_per_track_; }
+
+  BlockState state(uint32_t block) const { return states_[block]; }
+  void MarkSystem(uint32_t block);
+  void MarkLive(uint32_t block);
+  void Free(uint32_t block);
+
+  uint32_t FreeInTrack(uint64_t track) const { return track_free_[track]; }
+  uint32_t LiveInTrack(uint64_t track) const { return track_live_[track]; }
+  // True when the track holds no live and no system blocks.
+  bool TrackEmpty(uint64_t track) const;
+  // True when any block of the track is reserved (such tracks are not compaction victims).
+  bool TrackHasSystem(uint64_t track) const { return track_system_[track] != 0; }
+
+  // The free block in `track` whose starting sector is rotationally nearest at or after
+  // `from_sector`, scanning circularly. Returns the block and, via `skip_sectors`, the
+  // rotational distance in sectors from `from_sector` to the block's first sector.
+  std::optional<uint32_t> NearestFreeInTrack(uint64_t track, uint32_t from_sector,
+                                             uint32_t* skip_sectors) const;
+
+  // Fraction of allocatable (non-system) blocks that are live.
+  double Utilization() const;
+
+ private:
+  uint32_t block_sectors_;
+  uint32_t blocks_per_track_;
+  uint32_t sectors_per_track_;
+  std::vector<BlockState> states_;
+  std::vector<uint32_t> track_free_;
+  std::vector<uint32_t> track_live_;
+  std::vector<uint32_t> track_system_;
+  uint64_t free_blocks_ = 0;
+  uint64_t live_blocks_ = 0;
+  uint64_t system_blocks_ = 0;
+};
+
+}  // namespace vlog::core
+
+#endif  // SRC_CORE_FREE_SPACE_H_

@@ -1,0 +1,84 @@
+#include "src/core/map_sector.h"
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+
+namespace vlog::core {
+namespace {
+
+// Fixed layout offsets.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffSeq = 8;
+constexpr size_t kOffPiece = 16;
+constexpr size_t kOffEntryCount = 20;
+constexpr size_t kOffTxnId = 24;
+constexpr size_t kOffTxnIndex = 32;
+constexpr size_t kOffTxnTotal = 34;
+constexpr size_t kOffPrevLba = 36;
+constexpr size_t kOffPrevSeq = 44;
+constexpr size_t kOffBypassLba = 52;
+constexpr size_t kOffBypassSeq = 60;
+constexpr size_t kOffEntries = 68;
+constexpr size_t kOffCrc = kMapSectorBytes - 4;
+
+static_assert(kOffEntries + kEntriesPerSector * 4 <= kOffCrc,
+              "map sector entries must fit before the CRC");
+
+}  // namespace
+
+std::vector<std::byte> MapSector::Serialize() const {
+  std::vector<std::byte> raw(kMapSectorBytes);
+  std::span<std::byte> out(raw);
+  common::StoreLe<uint64_t>(out, kOffMagic, kMapSectorMagic);
+  common::StoreLe<uint64_t>(out, kOffSeq, seq);
+  common::StoreLe<uint32_t>(out, kOffPiece, piece);
+  common::StoreLe<uint32_t>(out, kOffEntryCount, static_cast<uint32_t>(entries.size()));
+  common::StoreLe<uint64_t>(out, kOffTxnId, txn_id);
+  common::StoreLe<uint16_t>(out, kOffTxnIndex, txn_index);
+  common::StoreLe<uint16_t>(out, kOffTxnTotal, txn_total);
+  common::StoreLe<uint64_t>(out, kOffPrevLba, prev.lba);
+  common::StoreLe<uint64_t>(out, kOffPrevSeq, prev.seq);
+  common::StoreLe<uint64_t>(out, kOffBypassLba, bypass.lba);
+  common::StoreLe<uint64_t>(out, kOffBypassSeq, bypass.seq);
+  for (size_t i = 0; i < entries.size() && i < kEntriesPerSector; ++i) {
+    common::StoreLe<uint32_t>(out, kOffEntries + i * 4, entries[i]);
+  }
+  const uint32_t crc = common::Crc32c(std::span<const std::byte>(raw).first(kOffCrc));
+  common::StoreLe<uint32_t>(out, kOffCrc, crc);
+  return raw;
+}
+
+common::StatusOr<MapSector> MapSector::Parse(std::span<const std::byte> raw) {
+  if (raw.size() < kMapSectorBytes) {
+    return common::InvalidArgument("map sector: short buffer");
+  }
+  raw = raw.first(kMapSectorBytes);
+  if (common::LoadLe<uint64_t>(raw, kOffMagic) != kMapSectorMagic) {
+    return common::Corruption("map sector: bad magic");
+  }
+  const uint32_t stored_crc = common::LoadLe<uint32_t>(raw, kOffCrc);
+  if (common::Crc32c(raw.first(kOffCrc)) != stored_crc) {
+    return common::Corruption("map sector: bad CRC");
+  }
+  MapSector s;
+  s.seq = common::LoadLe<uint64_t>(raw, kOffSeq);
+  s.piece = common::LoadLe<uint32_t>(raw, kOffPiece);
+  const uint32_t count = common::LoadLe<uint32_t>(raw, kOffEntryCount);
+  if (count > kEntriesPerSector) {
+    return common::Corruption("map sector: entry count out of range");
+  }
+  s.txn_id = common::LoadLe<uint64_t>(raw, kOffTxnId);
+  s.txn_index = common::LoadLe<uint16_t>(raw, kOffTxnIndex);
+  s.txn_total = common::LoadLe<uint16_t>(raw, kOffTxnTotal);
+  s.prev.lba = common::LoadLe<uint64_t>(raw, kOffPrevLba);
+  s.prev.seq = common::LoadLe<uint64_t>(raw, kOffPrevSeq);
+  s.bypass.lba = common::LoadLe<uint64_t>(raw, kOffBypassLba);
+  s.bypass.seq = common::LoadLe<uint64_t>(raw, kOffBypassSeq);
+  s.entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    s.entries[i] = common::LoadLe<uint32_t>(raw, kOffEntries + i * 4);
+  }
+  return s;
+}
+
+}  // namespace vlog::core

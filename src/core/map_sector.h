@@ -1,0 +1,63 @@
+// On-disk format of a virtual-log map sector.
+//
+// The indirection map is a table of logical→physical block translations, carved into fixed
+// "pieces" of kEntriesPerSector entries. Whenever an update changes a translation, the piece
+// containing it is written to a free sector near the head; that sector is a node of the virtual
+// log. Each node carries two backward pointers (§3.2, Figure 3b):
+//   prev   — the previous log tail (the plain backward chain), and
+//   bypass — the sector that the *overwritten* (now obsolete) version of this piece pointed to,
+//            so the obsolete sector's physical space can be recycled without disconnecting the
+//            log: traversal routes around it through the bypass edge.
+// Pointers carry the expected sequence number of their target; a recycled target no longer
+// matches (wrong magic, CRC, or sequence) and the branch is pruned.
+#ifndef SRC_CORE_MAP_SECTOR_H_
+#define SRC_CORE_MAP_SECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/simdisk/geometry.h"
+
+namespace vlog::core {
+
+// A pointer to a map sector on disk: its LBA plus the sequence number it is expected to hold.
+struct DiskPtr {
+  simdisk::Lba lba = kNullLba;
+  uint64_t seq = 0;
+
+  static constexpr simdisk::Lba kNullLba = ~0ULL;
+  bool IsNull() const { return lba == kNullLba; }
+  bool operator==(const DiskPtr&) const = default;
+};
+
+inline constexpr uint32_t kMapSectorBytes = 512;
+inline constexpr uint64_t kMapSectorMagic = 0x564c4f474d415053ULL;  // "VLOGMAPS"
+inline constexpr uint32_t kEntriesPerSector = 104;
+inline constexpr uint32_t kUnmappedBlock = ~0U;
+
+// The parsed form of one map sector.
+struct MapSector {
+  uint64_t seq = 0;       // Global, strictly increasing; defines age.
+  uint32_t piece = 0;     // Which slice of the indirection map this sector holds.
+  uint64_t txn_id = 0;    // 0 = standalone write; otherwise groups an atomic multi-piece commit.
+  uint16_t txn_index = 0;
+  uint16_t txn_total = 1;
+  DiskPtr prev;
+  DiskPtr bypass;
+  // Physical block index for each logical block of the piece; kUnmappedBlock when unmapped.
+  std::vector<uint32_t> entries;
+
+  // Serializes to exactly kMapSectorBytes bytes with a trailing CRC-32C.
+  std::vector<std::byte> Serialize() const;
+
+  // Parses and validates magic + CRC. Returns kCorruption for anything that is not a well-formed
+  // map sector (e.g. a recycled sector now holding file data).
+  static common::StatusOr<MapSector> Parse(std::span<const std::byte> raw);
+};
+
+}  // namespace vlog::core
+
+#endif  // SRC_CORE_MAP_SECTOR_H_

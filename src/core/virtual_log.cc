@@ -1,0 +1,622 @@
+#include "src/core/virtual_log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+
+namespace vlog::core {
+namespace {
+
+constexpr uint64_t kParkMagic = 0x564c4f475041524bULL;  // "VLOGPARK"
+constexpr uint64_t kCkptMagic = 0x564c4f47434b5054ULL;  // "VLOGCKPT"
+constexpr uint32_t kSectorBytes = kMapSectorBytes;
+
+struct ParkRecord {
+  DiskPtr tail;
+  uint64_t checkpoint_seq = 0;
+  uint64_t next_seq = 1;
+};
+
+std::vector<std::byte> SerializePark(const ParkRecord& rec) {
+  std::vector<std::byte> raw(kSectorBytes);
+  std::span<std::byte> out(raw);
+  common::StoreLe<uint64_t>(out, 0, kParkMagic);
+  common::StoreLe<uint64_t>(out, 8, rec.tail.lba);
+  common::StoreLe<uint64_t>(out, 16, rec.tail.seq);
+  common::StoreLe<uint64_t>(out, 24, rec.checkpoint_seq);
+  common::StoreLe<uint64_t>(out, 32, rec.next_seq);
+  common::StoreLe<uint32_t>(
+      out, kSectorBytes - 4,
+      common::Crc32c(std::span<const std::byte>(raw).first(kSectorBytes - 4)));
+  return raw;
+}
+
+std::optional<ParkRecord> ParsePark(std::span<const std::byte> raw) {
+  if (common::LoadLe<uint64_t>(raw, 0) != kParkMagic) {
+    return std::nullopt;
+  }
+  if (common::LoadLe<uint32_t>(raw, kSectorBytes - 4) !=
+      common::Crc32c(raw.first(kSectorBytes - 4))) {
+    return std::nullopt;
+  }
+  ParkRecord rec;
+  rec.tail.lba = common::LoadLe<uint64_t>(raw, 8);
+  rec.tail.seq = common::LoadLe<uint64_t>(raw, 16);
+  rec.checkpoint_seq = common::LoadLe<uint64_t>(raw, 24);
+  rec.next_seq = common::LoadLe<uint64_t>(raw, 32);
+  return rec;
+}
+
+std::vector<std::byte> SerializeCkptHeader(uint64_t seq, uint32_t pieces) {
+  std::vector<std::byte> raw(kSectorBytes);
+  std::span<std::byte> out(raw);
+  common::StoreLe<uint64_t>(out, 0, kCkptMagic);
+  common::StoreLe<uint64_t>(out, 8, seq);
+  common::StoreLe<uint32_t>(out, 16, pieces);
+  common::StoreLe<uint32_t>(
+      out, kSectorBytes - 4,
+      common::Crc32c(std::span<const std::byte>(raw).first(kSectorBytes - 4)));
+  return raw;
+}
+
+struct CkptHeader {
+  uint64_t seq = 0;
+  uint32_t pieces = 0;
+};
+
+std::optional<CkptHeader> ParseCkptHeader(std::span<const std::byte> raw) {
+  if (common::LoadLe<uint64_t>(raw, 0) != kCkptMagic) {
+    return std::nullopt;
+  }
+  if (common::LoadLe<uint32_t>(raw, kSectorBytes - 4) !=
+      common::Crc32c(raw.first(kSectorBytes - 4))) {
+    return std::nullopt;
+  }
+  return CkptHeader{common::LoadLe<uint64_t>(raw, 8), common::LoadLe<uint32_t>(raw, 16)};
+}
+
+}  // namespace
+
+VirtualLog::VirtualLog(simdisk::SimDisk* disk, EagerAllocator* allocator, VirtualLogConfig config)
+    : disk_(disk), allocator_(allocator), config_(config) {
+  piece_state_.resize(config_.pieces);
+}
+
+common::Status VirtualLog::Format() {
+  next_seq_ = 1;
+  checkpoint_seq_ = 0;
+  piece_state_.assign(config_.pieces, PieceState{});
+  chain_.clear();
+  piece_at_block_.clear();
+  cover_of_.clear();
+  carrier_load_.clear();
+  pinned_.clear();
+  return WritePark(/*clear=*/true);
+}
+
+DiskPtr VirtualLog::ChainHead() const {
+  if (chain_.empty()) {
+    return DiskPtr{};
+  }
+  const auto& [seq, node] = *chain_.rbegin();
+  return DiskPtr{node.lba, seq};
+}
+
+DiskPtr VirtualLog::ChainSuccessorOf(uint64_t seq) const {
+  auto it = chain_.find(seq);
+  assert(it != chain_.end());
+  if (it == chain_.begin()) {
+    return DiskPtr{};
+  }
+  --it;
+  return DiskPtr{it->second.lba, it->first};
+}
+
+void VirtualLog::FreeLogBlock(uint32_t block) {
+  allocator_->Free(block);
+  ++stats_.recycled_blocks;
+}
+
+void VirtualLog::SetCover(uint64_t target_seq, uint64_t carrier_seq) {
+  DropCover(target_seq);
+  cover_of_[target_seq] = carrier_seq;
+  ++carrier_load_[carrier_seq];
+}
+
+void VirtualLog::DropCover(uint64_t target_seq) {
+  const auto it = cover_of_.find(target_seq);
+  if (it == cover_of_.end()) {
+    return;
+  }
+  const uint64_t carrier = it->second;
+  cover_of_.erase(it);
+  DecrementLoad(carrier);
+}
+
+void VirtualLog::DecrementLoad(uint64_t carrier_seq) {
+  const auto it = carrier_load_.find(carrier_seq);
+  assert(it != carrier_load_.end() && it->second > 0);
+  if (--it->second > 0) {
+    return;
+  }
+  carrier_load_.erase(it);
+  // An unloaded pinned sector has served its purpose: recycle it (possibly cascading).
+  const auto pin = pinned_.find(carrier_seq);
+  if (pin != pinned_.end()) {
+    const uint32_t block = pin->second;
+    pinned_.erase(pin);
+    DropCover(carrier_seq);
+    FreeLogBlock(block);
+  }
+}
+
+void VirtualLog::RemoveObsolete(uint32_t block, uint64_t seq) {
+  chain_.erase(seq);
+  piece_at_block_.erase(block);
+  if (carrier_load_.contains(seq)) {
+    // Still the designated cover of a younger removal's bypass target: keep the sector readable
+    // until every dependent has been re-covered or removed.
+    pinned_.emplace(seq, block);
+    stats_.pinned_peak = std::max<uint64_t>(stats_.pinned_peak, pinned_.size());
+  } else {
+    DropCover(seq);
+    FreeLogBlock(block);
+  }
+}
+
+common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>& entries,
+                                     uint64_t txn_id, uint16_t txn_index, uint16_t txn_total,
+                                     std::vector<DeferredFree>* deferred_frees) {
+  if (piece >= config_.pieces) {
+    return common::InvalidArgument("AppendPiece: piece out of range");
+  }
+  MapSector sector;
+  sector.seq = next_seq_;
+  sector.piece = piece;
+  sector.entries = entries;
+  sector.txn_id = txn_id;
+  sector.txn_index = txn_index;
+  sector.txn_total = txn_total;
+  const DiskPtr head = ChainHead();
+  sector.prev = head;
+  const PieceState old = piece_state_[piece];
+  const bool old_live = !old.loc.IsNull() && !old.in_checkpoint;
+  if (old_live) {
+    sector.bypass = ChainSuccessorOf(old.loc.seq);
+  }
+
+  const auto block = allocator_->Allocate();
+  if (!block) {
+    return common::OutOfSpace("virtual log: no free block for map sector");
+  }
+  const simdisk::Lba lba = allocator_->space().BlockToLba(*block);
+  const auto raw = sector.Serialize();
+  RETURN_IF_ERROR(disk_->InternalWrite(lba, raw));
+
+  // Designated covers: the new sector's prev edge covers the old head (even when the head is
+  // the sector being obsoleted — if it ends up pinned, this edge is what keeps it reachable)
+  // and its bypass edge covers the obsoleted sector's chain successor.
+  if (!head.IsNull()) {
+    SetCover(head.seq, sector.seq);
+  }
+  if (!sector.bypass.IsNull()) {
+    SetCover(sector.bypass.seq, sector.seq);
+  }
+
+  if (old_live) {
+    const uint32_t old_block = allocator_->space().LbaToBlock(old.loc.lba);
+    if (deferred_frees != nullptr) {
+      deferred_frees->push_back(DeferredFree{old_block, old.loc.seq});
+    } else {
+      RemoveObsolete(old_block, old.loc.seq);
+    }
+  }
+  chain_.emplace(sector.seq, ChainNode{piece, lba});
+  piece_at_block_[*block] = piece;
+  piece_state_[piece] = PieceState{DiskPtr{lba, sector.seq}, false};
+  ++next_seq_;
+  ++stats_.appends;
+  return common::OkStatus();
+}
+
+common::Status VirtualLog::MaybeAutoCheckpoint() {
+  if (pinned_.size() <= config_.pinned_limit || !entries_provider_) {
+    return common::OkStatus();
+  }
+  std::vector<std::vector<uint32_t>> entries(config_.pieces);
+  for (uint32_t k = 0; k < config_.pieces; ++k) {
+    entries[k] = entries_provider_(k);
+  }
+  ++stats_.auto_checkpoints;
+  return WriteCheckpoint(entries);
+}
+
+common::Status VirtualLog::AppendPiece(uint32_t piece, const std::vector<uint32_t>& entries) {
+  RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  return AppendOne(piece, entries, /*txn_id=*/0, /*txn_index=*/0, /*txn_total=*/1,
+                   /*deferred_frees=*/nullptr);
+}
+
+common::Status VirtualLog::AppendTransaction(const std::vector<PieceUpdate>& updates) {
+  if (updates.empty()) {
+    return common::OkStatus();
+  }
+  if (updates.size() == 1) {
+    return AppendPiece(updates[0].piece, updates[0].entries);
+  }
+  RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  // The first sector's sequence number doubles as a never-reused transaction id.
+  const uint64_t txn_id = next_seq_;
+  std::vector<DeferredFree> deferred;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    RETURN_IF_ERROR(AppendOne(updates[i].piece, updates[i].entries, txn_id,
+                              static_cast<uint16_t>(i), static_cast<uint16_t>(updates.size()),
+                              &deferred));
+  }
+  // Commit point passed: the obsoleted sectors are no longer needed for rollback.
+  for (const DeferredFree& d : deferred) {
+    RemoveObsolete(d.block, d.seq);
+  }
+  return common::OkStatus();
+}
+
+common::Status VirtualLog::WriteCheckpoint(
+    const std::vector<std::vector<uint32_t>>& entries_of_piece) {
+  if (entries_of_piece.size() != config_.pieces) {
+    return common::InvalidArgument("WriteCheckpoint: wrong piece count");
+  }
+  const uint64_t seq = next_seq_++;
+  std::vector<std::byte> region;
+  region.reserve(static_cast<size_t>(CheckpointSectors()) * kSectorBytes);
+  const auto header = SerializeCkptHeader(seq, config_.pieces);
+  region.insert(region.end(), header.begin(), header.end());
+  for (uint32_t k = 0; k < config_.pieces; ++k) {
+    MapSector sector;
+    sector.seq = seq;
+    sector.piece = k;
+    sector.entries = entries_of_piece[k];
+    const auto raw = sector.Serialize();
+    region.insert(region.end(), raw.begin(), raw.end());
+  }
+  RETURN_IF_ERROR(disk_->InternalWrite(config_.checkpoint_lba, region));
+
+  // Every log sector — live or pinned — is now redundant: recycle all of them.
+  for (const auto& [node_seq, node] : chain_) {
+    FreeLogBlock(allocator_->space().LbaToBlock(node.lba));
+  }
+  for (const auto& [pin_seq, block] : pinned_) {
+    FreeLogBlock(block);
+  }
+  chain_.clear();
+  piece_at_block_.clear();
+  cover_of_.clear();
+  carrier_load_.clear();
+  pinned_.clear();
+  for (auto& state : piece_state_) {
+    state = PieceState{DiskPtr{}, true};
+  }
+  checkpoint_seq_ = seq;
+  ++stats_.checkpoints;
+  return common::OkStatus();
+}
+
+common::Status VirtualLog::WritePark(bool clear) {
+  std::vector<std::byte> raw(kSectorBytes);
+  if (!clear) {
+    raw = SerializePark(ParkRecord{ChainHead(), checkpoint_seq_, next_seq_});
+  }
+  return disk_->InternalWrite(config_.park_lba, raw);
+}
+
+common::Status VirtualLog::Park() { return WritePark(/*clear=*/false); }
+
+common::StatusOr<RecoveryResult> VirtualLog::Recover() {
+  // Reset in-memory state; it is rebuilt below.
+  piece_state_.assign(config_.pieces, PieceState{});
+  chain_.clear();
+  piece_at_block_.clear();
+  cover_of_.clear();
+  carrier_load_.clear();
+  pinned_.clear();
+
+  std::vector<std::byte> raw(kSectorBytes);
+  RETURN_IF_ERROR(disk_->InternalRead(config_.park_lba, raw));
+  const auto park = ParsePark(raw);
+  if (!park) {
+    return RecoverByScan();
+  }
+  // Clear the park record so a stale tail is never trusted after a crash (§3.2).
+  RETURN_IF_ERROR(WritePark(/*clear=*/true));
+  next_seq_ = park->next_seq;
+  const DiskPtr tail = park->tail;
+  if (!tail.IsNull() && tail.lba >= disk_->SectorCount()) {
+    return RecoverByScan();
+  }
+  return RecoverFromTail(tail, park->checkpoint_seq);
+}
+
+common::StatusOr<RecoveryResult> VirtualLog::RecoverFromTail(DiskPtr tail,
+                                                             uint64_t checkpoint_seq) {
+  std::vector<std::pair<simdisk::Lba, MapSector>> collected;
+  uint64_t sectors_read = 0;
+
+  // Frontier ordered by age: always extend the youngest pointer first.
+  auto by_seq = [](const DiskPtr& a, const DiskPtr& b) { return a.seq < b.seq; };
+  std::priority_queue<DiskPtr, std::vector<DiskPtr>, decltype(by_seq)> frontier(by_seq);
+  std::unordered_set<simdisk::Lba> visited;
+  if (!tail.IsNull()) {
+    frontier.push(tail);
+  }
+  std::vector<std::byte> raw(kSectorBytes);
+  while (!frontier.empty()) {
+    const DiskPtr ptr = frontier.top();
+    frontier.pop();
+    if (ptr.IsNull() || ptr.seq <= checkpoint_seq || visited.contains(ptr.lba)) {
+      continue;
+    }
+    visited.insert(ptr.lba);
+    if (ptr.lba >= disk_->SectorCount()) {
+      continue;
+    }
+    if (!disk_->InternalRead(ptr.lba, raw).ok()) {
+      continue;
+    }
+    ++sectors_read;
+    auto parsed = MapSector::Parse(raw);
+    if (!parsed.ok() || parsed->seq != ptr.seq) {
+      continue;  // Recycled: the block was reused; a bypass edge covers what lay beyond.
+    }
+    frontier.push(parsed->prev);
+    frontier.push(parsed->bypass);
+    collected.emplace_back(ptr.lba, std::move(*parsed));
+  }
+  return ApplyRecovered(std::move(collected), checkpoint_seq, /*used_scan=*/false, sectors_read);
+}
+
+common::StatusOr<RecoveryResult> VirtualLog::RecoverByScan() {
+  // Read the checkpoint header first: it bounds which sequence numbers are still meaningful.
+  std::vector<std::byte> raw(kSectorBytes);
+  RETURN_IF_ERROR(disk_->InternalRead(config_.checkpoint_lba, raw));
+  uint64_t checkpoint_seq = 0;
+  if (const auto header = ParseCkptHeader(raw)) {
+    checkpoint_seq = header->seq;
+  }
+
+  // Full scan, track by track, for cryptographically signed map sectors. Since the scan sees
+  // every surviving sector, reachability is not needed: the youngest valid version of each
+  // piece is by construction the live one.
+  const auto& geom = disk_->geometry();
+  const simdisk::Lba ckpt_begin = config_.checkpoint_lba;
+  const simdisk::Lba ckpt_end = config_.checkpoint_lba + CheckpointSectors();
+  std::vector<std::pair<simdisk::Lba, MapSector>> collected;
+  uint64_t sectors_read = 0;
+  std::vector<std::byte> track(static_cast<size_t>(geom.sectors_per_track) * geom.sector_bytes);
+  for (uint64_t t = 0; t < geom.TotalTracks(); ++t) {
+    const simdisk::Lba base = geom.TrackStart(t);
+    RETURN_IF_ERROR(disk_->InternalRead(base, track));
+    sectors_read += geom.sectors_per_track;
+    for (uint32_t s = 0; s < geom.sectors_per_track; ++s) {
+      const simdisk::Lba lba = base + s;
+      if (lba == config_.park_lba || (lba >= ckpt_begin && lba < ckpt_end)) {
+        continue;
+      }
+      auto parsed = MapSector::Parse(std::span<const std::byte>(track).subspan(
+          static_cast<size_t>(s) * geom.sector_bytes, geom.sector_bytes));
+      if (parsed.ok() && parsed->seq > checkpoint_seq) {
+        collected.emplace_back(lba, std::move(*parsed));
+      }
+    }
+  }
+  uint64_t max_seq = checkpoint_seq;
+  for (const auto& [lba, sector] : collected) {
+    max_seq = std::max(max_seq, sector.seq);
+  }
+  next_seq_ = max_seq + 1;
+  return ApplyRecovered(std::move(collected), checkpoint_seq, /*used_scan=*/true, sectors_read);
+}
+
+common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
+    std::vector<std::pair<simdisk::Lba, MapSector>> sectors, uint64_t checkpoint_seq,
+    bool used_scan, uint64_t sectors_read) {
+  RecoveryResult result;
+  result.used_scan = used_scan;
+  result.sectors_read = sectors_read;
+  result.pieces.resize(config_.pieces);
+
+  std::sort(sectors.begin(), sectors.end(),
+            [](const auto& a, const auto& b) { return a.second.seq > b.second.seq; });
+
+  // An interrupted atomic commit can only be the very last thing written: discard the trailing
+  // transaction iff the youngest sector belongs to it and not all of its members survived.
+  std::unordered_set<simdisk::Lba> discarded;
+  if (!sectors.empty() && sectors.front().second.txn_id != 0) {
+    const uint64_t txn = sectors.front().second.txn_id;
+    const uint16_t total = sectors.front().second.txn_total;
+    std::set<uint16_t> members;
+    std::vector<simdisk::Lba> lbas;
+    for (const auto& [lba, sector] : sectors) {
+      if (sector.txn_id == txn) {
+        members.insert(sector.txn_index);
+        lbas.push_back(lba);
+      }
+    }
+    if (members.size() < total) {
+      discarded.insert(lbas.begin(), lbas.end());
+      result.discarded_txn_sectors = lbas.size();
+    }
+  }
+
+  // Youngest surviving version per piece wins.
+  for (const auto& [lba, sector] : sectors) {
+    if (discarded.contains(lba) || sector.piece >= config_.pieces) {
+      continue;
+    }
+    PieceState& state = piece_state_[sector.piece];
+    if (!state.loc.IsNull()) {
+      continue;  // A younger version was already applied.
+    }
+    state.loc = DiskPtr{lba, sector.seq};
+    result.pieces[sector.piece] = sector.entries;
+    chain_.emplace(sector.seq, ChainNode{sector.piece, lba});
+    piece_at_block_[allocator_->space().LbaToBlock(lba)] = sector.piece;
+    next_seq_ = std::max(next_seq_, sector.seq + 1);
+  }
+
+  // Rebuild designated covers so that future appends keep recycling safely. For each live
+  // (and then transitively each pinned) non-tail sector, pick a surviving sector holding a
+  // pointer to it — preferring live carriers; an obsolete carrier gets pinned.
+  {
+    auto is_live = [&](uint64_t seq, simdisk::Lba lba) {
+      const auto it = chain_.find(seq);
+      return it != chain_.end() && it->second.lba == lba;
+    };
+    auto find_carrier = [&](const DiskPtr& target) -> const std::pair<simdisk::Lba, MapSector>* {
+      const std::pair<simdisk::Lba, MapSector>* fallback = nullptr;
+      for (const auto& entry : sectors) {
+        if (discarded.contains(entry.first)) {
+          continue;
+        }
+        const MapSector& s = entry.second;
+        if (s.prev == target || s.bypass == target) {
+          if (is_live(s.seq, entry.first)) {
+            return &entry;
+          }
+          if (fallback == nullptr) {
+            fallback = &entry;
+          }
+        }
+      }
+      return fallback;
+    };
+
+    std::vector<DiskPtr> worklist;
+    const DiskPtr tail = ChainHead();
+    for (const auto& [seq, node] : chain_) {
+      if (seq != tail.seq) {
+        worklist.push_back(DiskPtr{node.lba, seq});
+      }
+    }
+    std::unordered_set<uint64_t> queued;
+    for (const auto& ptr : worklist) {
+      queued.insert(ptr.seq);
+    }
+    while (!worklist.empty()) {
+      const DiskPtr target = worklist.back();
+      worklist.pop_back();
+      const auto* carrier = find_carrier(target);
+      if (carrier == nullptr) {
+        continue;  // Handled by the safety closure below.
+      }
+      SetCover(target.seq, carrier->second.seq);
+      if (!is_live(carrier->second.seq, carrier->first) &&
+          !pinned_.contains(carrier->second.seq)) {
+        pinned_.emplace(carrier->second.seq, allocator_->space().LbaToBlock(carrier->first));
+        stats_.pinned_peak = std::max<uint64_t>(stats_.pinned_peak, pinned_.size());
+        // A pinned carrier must itself stay reachable: cover it too.
+        if (!queued.contains(carrier->second.seq)) {
+          queued.insert(carrier->second.seq);
+          worklist.push_back(DiskPtr{carrier->first, carrier->second.seq});
+        }
+      }
+    }
+
+    // Safety closure: a sector is safe iff its designated-cover chain reaches the tail. Any
+    // live sector left unsafe (possible only after a scan, where surviving pointers may be
+    // missing) must be re-appended by the caller so future traversals can reach it.
+    std::unordered_map<uint64_t, bool> safe;
+    std::function<bool(uint64_t)> is_safe = [&](uint64_t seq) -> bool {
+      if (seq == tail.seq) {
+        return true;
+      }
+      const auto cached = safe.find(seq);
+      if (cached != safe.end()) {
+        return cached->second;
+      }
+      safe[seq] = false;  // Break cycles conservatively (cover chains are acyclic by age).
+      const auto it = cover_of_.find(seq);
+      const bool ok = it != cover_of_.end() && is_safe(it->second);
+      safe[seq] = ok;
+      return ok;
+    };
+    for (const auto& [seq, node] : chain_) {
+      if (!is_safe(seq)) {
+        result.uncovered_pieces.push_back(node.piece);
+      }
+    }
+  }
+
+  if (checkpoint_seq > 0) {
+    ASSIGN_OR_RETURN(auto ckpt_pieces, LoadCheckpoint(checkpoint_seq));
+    for (uint32_t k = 0; k < config_.pieces; ++k) {
+      if (piece_state_[k].loc.IsNull() && !ckpt_pieces[k].empty()) {
+        piece_state_[k] = PieceState{DiskPtr{}, true};
+        result.pieces[k] = std::move(ckpt_pieces[k]);
+      }
+    }
+    result.from_checkpoint = true;
+    next_seq_ = std::max(next_seq_, checkpoint_seq + 1);
+  }
+  checkpoint_seq_ = checkpoint_seq;
+  return result;
+}
+
+common::StatusOr<std::vector<std::vector<uint32_t>>> VirtualLog::LoadCheckpoint(
+    uint64_t checkpoint_seq) {
+  std::vector<std::byte> region(static_cast<size_t>(CheckpointSectors()) * kSectorBytes);
+  RETURN_IF_ERROR(disk_->InternalRead(config_.checkpoint_lba, region));
+  const auto header = ParseCkptHeader(std::span<const std::byte>(region).first(kSectorBytes));
+  if (!header || header->seq != checkpoint_seq || header->pieces != config_.pieces) {
+    return common::Corruption("checkpoint header mismatch");
+  }
+  std::vector<std::vector<uint32_t>> pieces(config_.pieces);
+  for (uint32_t k = 0; k < config_.pieces; ++k) {
+    auto parsed = MapSector::Parse(std::span<const std::byte>(region).subspan(
+        static_cast<size_t>(k + 1) * kSectorBytes, kSectorBytes));
+    if (!parsed.ok() || parsed->seq != checkpoint_seq || parsed->piece != k) {
+      return common::Corruption("checkpoint piece sector corrupt");
+    }
+    pieces[k] = std::move(parsed->entries);
+  }
+  return pieces;
+}
+
+std::optional<uint32_t> VirtualLog::LiveBlockOfPiece(uint32_t piece) const {
+  const PieceState& state = piece_state_[piece];
+  if (state.loc.IsNull() || state.in_checkpoint) {
+    return std::nullopt;
+  }
+  return allocator_->space().LbaToBlock(state.loc.lba);
+}
+
+std::optional<uint32_t> VirtualLog::PieceAtBlock(uint32_t block) const {
+  const auto it = piece_at_block_.find(block);
+  if (it == piece_at_block_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<uint32_t> VirtualLog::PinnedBlocks() const {
+  std::vector<uint32_t> blocks;
+  blocks.reserve(pinned_.size());
+  for (const auto& [seq, block] : pinned_) {
+    blocks.push_back(block);
+  }
+  return blocks;
+}
+
+bool VirtualLog::IsPinnedBlock(uint32_t block) const {
+  for (const auto& [seq, b] : pinned_) {
+    if (b == block) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vlog::core

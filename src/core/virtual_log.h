@@ -1,0 +1,185 @@
+// The virtual log (§3.2): a log of map sectors whose entries are not physically contiguous.
+//
+// Appending a new version of a piece writes one eager sector whose `prev` pointer is the old
+// log tail (the previous tree root) and whose `bypass` pointer is the chain successor of the
+// sector it obsoletes, so that sector can usually be recycled immediately without recopying:
+// recovery traversal routes around it (the paper's Figure 3b).
+//
+// Soundness refinement. The paper describes the single-recycle case; when a sector carrying a
+// bypass pointer is itself recycled, a naively freed sector can orphan part of the log. This
+// implementation therefore tracks a *designated cover* for every non-tail live sector: the
+// (unique, in-memory) newer sector whose on-disk pointer guarantees its reachability. The
+// invariant is that designated-cover chains have strictly increasing age and terminate at the
+// log tail, so every live sector is reachable from the tail through valid sectors. An obsolete
+// sector that still carries covers is *pinned* — its block is not recycled until all of its
+// cover targets have been re-covered or removed. Pinned sectors are rare and bounded: when
+// their count exceeds `pinned_limit` the log takes an automatic checkpoint, which resets all
+// cover bookkeeping and frees every log block.
+//
+// Recovery bootstraps from the log tail parked at a fixed sector during power-down; if the park
+// record is missing or corrupt, a full-disk scan for signed map sectors finds the live map
+// instead. A checkpoint (§3.3) bounds both paths: the whole map is written contiguously to a
+// reserved region and traversal prunes below the checkpoint sequence number.
+#ifndef SRC_CORE_VIRTUAL_LOG_H_
+#define SRC_CORE_VIRTUAL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/eager_allocator.h"
+#include "src/core/map_sector.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+
+struct VirtualLogConfig {
+  uint32_t pieces = 0;         // Number of map pieces (ceil(logical blocks / entries/sector)).
+  uint32_t block_sectors = 8;  // Physical block size in sectors.
+  simdisk::Lba park_lba = 0;   // The landing-zone sector holding the parked tail.
+  simdisk::Lba checkpoint_lba = 1;  // First sector of the reserved checkpoint region.
+  uint32_t pinned_limit = 64;  // Auto-checkpoint when more obsolete sectors than this are pinned.
+};
+
+struct RecoveryResult {
+  // Recovered entries per piece; an empty vector means the piece was never written.
+  std::vector<std::vector<uint32_t>> pieces;
+  bool used_scan = false;         // True when the park record was unusable.
+  bool from_checkpoint = false;   // True when a checkpoint seeded part of the map.
+  uint64_t sectors_read = 0;      // Log sectors examined (traversal or scan).
+  uint64_t discarded_txn_sectors = 0;  // Tail sectors dropped from an incomplete transaction.
+  // Live pieces for which no surviving sector holds a pointer (possible only on the scan path);
+  // the caller should re-append them promptly so traversal-based recovery can find them again.
+  std::vector<uint32_t> uncovered_pieces;
+};
+
+struct VirtualLogStats {
+  uint64_t appends = 0;
+  uint64_t recycled_blocks = 0;  // Obsolete map-sector blocks returned to the free pool.
+  uint64_t pinned_peak = 0;      // High-water mark of simultaneously pinned sectors.
+  uint64_t checkpoints = 0;
+  uint64_t auto_checkpoints = 0;  // Checkpoints forced by the pinned-sector valve.
+};
+
+class VirtualLog {
+ public:
+  VirtualLog(simdisk::SimDisk* disk, EagerAllocator* allocator, VirtualLogConfig config);
+
+  // Initializes an empty log on a fresh disk: zeroes the park record. The caller is responsible
+  // for having marked the park/checkpoint region as system blocks.
+  common::Status Format();
+
+  // Supplies current entries of a piece, enabling automatic checkpoints (the valve above).
+  void SetEntriesProvider(std::function<std::vector<uint32_t>(uint32_t)> provider) {
+    entries_provider_ = std::move(provider);
+  }
+
+  // Appends a new version of `piece` as a standalone (single-sector, atomic) commit.
+  common::Status AppendPiece(uint32_t piece, const std::vector<uint32_t>& entries);
+
+  struct PieceUpdate {
+    uint32_t piece;
+    std::vector<uint32_t> entries;
+  };
+  // Atomically appends new versions of several distinct pieces. The sectors share a transaction
+  // id; recovery discards a trailing transaction whose sectors are not all present, so either
+  // every piece update takes effect or none does. The obsoleted map sectors are recycled only
+  // after the last sector of the transaction is on disk.
+  common::Status AppendTransaction(const std::vector<PieceUpdate>& updates);
+
+  // Writes the whole map contiguously to the checkpoint region, frees all log blocks (live and
+  // pinned), and resets the chain. `entries_of_piece[k]` must be the current entries of piece k.
+  common::Status WriteCheckpoint(const std::vector<std::vector<uint32_t>>& entries_of_piece);
+
+  // Firmware power-down: records the log tail (and checkpoint seq) at the park sector.
+  common::Status Park();
+
+  // Rebuilds the in-memory state from disk. Uses the parked tail when valid (then clears it),
+  // otherwise falls back to scanning the disk for signed map sectors. The allocator's free-space
+  // map must already have system blocks marked; the caller re-marks live blocks afterwards
+  // (data blocks from the recovered map, map blocks from LiveBlockOfPiece and PinnedBlocks).
+  common::StatusOr<RecoveryResult> Recover();
+
+  // The physical block currently holding `piece`'s live map sector (nullopt when the piece has
+  // never been written or lives in the checkpoint region).
+  std::optional<uint32_t> LiveBlockOfPiece(uint32_t piece) const;
+  // The piece whose live map sector occupies `block`, if any. Used by the compactor.
+  std::optional<uint32_t> PieceAtBlock(uint32_t block) const;
+  // Blocks held only because an obsolete sector in them still covers live sectors.
+  std::vector<uint32_t> PinnedBlocks() const;
+  bool IsPinnedBlock(uint32_t block) const;
+
+  uint64_t NextSeq() const { return next_seq_; }
+  uint64_t CheckpointSeq() const { return checkpoint_seq_; }
+  size_t PinnedCount() const { return pinned_.size(); }
+  const VirtualLogStats& stats() const { return stats_; }
+  const VirtualLogConfig& config() const { return config_; }
+  // Sectors needed by a checkpoint: one header plus one per piece.
+  uint32_t CheckpointSectors() const { return config_.pieces + 1; }
+
+ private:
+  struct PieceState {
+    DiskPtr loc;                // Live sector (null = never written or checkpoint-resident).
+    bool in_checkpoint = false;
+  };
+  struct ChainNode {
+    uint32_t piece;
+    simdisk::Lba lba;
+  };
+  struct DeferredFree {
+    uint32_t block;
+    uint64_t seq;
+  };
+
+  DiskPtr ChainHead() const;
+  // Chain successor (next older live sector) of the live sector with sequence `seq`.
+  DiskPtr ChainSuccessorOf(uint64_t seq) const;
+
+  // --- Designated-cover bookkeeping ---
+  void SetCover(uint64_t target_seq, uint64_t carrier_seq);
+  void DropCover(uint64_t target_seq);
+  void DecrementLoad(uint64_t carrier_seq);
+  // Called when a sector leaves the live chain: pins it if it still carries covers, otherwise
+  // recycles its block.
+  void RemoveObsolete(uint32_t block, uint64_t seq);
+  void FreeLogBlock(uint32_t block);
+
+  common::Status AppendOne(uint32_t piece, const std::vector<uint32_t>& entries, uint64_t txn_id,
+                           uint16_t txn_index, uint16_t txn_total,
+                           std::vector<DeferredFree>* deferred_frees);
+  common::Status MaybeAutoCheckpoint();
+  common::Status WritePark(bool clear);
+  common::StatusOr<RecoveryResult> RecoverFromTail(DiskPtr tail, uint64_t checkpoint_seq);
+  common::StatusOr<RecoveryResult> RecoverByScan();
+  // Shared tail of both recovery paths: pick the youngest complete version per piece, fill from
+  // the checkpoint, rebuild chain and cover state.
+  common::StatusOr<RecoveryResult> ApplyRecovered(
+      std::vector<std::pair<simdisk::Lba, MapSector>> sectors, uint64_t checkpoint_seq,
+      bool used_scan, uint64_t sectors_read);
+  common::StatusOr<std::vector<std::vector<uint32_t>>> LoadCheckpoint(uint64_t checkpoint_seq);
+
+  simdisk::SimDisk* disk_;
+  EagerAllocator* allocator_;
+  VirtualLogConfig config_;
+  uint64_t next_seq_ = 1;
+  uint64_t checkpoint_seq_ = 0;  // 0 = no checkpoint taken.
+  std::vector<PieceState> piece_state_;
+  // Live map sectors ordered by sequence (ascending).
+  std::map<uint64_t, ChainNode> chain_;
+  std::unordered_map<uint32_t, uint32_t> piece_at_block_;
+  // Designated covers: target sector -> the newer sector whose on-disk pointer keeps it
+  // reachable. Every live or pinned sector except the tail has exactly one entry.
+  std::unordered_map<uint64_t, uint64_t> cover_of_;
+  std::unordered_map<uint64_t, uint32_t> carrier_load_;  // carrier -> number of cover targets.
+  std::unordered_map<uint64_t, uint32_t> pinned_;  // Obsolete carrier seq -> its physical block.
+  std::function<std::vector<uint32_t>(uint32_t)> entries_provider_;
+  VirtualLogStats stats_;
+};
+
+}  // namespace vlog::core
+
+#endif  // SRC_CORE_VIRTUAL_LOG_H_

@@ -1,0 +1,376 @@
+#include "src/core/vld.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace vlog::core {
+
+Vld::Layout Vld::ComputeLayout(const simdisk::DiskGeometry& geometry, const VldConfig& config) {
+  Layout layout;
+  layout.total_blocks =
+      static_cast<uint32_t>(geometry.TotalSectors() / config.block_sectors);
+  // The logical size, piece count, and reserved region depend on each other; iterate to a fixed
+  // point (converges immediately in practice).
+  uint32_t pieces = 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    const uint32_t system_sectors = 2 + pieces;  // Park + checkpoint header + piece sectors.
+    const uint32_t system_blocks =
+        (system_sectors + config.block_sectors - 1) / config.block_sectors;
+    // Live map sectors occupy up to `pieces` blocks; slack keeps eager writing possible.
+    const int64_t logical = static_cast<int64_t>(layout.total_blocks) - system_blocks - pieces -
+                            config.slack_blocks;
+    assert(logical > 0 && "disk too small for a VLD");
+    const uint32_t new_pieces =
+        (static_cast<uint32_t>(logical) + kEntriesPerSector - 1) / kEntriesPerSector;
+    layout.system_blocks = system_blocks;
+    layout.logical_blocks = static_cast<uint32_t>(logical);
+    if (new_pieces == pieces) {
+      break;
+    }
+    pieces = new_pieces;
+  }
+  layout.pieces = pieces;
+  return layout;
+}
+
+Vld::Vld(simdisk::SimDisk* disk, VldConfig config)
+    : disk_(disk),
+      config_(config),
+      space_(disk->geometry(), config.block_sectors),
+      allocator_(disk, &space_,
+                 AllocatorConfig{.fill_to_threshold = config.compactor_enabled,
+                                 .track_switch_threshold = config.track_switch_threshold}),
+      vlog_(disk, &allocator_,
+            VirtualLogConfig{
+                .pieces = ComputeLayout(disk->geometry(), config).pieces,
+                .block_sectors = config.block_sectors,
+                .park_lba = 0,
+                .checkpoint_lba = 1,
+            }) {
+  const Layout layout = ComputeLayout(disk->geometry(), config);
+  logical_blocks_ = layout.logical_blocks;
+  system_blocks_ = layout.system_blocks;
+  map_.assign(logical_blocks_, kUnmappedBlock);
+  reverse_.assign(layout.total_blocks, kUnmappedBlock);
+  MarkSystemBlocks();
+  vlog_.SetEntriesProvider([this](uint32_t piece) { return PieceEntries(piece); });
+  compactor_ = std::make_unique<Compactor>(
+      this, disk_, &allocator_, &vlog_,
+      CompactorConfig{.target_empty_tracks = config_.target_empty_tracks}, config_.seed);
+  // The standard read-ahead policy purges prematurely when physical addresses are not
+  // monotonic; the VLD prefetches whole tracks instead (§4.2).
+  disk_->set_read_ahead_policy(simdisk::ReadAheadPolicy::kAggressiveTrack);
+}
+
+void Vld::MarkSystemBlocks() {
+  for (uint32_t b = 0; b < system_blocks_; ++b) {
+    space_.MarkSystem(b);
+  }
+}
+
+std::vector<uint32_t> Vld::PieceEntries(uint32_t piece) const {
+  const uint32_t begin = piece * kEntriesPerSector;
+  const uint32_t end = std::min<uint32_t>(begin + kEntriesPerSector, logical_blocks_);
+  return std::vector<uint32_t>(map_.begin() + begin, map_.begin() + end);
+}
+
+common::Status Vld::Format() {
+  map_.assign(logical_blocks_, kUnmappedBlock);
+  reverse_.assign(space_.total_blocks(), kUnmappedBlock);
+  space_ = FreeSpaceMap(disk_->geometry(), config_.block_sectors);
+  MarkSystemBlocks();
+  allocator_ = EagerAllocator(disk_, &space_,
+                              AllocatorConfig{.fill_to_threshold = config_.compactor_enabled,
+                                              .track_switch_threshold =
+                                                  config_.track_switch_threshold});
+  RETURN_IF_ERROR(vlog_.Format());
+  // Invalidate any stale checkpoint header from a previous life of the media.
+  std::vector<std::byte> zero(disk_->SectorBytes());
+  return disk_->InternalWrite(vlog_.config().checkpoint_lba, zero);
+}
+
+common::Status Vld::Park() { return vlog_.Park(); }
+
+common::Status Vld::Checkpoint() {
+  std::vector<std::vector<uint32_t>> entries(vlog_.config().pieces);
+  for (uint32_t k = 0; k < vlog_.config().pieces; ++k) {
+    entries[k] = PieceEntries(k);
+  }
+  return vlog_.WriteCheckpoint(entries);
+}
+
+common::StatusOr<VldRecoveryInfo> Vld::Recover() {
+  space_ = FreeSpaceMap(disk_->geometry(), config_.block_sectors);
+  MarkSystemBlocks();
+  allocator_ = EagerAllocator(disk_, &space_,
+                              AllocatorConfig{.fill_to_threshold = config_.compactor_enabled,
+                                              .track_switch_threshold =
+                                                  config_.track_switch_threshold});
+  ASSIGN_OR_RETURN(RecoveryResult recovered, vlog_.Recover());
+
+  map_.assign(logical_blocks_, kUnmappedBlock);
+  reverse_.assign(space_.total_blocks(), kUnmappedBlock);
+  VldRecoveryInfo info;
+  info.used_scan = recovered.used_scan;
+  info.from_checkpoint = recovered.from_checkpoint;
+  info.log_sectors_read = recovered.sectors_read;
+  for (uint32_t k = 0; k < recovered.pieces.size(); ++k) {
+    const auto& entries = recovered.pieces[k];
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+      const uint64_t logical = static_cast<uint64_t>(k) * kEntriesPerSector + i;
+      if (logical >= logical_blocks_ || entries[i] == kUnmappedBlock) {
+        continue;
+      }
+      map_[logical] = entries[i];
+      reverse_[entries[i]] = static_cast<uint32_t>(logical);
+      space_.MarkLive(entries[i]);
+      ++info.mapped_blocks;
+    }
+  }
+  for (uint32_t k = 0; k < vlog_.config().pieces; ++k) {
+    if (const auto block = vlog_.LiveBlockOfPiece(k)) {
+      space_.MarkLive(*block);
+    }
+  }
+  for (const uint32_t block : vlog_.PinnedBlocks()) {
+    space_.MarkLive(block);
+  }
+  // Re-append pieces whose on-disk reachability could not be re-established (scan path only).
+  for (const uint32_t piece : recovered.uncovered_pieces) {
+    RETURN_IF_ERROR(RewritePiece(piece));
+    ++info.repaired_pieces;
+  }
+  return info;
+}
+
+common::Status Vld::Read(simdisk::Lba lba, std::span<std::byte> out) {
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  if (out.empty() || out.size() % sector_bytes != 0 ||
+      lba + out.size() / sector_bytes > SectorCount()) {
+    return common::InvalidArgument("Vld::Read: bad range");
+  }
+  disk_->ChargeHostCommand();
+  ++stats_.host_reads;
+
+  // Translate sector by sector, coalescing physically contiguous runs into single accesses.
+  const uint64_t sectors = out.size() / sector_bytes;
+  uint64_t i = 0;
+  while (i < sectors) {
+    const simdisk::Lba logical_sector = lba + i;
+    const uint32_t lblock = static_cast<uint32_t>(logical_sector / config_.block_sectors);
+    const uint32_t offset = static_cast<uint32_t>(logical_sector % config_.block_sectors);
+    if (map_[lblock] == kUnmappedBlock) {
+      std::memset(out.data() + i * sector_bytes, 0, sector_bytes);
+      ++stats_.unmapped_reads;
+      ++i;
+      continue;
+    }
+    simdisk::Lba phys = space_.BlockToLba(map_[lblock]) + offset;
+    uint64_t run = 1;
+    while (i + run < sectors) {
+      const simdisk::Lba next_logical = lba + i + run;
+      const uint32_t nb = static_cast<uint32_t>(next_logical / config_.block_sectors);
+      const uint32_t no = static_cast<uint32_t>(next_logical % config_.block_sectors);
+      if (map_[nb] == kUnmappedBlock || space_.BlockToLba(map_[nb]) + no != phys + run) {
+        break;
+      }
+      ++run;
+    }
+    RETURN_IF_ERROR(disk_->InternalRead(
+        phys, out.subspan(i * sector_bytes, run * sector_bytes)));
+    i += run;
+  }
+  return common::OkStatus();
+}
+
+common::Status Vld::StageBlockWrite(uint32_t logical_block, std::span<const std::byte> data,
+                                    std::vector<StagedWrite>* staged) {
+  assert(data.size() == static_cast<size_t>(config_.block_sectors) * disk_->SectorBytes());
+  const auto block = allocator_.Allocate();
+  if (!block) {
+    return common::OutOfSpace("VLD full");
+  }
+  RETURN_IF_ERROR(disk_->InternalWrite(space_.BlockToLba(*block), data));
+  // The staged old block must reflect earlier staged writes to the same logical block.
+  uint32_t old_phys = map_[logical_block];
+  for (const StagedWrite& s : *staged) {
+    if (s.logical_block == logical_block) {
+      old_phys = s.new_phys;
+    }
+  }
+  staged->push_back(StagedWrite{logical_block, *block, old_phys});
+  ++stats_.blocks_written;
+  return common::OkStatus();
+}
+
+common::Status Vld::CommitStaged(const std::vector<StagedWrite>& staged) {
+  if (staged.empty()) {
+    return common::OkStatus();
+  }
+  // Apply the map changes in memory first so PieceEntries sees the new translations, then
+  // persist every affected piece in one transaction.
+  std::vector<uint32_t> affected_pieces;
+  for (const StagedWrite& s : staged) {
+    map_[s.logical_block] = s.new_phys;
+    const uint32_t piece = PieceOf(s.logical_block);
+    if (std::find(affected_pieces.begin(), affected_pieces.end(), piece) ==
+        affected_pieces.end()) {
+      affected_pieces.push_back(piece);
+    }
+  }
+  std::vector<VirtualLog::PieceUpdate> updates;
+  updates.reserve(affected_pieces.size());
+  for (const uint32_t piece : affected_pieces) {
+    updates.push_back(VirtualLog::PieceUpdate{piece, PieceEntries(piece)});
+  }
+  RETURN_IF_ERROR(vlog_.AppendTransaction(updates));
+  if (updates.size() > 1) {
+    ++stats_.atomic_commits;
+  }
+  // Commit point passed: release the obsoleted data blocks and fix the reverse map.
+  for (const StagedWrite& s : staged) {
+    if (s.old_phys != kUnmappedBlock) {
+      allocator_.Free(s.old_phys);
+      reverse_[s.old_phys] = kUnmappedBlock;
+    }
+    reverse_[s.new_phys] = s.logical_block;
+  }
+  return common::OkStatus();
+}
+
+common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  if (in.empty() || in.size() % sector_bytes != 0 ||
+      lba + in.size() / sector_bytes > SectorCount()) {
+    return common::InvalidArgument("Vld::Write: bad range");
+  }
+  disk_->ChargeHostCommand();
+  ++stats_.host_writes;
+
+  const uint32_t bs = config_.block_sectors;
+  const size_t block_bytes = static_cast<size_t>(bs) * sector_bytes;
+  std::vector<StagedWrite> staged;
+  std::vector<std::byte> merged(block_bytes);
+  uint64_t i = 0;
+  const uint64_t sectors = in.size() / sector_bytes;
+  while (i < sectors) {
+    const simdisk::Lba logical_sector = lba + i;
+    const uint32_t lblock = static_cast<uint32_t>(logical_sector / bs);
+    const uint32_t offset = static_cast<uint32_t>(logical_sector % bs);
+    const uint64_t in_block = std::min<uint64_t>(bs - offset, sectors - i);
+    if (offset == 0 && in_block == bs) {
+      RETURN_IF_ERROR(StageBlockWrite(lblock, in.subspan(i * sector_bytes, block_bytes), &staged));
+    } else {
+      // Sub-block write: read-modify-write the physical block (internal fragmentation biases
+      // against the VLD exactly as §4.2 notes).
+      ++stats_.read_modify_writes;
+      if (map_[lblock] != kUnmappedBlock) {
+        RETURN_IF_ERROR(disk_->InternalRead(space_.BlockToLba(map_[lblock]), merged));
+      } else {
+        std::fill(merged.begin(), merged.end(), std::byte{0});
+      }
+      std::memcpy(merged.data() + static_cast<size_t>(offset) * sector_bytes,
+                  in.data() + i * sector_bytes, in_block * sector_bytes);
+      RETURN_IF_ERROR(StageBlockWrite(lblock, merged, &staged));
+    }
+    i += in_block;
+  }
+  return CommitStaged(staged);
+}
+
+common::Status Vld::WriteAtomic(std::span<const AtomicWrite> writes) {
+  disk_->ChargeHostCommand();
+  ++stats_.host_writes;
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  const uint32_t bs = config_.block_sectors;
+  const size_t block_bytes = static_cast<size_t>(bs) * sector_bytes;
+  std::vector<StagedWrite> staged;
+  for (const AtomicWrite& w : writes) {
+    if (w.lba % bs != 0 || w.data.size() % block_bytes != 0 ||
+        w.lba + w.data.size() / sector_bytes > SectorCount()) {
+      return common::InvalidArgument("WriteAtomic: extents must be whole aligned blocks");
+    }
+    for (size_t off = 0; off < w.data.size(); off += block_bytes) {
+      const uint32_t lblock = static_cast<uint32_t>(w.lba / bs + off / block_bytes);
+      RETURN_IF_ERROR(StageBlockWrite(lblock, w.data.subspan(off, block_bytes), &staged));
+    }
+  }
+  return CommitStaged(staged);
+}
+
+common::Status Vld::Trim(simdisk::Lba lba, uint64_t sectors) {
+  if (lba + sectors > SectorCount()) {
+    return common::InvalidArgument("Trim: bad range");
+  }
+  disk_->ChargeHostCommand();
+  const uint32_t bs = config_.block_sectors;
+  // Only whole blocks are dropped; partial edges are ignored.
+  uint32_t first = static_cast<uint32_t>((lba + bs - 1) / bs);
+  uint32_t end = static_cast<uint32_t>((lba + sectors) / bs);
+  std::vector<uint32_t> affected_pieces;
+  std::vector<uint32_t> freed;
+  for (uint32_t b = first; b < end; ++b) {
+    if (map_[b] == kUnmappedBlock) {
+      continue;
+    }
+    freed.push_back(map_[b]);
+    map_[b] = kUnmappedBlock;
+    const uint32_t piece = PieceOf(b);
+    if (std::find(affected_pieces.begin(), affected_pieces.end(), piece) ==
+        affected_pieces.end()) {
+      affected_pieces.push_back(piece);
+    }
+    ++stats_.trims;
+  }
+  if (freed.empty()) {
+    return common::OkStatus();
+  }
+  std::vector<VirtualLog::PieceUpdate> updates;
+  for (const uint32_t piece : affected_pieces) {
+    updates.push_back(VirtualLog::PieceUpdate{piece, PieceEntries(piece)});
+  }
+  RETURN_IF_ERROR(vlog_.AppendTransaction(updates));
+  for (const uint32_t phys : freed) {
+    allocator_.Free(phys);
+    reverse_[phys] = kUnmappedBlock;
+  }
+  return common::OkStatus();
+}
+
+void Vld::RunIdle(common::Duration budget) {
+  if (!config_.compactor_enabled || budget <= 0) {
+    return;
+  }
+  const common::Time deadline = disk_->clock()->Now() + budget;
+  // Idle time is also when checkpoints are cheap (§3.3); a checkpoint releases every pinned
+  // map sector, which in turn lets the compactor empty the tracks holding them.
+  if (vlog_.PinnedCount() > 0) {
+    (void)Checkpoint();
+  }
+  if (disk_->clock()->Now() < deadline) {
+    compactor_->RunUntil(deadline);
+  }
+}
+
+common::Status Vld::RelocateDataBlock(uint32_t phys_block) {
+  const uint32_t logical = reverse_[phys_block];
+  if (logical == kUnmappedBlock) {
+    return common::FailedPrecondition("RelocateDataBlock: not a data block");
+  }
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  std::vector<std::byte> data(static_cast<size_t>(config_.block_sectors) * sector_bytes);
+  RETURN_IF_ERROR(disk_->InternalRead(space_.BlockToLba(phys_block), data));
+  std::vector<StagedWrite> staged;
+  RETURN_IF_ERROR(StageBlockWrite(logical, data, &staged));
+  RETURN_IF_ERROR(CommitStaged(staged));
+  ++stats_.relocations;
+  --stats_.blocks_written;  // Compaction traffic is not host write traffic.
+  return common::OkStatus();
+}
+
+common::Status Vld::RewritePiece(uint32_t piece) {
+  return vlog_.AppendPiece(piece, PieceEntries(piece));
+}
+
+}  // namespace vlog::core

@@ -1,0 +1,149 @@
+// The Virtual Log Disk (§3, §4.2): eager writing behind an unchanged block-device interface.
+//
+// The VLD manages the disk in fixed physical blocks (4 KB by default, matching the file system
+// block size per Appendix A.1). Each host write goes to a free block near the head, followed by
+// one virtual-log map-sector write that commits the new logical-to-physical translation — so
+// every host write is synchronous *and* atomic. Reads translate through the in-memory
+// indirection map. Deletes are inferred by monitoring logical overwrites (plus an explicit
+// Trim extension). A free-space compactor runs during idle time.
+//
+// Layout: sector 0 is the park sector (the "landing zone" record written by the power-down
+// sequence); a checkpoint region of pieces+1 sectors follows; everything else is allocatable.
+#ifndef SRC_CORE_VLD_H_
+#define SRC_CORE_VLD_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/compactor.h"
+#include "src/core/eager_allocator.h"
+#include "src/core/free_space.h"
+#include "src/core/virtual_log.h"
+#include "src/simdisk/block_device.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+
+struct VldConfig {
+  uint32_t block_sectors = 8;           // 4 KB physical blocks on 512 B sectors.
+  bool compactor_enabled = true;        // Also selects the allocator's fill-to-threshold mode.
+  double track_switch_threshold = 0.25;  // Free fraction reserved per track (fill to 75%).
+  uint32_t target_empty_tracks = 4;
+  uint32_t slack_blocks = 16;  // Physical blocks withheld from the logical size so eager
+                               // writing always has somewhere to go.
+  uint64_t seed = 1;
+};
+
+struct VldStats {
+  uint64_t host_reads = 0;
+  uint64_t host_writes = 0;
+  uint64_t blocks_written = 0;
+  uint64_t read_modify_writes = 0;  // Sub-block host writes needing a merge.
+  uint64_t unmapped_reads = 0;      // Logical blocks read before ever being written.
+  uint64_t relocations = 0;         // Data blocks moved by the compactor.
+  uint64_t trims = 0;
+  uint64_t atomic_commits = 0;
+};
+
+struct VldRecoveryInfo {
+  bool used_scan = false;
+  bool from_checkpoint = false;
+  uint64_t log_sectors_read = 0;
+  uint64_t mapped_blocks = 0;
+  uint32_t repaired_pieces = 0;  // Uncovered pieces re-appended after a scan recovery.
+};
+
+class Vld : public simdisk::BlockDevice, public CompactionBackend {
+ public:
+  explicit Vld(simdisk::SimDisk* disk, VldConfig config = {});
+
+  // Initializes an empty VLD (fresh disk). Either Format or Recover must run before I/O.
+  common::Status Format();
+  // Rebuilds the map from the virtual log after a restart or crash.
+  common::StatusOr<VldRecoveryInfo> Recover();
+  // Firmware power-down sequence: parks the log tail for O(pieces) recovery.
+  common::Status Park();
+  // Writes the whole map to the checkpoint region, freeing all log blocks.
+  common::Status Checkpoint();
+
+  // BlockDevice (the unmodified host interface; sizes in whole 512 B sectors).
+  common::Status Read(simdisk::Lba lba, std::span<std::byte> out) override;
+  common::Status Write(simdisk::Lba lba, std::span<const std::byte> in) override;
+  uint64_t SectorCount() const override {
+    return static_cast<uint64_t>(logical_blocks_) * config_.block_sectors;
+  }
+  uint32_t SectorBytes() const override { return disk_->SectorBytes(); }
+
+  // Extensions beyond the classic interface.
+  struct AtomicWrite {
+    simdisk::Lba lba;  // Must be physical-block aligned.
+    std::span<const std::byte> data;  // Whole blocks.
+  };
+  // All-or-nothing multi-extent write (one command, one transaction in the virtual log).
+  common::Status WriteAtomic(std::span<const AtomicWrite> writes);
+  // Explicitly frees whole logical blocks covered by [lba, lba+sectors) — the delete hint the
+  // paper notes is missing from the unmodified interface.
+  common::Status Trim(simdisk::Lba lba, uint64_t sectors);
+
+  // Gives the in-disk compactor an idle interval of `budget`.
+  void RunIdle(common::Duration budget);
+
+  // CompactionBackend:
+  common::Status RelocateDataBlock(uint32_t phys_block) override;
+  common::Status RewritePiece(uint32_t piece) override;
+
+  double PhysicalUtilization() const { return space_.Utilization(); }
+  uint32_t logical_blocks() const { return logical_blocks_; }
+  uint32_t block_sectors() const { return config_.block_sectors; }
+  simdisk::SimDisk& disk() { return *disk_; }
+  const VldStats& stats() const { return stats_; }
+  const VirtualLog& vlog() const { return vlog_; }
+  const EagerAllocator& allocator() const { return allocator_; }
+  const Compactor& compactor() const { return *compactor_; }
+  const FreeSpaceMap& space() const { return space_; }
+
+ private:
+  struct Layout {
+    uint32_t total_blocks = 0;
+    uint32_t system_blocks = 0;
+    uint32_t pieces = 0;
+    uint32_t logical_blocks = 0;
+  };
+  static Layout ComputeLayout(const simdisk::DiskGeometry& geometry, const VldConfig& config);
+
+  void MarkSystemBlocks();
+  std::vector<uint32_t> PieceEntries(uint32_t piece) const;
+  uint32_t PieceOf(uint32_t logical_block) const { return logical_block / kEntriesPerSector; }
+
+  // Stages one logical-block write: allocates and writes the data block; records the map change
+  // and the obsoleted physical block without touching the map yet.
+  struct StagedWrite {
+    uint32_t logical_block;
+    uint32_t new_phys;
+    uint32_t old_phys;  // kUnmappedBlock if previously unmapped.
+  };
+  common::Status StageBlockWrite(uint32_t logical_block, std::span<const std::byte> data,
+                                 std::vector<StagedWrite>* staged);
+  // Commits staged writes: appends the affected map pieces (transactionally when more than one)
+  // then frees the obsoleted data blocks.
+  common::Status CommitStaged(const std::vector<StagedWrite>& staged);
+
+  simdisk::SimDisk* disk_;
+  VldConfig config_;
+  uint32_t logical_blocks_ = 0;
+  uint32_t system_blocks_ = 0;
+  FreeSpaceMap space_;
+  EagerAllocator allocator_;
+  VirtualLog vlog_;
+  std::unique_ptr<Compactor> compactor_;
+  std::vector<uint32_t> map_;      // logical block -> physical block (kUnmappedBlock if none).
+  std::vector<uint32_t> reverse_;  // physical block -> logical block (data blocks only).
+  VldStats stats_;
+};
+
+}  // namespace vlog::core
+
+#endif  // SRC_CORE_VLD_H_

@@ -1,0 +1,55 @@
+// The file system interface exercised by the examples, tests, and benchmark harness.
+//
+// Both file systems in this repository implement it: ufs::Ufs (update-in-place FFS work-alike,
+// §4.3) and lfs::SimpleFs over the log-structured logical disk (§4.4) — and vlfs::Vlfs, the
+// §3.3 design. Paths are absolute ("/dir/file"); the benchmarks mostly use the root directory.
+#ifndef SRC_FS_FILE_SYSTEM_H_
+#define SRC_FS_FILE_SYSTEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace vlog::fs {
+
+struct FileInfo {
+  uint64_t size = 0;
+  bool is_directory = false;
+};
+
+// Controls durability of a single write, mirroring the O_SYNC distinction the paper leans on.
+enum class WritePolicy {
+  kAsync,  // Buffered; reaches the disk on Sync(), eviction, or (for UFS) delayed write-back.
+  kSync,   // The call returns only after data (and the file systems' metadata) is durable.
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual common::Status Create(const std::string& path) = 0;
+  virtual common::Status Mkdir(const std::string& path) = 0;
+  virtual common::Status Remove(const std::string& path) = 0;
+
+  virtual common::Status Write(const std::string& path, uint64_t offset,
+                               std::span<const std::byte> data, WritePolicy policy) = 0;
+  // Reads up to out.size() bytes; returns the number of bytes read (short at EOF).
+  virtual common::StatusOr<uint64_t> Read(const std::string& path, uint64_t offset,
+                                          std::span<std::byte> out) = 0;
+
+  virtual common::StatusOr<FileInfo> Stat(const std::string& path) = 0;
+  virtual common::StatusOr<std::vector<std::string>> List(const std::string& dir_path) = 0;
+
+  // Flushes every dirty buffer to the device.
+  virtual common::Status Sync() = 0;
+  // Empties the (clean) buffer cache — the benchmarks' "cache flush" between phases.
+  virtual common::Status DropCaches() = 0;
+};
+
+}  // namespace vlog::fs
+
+#endif  // SRC_FS_FILE_SYSTEM_H_

@@ -1,0 +1,338 @@
+#include "src/lfs/log_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/bytes.h"
+
+namespace vlog::lfs {
+namespace {
+
+constexpr uint64_t kSummaryMagic = 0x4c4c445f53554d4dULL;  // "LLD_SUMM"
+
+}  // namespace
+
+LogStructuredDisk::LogStructuredDisk(simdisk::BlockDevice* device, LldConfig config)
+    : device_(device), config_(config) {}
+
+common::Status LogStructuredDisk::Format() {
+  const uint64_t dev_blocks =
+      device_->SectorCount() / (config_.block_bytes / device_->SectorBytes());
+  total_segments_ = static_cast<uint32_t>(dev_blocks / config_.segment_blocks);
+  if (total_segments_ <= config_.reserve_segments) {
+    return common::InvalidArgument("device too small for the segment layout");
+  }
+  logical_blocks_ = (total_segments_ - config_.reserve_segments) * DataBlocksPerSegment();
+  map_.assign(logical_blocks_, kLldUnmapped);
+  pending_slot_.assign(logical_blocks_, kLldUnmapped);
+  reverse_.assign(static_cast<size_t>(total_segments_) * DataBlocksPerSegment(), kLldUnmapped);
+  seg_live_.assign(total_segments_, 0);
+  seg_sealed_.assign(total_segments_, false);
+  segment_open_ = false;
+  fill_ = flushed_ = 0;
+  return common::OkStatus();
+}
+
+uint32_t LogStructuredDisk::FreeSegments() const {
+  uint32_t free = 0;
+  for (uint32_t s = 0; s < total_segments_; ++s) {
+    if (seg_live_[s] == 0 && !(segment_open_ && s == current_segment_)) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+double LogStructuredDisk::Utilization() const {
+  uint64_t live = 0;
+  for (const uint32_t n : seg_live_) {
+    live += n;
+  }
+  return static_cast<double>(live) /
+         (static_cast<double>(total_segments_) * DataBlocksPerSegment());
+}
+
+common::StatusOr<uint32_t> LogStructuredDisk::FindFreeSegment() const {
+  for (uint32_t s = 0; s < total_segments_; ++s) {
+    if (seg_live_[s] == 0 && !(segment_open_ && s == current_segment_)) {
+      return s;
+    }
+  }
+  return common::OutOfSpace("log disk: no free segment");
+}
+
+common::Status LogStructuredDisk::OpenSegment() {
+  RETURN_IF_ERROR(EnsureCleanable(config_.min_free_segments));
+  ASSIGN_OR_RETURN(current_segment_, FindFreeSegment());
+  seg_sealed_[current_segment_] = false;
+  segment_open_ = true;
+  buffer_.assign(static_cast<size_t>(DataBlocksPerSegment()) * config_.block_bytes,
+                 std::byte{0});
+  buffer_logical_.assign(DataBlocksPerSegment(), kLldUnmapped);
+  fill_ = 0;
+  flushed_ = 0;
+  return common::OkStatus();
+}
+
+common::Status LogStructuredDisk::WriteBlock(uint32_t lblock, std::span<const std::byte> in) {
+  if (lblock >= logical_blocks_ || in.size() != config_.block_bytes) {
+    return common::InvalidArgument("LLD WriteBlock: bad args");
+  }
+  ++stats_.blocks_written;
+  if (!segment_open_) {
+    RETURN_IF_ERROR(OpenSegment());
+  }
+  const uint32_t slot = pending_slot_[lblock];
+  if (slot != kLldUnmapped && slot >= flushed_) {
+    // Still only in memory: absorb the overwrite.
+    std::memcpy(buffer_.data() + static_cast<size_t>(slot) * config_.block_bytes, in.data(),
+                in.size());
+    ++stats_.blocks_absorbed;
+    return common::OkStatus();
+  }
+  if (fill_ == DataBlocksPerSegment()) {
+    RETURN_IF_ERROR(FlushSegment(/*seal=*/true));
+    RETURN_IF_ERROR(OpenSegment());
+  }
+  const uint32_t fresh = fill_++;
+  std::memcpy(buffer_.data() + static_cast<size_t>(fresh) * config_.block_bytes, in.data(),
+              in.size());
+  buffer_logical_[fresh] = lblock;
+  pending_slot_[lblock] = fresh;
+  return common::OkStatus();
+}
+
+common::Status LogStructuredDisk::ReadBlock(uint32_t lblock, std::span<std::byte> out) {
+  if (lblock >= logical_blocks_ || out.size() != config_.block_bytes) {
+    return common::InvalidArgument("LLD ReadBlock: bad args");
+  }
+  ++stats_.reads;
+  if (segment_open_ && pending_slot_[lblock] != kLldUnmapped) {
+    std::memcpy(out.data(),
+                buffer_.data() + static_cast<size_t>(pending_slot_[lblock]) * config_.block_bytes,
+                out.size());
+    ++stats_.buffer_read_hits;
+    return common::OkStatus();
+  }
+  const uint32_t phys = map_[lblock];
+  if (phys == kLldUnmapped) {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    return common::OkStatus();
+  }
+  const simdisk::Lba lba = SegmentLba(SegmentOfPhys(phys)) +
+                           static_cast<simdisk::Lba>(1 + SlotOfPhys(phys)) *
+                               (config_.block_bytes / device_->SectorBytes());
+  return device_->Read(lba, out);
+}
+
+common::Status LogStructuredDisk::TrimBlock(uint32_t lblock) {
+  if (lblock >= logical_blocks_) {
+    return common::InvalidArgument("LLD TrimBlock: bad block");
+  }
+  if (segment_open_ && pending_slot_[lblock] != kLldUnmapped) {
+    const uint32_t slot = pending_slot_[lblock];
+    pending_slot_[lblock] = kLldUnmapped;
+    if (slot < fill_) {
+      buffer_logical_[slot] = kLldUnmapped;  // The slot becomes garbage.
+    }
+  }
+  const uint32_t phys = map_[lblock];
+  if (phys != kLldUnmapped) {
+    map_[lblock] = kLldUnmapped;
+    reverse_[phys] = kLldUnmapped;
+    --seg_live_[SegmentOfPhys(phys)];
+  }
+  return common::OkStatus();
+}
+
+common::Status LogStructuredDisk::FlushSegment(bool seal) {
+  if (!segment_open_) {
+    return common::OkStatus();
+  }
+  if (fill_ == flushed_ && !seal) {
+    return common::OkStatus();
+  }
+  const uint32_t sectors_per_block = config_.block_bytes / device_->SectorBytes();
+
+  // Summary block: magic, segment id, slot count, logical id per slot.
+  std::vector<std::byte> summary(config_.block_bytes);
+  common::StoreLe<uint64_t>(summary, 0, kSummaryMagic);
+  common::StoreLe<uint32_t>(summary, 8, current_segment_);
+  common::StoreLe<uint32_t>(summary, 12, fill_);
+  for (uint32_t s = 0; s < fill_; ++s) {
+    common::StoreLe<uint32_t>(summary, 16 + s * 4, buffer_logical_[s]);
+  }
+  RETURN_IF_ERROR(device_->Write(SegmentLba(current_segment_), summary));
+  if (fill_ > flushed_) {
+    RETURN_IF_ERROR(device_->Write(
+        SegmentLba(current_segment_) +
+            static_cast<simdisk::Lba>(1 + flushed_) * sectors_per_block,
+        std::span<const std::byte>(buffer_).subspan(
+            static_cast<size_t>(flushed_) * config_.block_bytes,
+            static_cast<size_t>(fill_ - flushed_) * config_.block_bytes)));
+  }
+
+  // Commit the mappings of the newly durable slots.
+  for (uint32_t slot = flushed_; slot < fill_; ++slot) {
+    const uint32_t lblock = buffer_logical_[slot];
+    if (lblock == kLldUnmapped || pending_slot_[lblock] != slot) {
+      continue;  // Trimmed or superseded within the buffer: garbage.
+    }
+    const uint32_t phys = PhysOf(current_segment_, slot);
+    const uint32_t old = map_[lblock];
+    if (old != kLldUnmapped) {
+      reverse_[old] = kLldUnmapped;
+      --seg_live_[SegmentOfPhys(old)];
+    }
+    map_[lblock] = phys;
+    reverse_[phys] = lblock;
+    ++seg_live_[current_segment_];
+  }
+  flushed_ = fill_;
+
+  if (seal || fill_ == DataBlocksPerSegment()) {
+    for (uint32_t slot = 0; slot < fill_; ++slot) {
+      const uint32_t lblock = buffer_logical_[slot];
+      if (lblock != kLldUnmapped && pending_slot_[lblock] == slot) {
+        pending_slot_[lblock] = kLldUnmapped;
+      }
+    }
+    seg_sealed_[current_segment_] = true;
+    segment_open_ = false;
+    ++stats_.segment_writes;
+  } else {
+    ++stats_.partial_segment_writes;
+  }
+  return common::OkStatus();
+}
+
+common::Status LogStructuredDisk::Sync() {
+  if (!segment_open_ || (fill_ == 0 && flushed_ == 0)) {
+    return common::OkStatus();
+  }
+  const bool above_threshold =
+      fill_ >= static_cast<uint32_t>(config_.partial_segment_threshold *
+                                     DataBlocksPerSegment());
+  return FlushSegment(/*seal=*/above_threshold);
+}
+
+common::Status LogStructuredDisk::EnsureCleanable(uint32_t needed_free) {
+  // Individual passes may be free-count neutral (an output segment is consumed while a source
+  // is only partially drained), so bound by a pass budget rather than per-pass progress.
+  for (uint32_t pass = 0; FreeSegments() < needed_free; ++pass) {
+    if (pass > 2 * total_segments_) {
+      return common::OutOfSpace("log disk full: cleaner cannot make progress");
+    }
+    const uint32_t before = FreeSegments();
+    ASSIGN_OR_RETURN(const bool moved_any, CleanPass());
+    if (!moved_any && FreeSegments() <= before) {
+      if (FreeSegments() == 0) {
+        return common::OutOfSpace("log disk full: cleaner cannot make progress");
+      }
+      break;  // Nothing cleanable; live with what we have.
+    }
+  }
+  return common::OkStatus();
+}
+
+common::StatusOr<bool> LogStructuredDisk::CleanPass() {
+  ++stats_.cleaner_runs;
+  // Greedy: order sealed, non-open segments by live count, least utilized first.
+  std::vector<uint32_t> candidates;
+  for (uint32_t s = 0; s < total_segments_; ++s) {
+    if (seg_sealed_[s] && seg_live_[s] > 0 && !(segment_open_ && s == current_segment_)) {
+      candidates.push_back(s);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](uint32_t a, uint32_t b) { return seg_live_[a] < seg_live_[b]; });
+
+  ASSIGN_OR_RETURN(const uint32_t out, FindFreeSegment());
+  const uint32_t capacity = DataBlocksPerSegment();
+  std::vector<std::byte> out_data(static_cast<size_t>(capacity) * config_.block_bytes);
+  std::vector<uint32_t> out_logical(capacity, kLldUnmapped);
+  std::vector<std::pair<uint32_t, uint32_t>> moved;  // (logical, out slot)
+  std::vector<uint32_t> sources;
+  uint32_t out_fill = 0;
+
+  std::vector<std::byte> seg_data(static_cast<size_t>(capacity) * config_.block_bytes);
+  const uint32_t sectors_per_block = config_.block_bytes / device_->SectorBytes();
+  for (const uint32_t src : candidates) {
+    if (out_fill == capacity) {
+      break;
+    }
+    RETURN_IF_ERROR(
+        device_->Read(SegmentLba(src) + sectors_per_block, seg_data));  // Data region.
+    // Sources may be split across outputs: copy as much as fits; the remainder stays live in
+    // the source and a later pass drains it.
+    for (uint32_t slot = 0; slot < capacity && out_fill < capacity; ++slot) {
+      const uint32_t phys = PhysOf(src, slot);
+      const uint32_t lblock = reverse_[phys];
+      if (lblock == kLldUnmapped || map_[lblock] != phys) {
+        continue;
+      }
+      std::memcpy(out_data.data() + static_cast<size_t>(out_fill) * config_.block_bytes,
+                  seg_data.data() + static_cast<size_t>(slot) * config_.block_bytes,
+                  config_.block_bytes);
+      out_logical[out_fill] = lblock;
+      moved.emplace_back(lblock, out_fill);
+      ++out_fill;
+    }
+    sources.push_back(src);
+  }
+  if (moved.empty()) {
+    return false;
+  }
+
+  // One contiguous write: summary + packed live blocks.
+  std::vector<std::byte> region(config_.block_bytes);
+  common::StoreLe<uint64_t>(region, 0, kSummaryMagic);
+  common::StoreLe<uint32_t>(region, 8, out);
+  common::StoreLe<uint32_t>(region, 12, out_fill);
+  for (uint32_t s = 0; s < out_fill; ++s) {
+    common::StoreLe<uint32_t>(region, 16 + s * 4, out_logical[s]);
+  }
+  region.insert(region.end(), out_data.begin(),
+                out_data.begin() + static_cast<size_t>(out_fill) * config_.block_bytes);
+  RETURN_IF_ERROR(device_->Write(SegmentLba(out), region));
+
+  for (const auto& [lblock, slot] : moved) {
+    const uint32_t old = map_[lblock];
+    reverse_[old] = kLldUnmapped;
+    --seg_live_[SegmentOfPhys(old)];
+    const uint32_t phys = PhysOf(out, slot);
+    map_[lblock] = phys;
+    reverse_[phys] = lblock;
+    ++seg_live_[out];
+  }
+  seg_sealed_[out] = true;
+  for (const uint32_t src : sources) {
+    if (seg_live_[src] == 0) {
+      ++stats_.segments_cleaned;
+    }
+  }
+  stats_.live_blocks_copied += moved.size();
+  return true;
+}
+
+common::Status LogStructuredDisk::CleanDuringIdle(common::Time deadline, common::Clock* clock) {
+  uint32_t stagnant = 0;
+  while (clock->Now() < deadline && FreeSegments() < config_.idle_clean_target) {
+    const uint32_t before = FreeSegments();
+    ASSIGN_OR_RETURN(const bool moved_any, CleanPass());
+    if (!moved_any) {
+      break;
+    }
+    stagnant = FreeSegments() > before ? 0 : stagnant + 1;
+    if (stagnant > total_segments_) {
+      break;
+    }
+  }
+  return common::OkStatus();
+}
+
+}  // namespace vlog::lfs

@@ -1,0 +1,115 @@
+// The log-structured logical disk (the paper's port of the MIT LLD, §4.4).
+//
+// Exports a logical 4 KB block interface; physically, writes accumulate in an in-memory
+// segment buffer and reach the disk as 0.5 MB segment writes (a summary block followed by data
+// blocks). "sync" applies the partial-segment rule: a buffer filled above the threshold is
+// sealed as if full; below it, the current contents are written but the memory copy keeps
+// receiving writes and later flushes append the delta. A greedy cleaner packs the live blocks
+// of the emptiest sealed segments into fresh segments — invoked on demand when free segments
+// run out and, optionally, during idle time.
+#ifndef SRC_LFS_LOG_DISK_H_
+#define SRC_LFS_LOG_DISK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/simdisk/block_device.h"
+
+namespace vlog::lfs {
+
+inline constexpr uint32_t kLldUnmapped = ~0U;
+
+struct LldConfig {
+  uint32_t block_bytes = 4096;
+  uint32_t segment_blocks = 128;  // 0.5 MB segments: 1 summary block + 127 data blocks.
+  double partial_segment_threshold = 0.75;  // §4.4: flush-as-full above this fill level.
+  uint32_t reserve_segments = 3;            // Withheld from the logical size for cleaning.
+  uint32_t min_free_segments = 2;           // The on-demand cleaner keeps at least this many.
+  uint32_t idle_clean_target = 6;           // Idle cleaning stops at this many free segments.
+};
+
+struct LldStats {
+  uint64_t blocks_written = 0;       // Logical block writes accepted.
+  uint64_t blocks_absorbed = 0;      // Overwrites absorbed while still in the buffer.
+  uint64_t segment_writes = 0;       // Full (sealed) segment writes.
+  uint64_t partial_segment_writes = 0;
+  uint64_t cleaner_runs = 0;
+  uint64_t segments_cleaned = 0;     // Source segments emptied by the cleaner.
+  uint64_t live_blocks_copied = 0;   // Cleaning copy traffic.
+  uint64_t reads = 0;
+  uint64_t buffer_read_hits = 0;     // Reads served from the open segment buffer.
+};
+
+class LogStructuredDisk {
+ public:
+  LogStructuredDisk(simdisk::BlockDevice* device, LldConfig config = {});
+
+  common::Status Format();
+
+  uint32_t LogicalBlocks() const { return logical_blocks_; }
+  uint32_t block_bytes() const { return config_.block_bytes; }
+
+  common::Status ReadBlock(uint32_t lblock, std::span<std::byte> out);
+  common::Status WriteBlock(uint32_t lblock, std::span<const std::byte> in);
+  // Delete hint from the file system: the mapping is dropped and the space becomes cleanable.
+  common::Status TrimBlock(uint32_t lblock);
+
+  // Makes everything buffered durable, applying the partial-segment-threshold rule.
+  common::Status Sync();
+
+  // Runs the cleaner until `deadline`, enough segments are free, or nothing is cleanable.
+  common::Status CleanDuringIdle(common::Time deadline, common::Clock* clock);
+
+  uint32_t FreeSegments() const;
+  double Utilization() const;  // Live blocks over data capacity.
+  const LldStats& stats() const { return stats_; }
+
+ private:
+  uint32_t DataBlocksPerSegment() const { return config_.segment_blocks - 1; }
+  simdisk::Lba SegmentLba(uint32_t segment) const {
+    return static_cast<simdisk::Lba>(segment) * config_.segment_blocks *
+           (config_.block_bytes / device_->SectorBytes());
+  }
+  // Physical block index helpers: phys = segment * data_blocks + slot.
+  uint32_t PhysOf(uint32_t segment, uint32_t slot) const {
+    return segment * DataBlocksPerSegment() + slot;
+  }
+  uint32_t SegmentOfPhys(uint32_t phys) const { return phys / DataBlocksPerSegment(); }
+  uint32_t SlotOfPhys(uint32_t phys) const { return phys % DataBlocksPerSegment(); }
+
+  common::Status OpenSegment();
+  // Writes the buffer's unflushed tail plus the summary block; seals when requested or full.
+  common::Status FlushSegment(bool seal);
+  common::StatusOr<uint32_t> FindFreeSegment() const;
+  common::Status EnsureCleanable(uint32_t needed_free);
+  // Runs one packing pass; returns whether any block moved.
+  common::StatusOr<bool> CleanPass();
+
+  simdisk::BlockDevice* device_;
+  LldConfig config_;
+  uint32_t total_segments_ = 0;
+  uint32_t logical_blocks_ = 0;
+  std::vector<uint32_t> map_;        // logical -> phys data block (kLldUnmapped when unwritten).
+  std::vector<uint32_t> reverse_;    // phys data block -> logical.
+  std::vector<uint32_t> seg_live_;   // Live (mapped) blocks per segment.
+  std::vector<bool> seg_sealed_;     // Sealed segments are cleanable; open/partial ones not.
+
+  // The open segment buffer.
+  bool segment_open_ = false;
+  uint32_t current_segment_ = 0;
+  std::vector<std::byte> buffer_;          // DataBlocksPerSegment() blocks.
+  std::vector<uint32_t> buffer_logical_;   // Logical id per filled slot.
+  uint32_t fill_ = 0;                      // Slots filled.
+  uint32_t flushed_ = 0;                   // Slots already written by a partial flush.
+  std::vector<uint32_t> pending_slot_;     // logical -> slot in open buffer (or kLldUnmapped).
+
+  LldStats stats_;
+};
+
+}  // namespace vlog::lfs
+
+#endif  // SRC_LFS_LOG_DISK_H_

@@ -1,0 +1,86 @@
+#include "src/models/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlog::models {
+
+double SingleTrackSkips(double p, uint32_t n) {
+  const double nn = static_cast<double>(n);
+  return (1.0 - p) * nn / (1.0 + p * nn);
+}
+
+double BlockSkips(double p, uint32_t n, uint32_t logical_sectors, uint32_t physical_sectors) {
+  const double nn = static_cast<double>(n);
+  const double b = static_cast<double>(physical_sectors);
+  const double big_b = static_cast<double>(logical_sectors);
+  // Formula (9): ((1-p)·n / (b + p·n)) · B, with B and b counted in sectors. The B/b searches
+  // for b-sector physical blocks each skip (1-p)(n/b)/(1+p(n/b)) block slots of b sectors, which
+  // multiplies out to the single expression below; it is minimized when b == B.
+  return (1.0 - p) * nn / (b + p * nn) * big_b;
+}
+
+double SingleCylinderSkips(double p, uint32_t n, uint32_t t, double head_switch_sectors) {
+  if (p <= 0.0) {
+    return static_cast<double>(n);  // Degenerate: no free space; caller should avoid this.
+  }
+  if (t <= 1) {
+    return SingleTrackSkips(p, n);
+  }
+  // fy(p, y) = fx(1-(1-p)^(t-1), y - s): the chance that the first (y-s) rotational positions
+  // are occupied in all other (t-1) tracks and at least one is free at the next position.
+  const double q = 1.0 - std::pow(1.0 - p, static_cast<double>(t - 1));
+  const int s = static_cast<int>(std::llround(head_switch_sectors));
+  const int limit = static_cast<int>(n) * 4 + s + 8;  // Probability mass beyond this is ~0.
+
+  // E[min(x, y)] over independent x ~ fx(p,·) on {0,1,...} and y ~ s + fx(q,·).
+  // Use E[min] = sum_{k>=1} P(x>=k)P(y>=k); tails are geometric so this converges fast.
+  double expected = 0.0;
+  for (int k = 1; k <= limit; ++k) {
+    const double px_tail = std::pow(1.0 - p, k);              // P(x >= k)
+    const double py_tail = k <= s ? 1.0 : std::pow(1.0 - q, k - s);  // P(y >= k)
+    const double term = px_tail * py_tail;
+    expected += term;
+    if (term < 1e-12 && k > s) {
+      break;
+    }
+  }
+  return expected;
+}
+
+double FillTrackSkipsExact(uint32_t n, uint32_t m) {
+  double total = 0.0;
+  for (uint32_t i = m + 1; i <= n; ++i) {
+    total += static_cast<double>(n - i) / (1.0 + i);
+  }
+  return total;
+}
+
+double NonRandomnessCorrection(uint32_t n, uint32_t m) {
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  const double p = 1.0 + nn / 36.0;
+  const double numerator = std::pow(nn - mm - 0.5, p + 2.0);
+  const double denominator = (8.0 - nn / 96.0) * (p + 2.0) * std::pow(nn, p);
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+common::Duration FillTrackLatency(uint32_t n, uint32_t m, common::Duration track_switch,
+                                  common::Duration sector_time) {
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  // (n+1)·ln((n+2)/(m+2)) − (n−m) approximates the exact sum (10); ε corrects for the
+  // clustering of free space produced by greedy nearest-free writing.
+  const double skips =
+      (nn + 1.0) * std::log((nn + 2.0) / (mm + 2.0)) - (nn - mm) + NonRandomnessCorrection(n, m);
+  const double per_write =
+      (static_cast<double>(track_switch) + static_cast<double>(sector_time) * skips) / (nn - mm);
+  return static_cast<common::Duration>(per_write);
+}
+
+common::Duration HalfRotation(common::Duration rotation_period) { return rotation_period / 2; }
+
+}  // namespace vlog::models

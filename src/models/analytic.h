@@ -1,0 +1,49 @@
+// Analytical models of eager-writing latency from Section 2 and Appendix A of the paper.
+//
+// All results are expressed in units of *sectors skipped* (multiply by the per-sector rotation
+// time to get seconds) unless a function says otherwise. Parameters follow the paper:
+//   n — sectors per track        p — fraction of free space      t — tracks per cylinder
+//   s — head-switch cost         m — free sectors reserved per track before switching
+//   r — rotational time per sector
+#ifndef SRC_MODELS_ANALYTIC_H_
+#define SRC_MODELS_ANALYTIC_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace vlog::models {
+
+// Formula (1): expected number of occupied sectors skipped before reaching a free sector on a
+// single track with n sectors and free fraction p, free space randomly distributed.
+double SingleTrackSkips(double p, uint32_t n);
+
+// Formula (9), Appendix A.1: expected sectors skipped to locate all free sectors for one file
+// system logical block of B sectors when the disk allocates physical blocks of b sectors
+// (b <= B). Lowest when b == B.
+double BlockSkips(double p, uint32_t n, uint32_t logical_sectors, uint32_t physical_sectors);
+
+// Formulas (2)-(4): expected latency, in sector units, to locate the nearest free sector in the
+// current cylinder: min of the current-track delay x and the other-track delay y (which pays a
+// head switch of `head_switch_sectors`). t is tracks per cylinder.
+double SingleCylinderSkips(double p, uint32_t n, uint32_t t, double head_switch_sectors);
+
+// Formula (10): exact sum of skips while filling an initially empty track from n free sectors
+// down to m reserved free sectors, assuming random arrival positions.
+double FillTrackSkipsExact(uint32_t n, uint32_t m);
+
+// Formula (12): empirical correction for the non-randomness of free space under greedy
+// nearest-free writing.
+double NonRandomnessCorrection(uint32_t n, uint32_t m);
+
+// Formula (13): average latency per write while filling an empty track to threshold, including
+// the amortized track-switch cost. `track_switch` is the switch cost; `sector_time` is r.
+common::Duration FillTrackLatency(uint32_t n, uint32_t m, common::Duration track_switch,
+                                  common::Duration sector_time);
+
+// Helper: the update-in-place baseline the paper quotes — an average half-rotation.
+common::Duration HalfRotation(common::Duration rotation_period);
+
+}  // namespace vlog::models
+
+#endif  // SRC_MODELS_ANALYTIC_H_

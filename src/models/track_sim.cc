@@ -1,0 +1,97 @@
+#include "src/models/track_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vlog::models {
+namespace {
+
+// Places exactly `free_count` free sectors uniformly at random in a track of n (true = free).
+void RandomOccupancy(std::vector<bool>& track, uint32_t free_count, common::Rng& rng) {
+  const uint32_t n = static_cast<uint32_t>(track.size());
+  std::fill(track.begin(), track.end(), false);
+  // Floyd's algorithm would also work; n is small, so partial Fisher-Yates over indices is fine.
+  std::vector<uint32_t> idx(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    idx[i] = i;
+  }
+  for (uint32_t i = 0; i < free_count; ++i) {
+    const uint32_t j = i + static_cast<uint32_t>(rng.Below(n - i));
+    std::swap(idx[i], idx[j]);
+    track[idx[i]] = true;
+  }
+}
+
+// Sectors skipped from `start` (inclusive) until the first free sector, scanning forward
+// circularly. Returns n if the track is full.
+uint32_t SkipsFrom(const std::vector<bool>& track, uint32_t start) {
+  const uint32_t n = static_cast<uint32_t>(track.size());
+  for (uint32_t d = 0; d < n; ++d) {
+    if (track[(start + d) % n]) {
+      return d;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+double SimulateSingleTrackSkips(double p, uint32_t n, uint32_t trials, common::Rng& rng) {
+  const uint32_t free_count = std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(p * n)));
+  std::vector<bool> track(n);
+  double total = 0.0;
+  for (uint32_t i = 0; i < trials; ++i) {
+    RandomOccupancy(track, free_count, rng);
+    total += SkipsFrom(track, static_cast<uint32_t>(rng.Below(n)));
+  }
+  return total / trials;
+}
+
+double SimulateCylinderSkips(double p, uint32_t n, uint32_t t, double head_switch_sectors,
+                             uint32_t trials, common::Rng& rng) {
+  const uint32_t free_count = std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(p * n)));
+  std::vector<std::vector<bool>> cyl(t, std::vector<bool>(n));
+  const uint32_t s = static_cast<uint32_t>(std::llround(head_switch_sectors));
+  double total = 0.0;
+  for (uint32_t trial = 0; trial < trials; ++trial) {
+    for (auto& track : cyl) {
+      RandomOccupancy(track, free_count, rng);
+    }
+    const uint32_t head = static_cast<uint32_t>(rng.Below(n));
+    uint32_t best = SkipsFrom(cyl[0], head);  // Current track: track 0 by convention.
+    for (uint32_t k = 1; k < t; ++k) {
+      // Other tracks: the earliest reachable rotational position is head + s.
+      const uint32_t y = s + SkipsFrom(cyl[k], (head + s) % n);
+      best = std::min(best, y);
+    }
+    total += best;
+  }
+  return total / trials;
+}
+
+double SimulateFillTrack(uint32_t n, uint32_t m, double track_switch_sectors, uint32_t trials,
+                         common::Rng& rng) {
+  double total_latency = 0.0;
+  std::vector<bool> track(n);
+  for (uint32_t trial = 0; trial < trials; ++trial) {
+    std::fill(track.begin(), track.end(), true);  // All free.
+    // Greedy eager writing: each write lands on the nearest free sector ahead of the head; the
+    // head then rests just past it. Between writes the platter keeps spinning under a random
+    // arrival phase, modeled by a uniform random head displacement.
+    uint32_t head = static_cast<uint32_t>(rng.Below(n));
+    double skips = 0.0;
+    for (uint32_t written = 0; written < n - m; ++written) {
+      const uint32_t d = SkipsFrom(track, head);
+      skips += d;
+      const uint32_t target = (head + d) % n;
+      track[target] = false;
+      // Random arrival phase of the next write.
+      head = static_cast<uint32_t>(rng.Below(n));
+    }
+    total_latency += (track_switch_sectors + skips) / static_cast<double>(n - m);
+  }
+  return total_latency / trials;
+}
+
+}  // namespace vlog::models

@@ -1,0 +1,29 @@
+// Monte-Carlo validators for the Section 2 analytical models. These are the "Simulation" curves
+// of Figures 1 and 2: self-contained track/cylinder experiments independent of the full SimDisk.
+#ifndef SRC_MODELS_TRACK_SIM_H_
+#define SRC_MODELS_TRACK_SIM_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace vlog::models {
+
+// Average sectors skipped before the first free sector on one track of n sectors with exactly
+// round(p*n) free sectors placed uniformly at random; head starts at a uniform position.
+double SimulateSingleTrackSkips(double p, uint32_t n, uint32_t trials, common::Rng& rng);
+
+// Average of min(current-track delay, other-track delay) over a cylinder of t tracks; other
+// tracks cost `head_switch_sectors` before a candidate is reachable. Validates formula (2).
+double SimulateCylinderSkips(double p, uint32_t n, uint32_t t, double head_switch_sectors,
+                             uint32_t trials, common::Rng& rng);
+
+// Fills an initially empty track from n free sectors down to m using greedy nearest-free eager
+// writing and returns the average per-write latency in sector units, with the track switch cost
+// (also in sector units) amortized over the n-m writes. Validates formula (13).
+double SimulateFillTrack(uint32_t n, uint32_t m, double track_switch_sectors, uint32_t trials,
+                         common::Rng& rng);
+
+}  // namespace vlog::models
+
+#endif  // SRC_MODELS_TRACK_SIM_H_

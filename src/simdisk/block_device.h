@@ -1,0 +1,34 @@
+// The narrow device-driver interface shared by every disk in the system.
+//
+// A regular simulated disk and a Virtual Log Disk both export this interface, which is the
+// point of the paper's VLD design: an unmodified file system gets eager writing for free.
+#ifndef SRC_SIMDISK_BLOCK_DEVICE_H_
+#define SRC_SIMDISK_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "src/common/status.h"
+#include "src/simdisk/geometry.h"
+
+namespace vlog::simdisk {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads `out.size()` bytes starting at sector `lba`. The size must be a whole number of
+  // sectors. Charges simulated time to the device's clock.
+  virtual common::Status Read(Lba lba, std::span<std::byte> out) = 0;
+
+  // Writes `in.size()` bytes starting at sector `lba` (whole sectors). Synchronous: when the
+  // call returns the data is on the media (or, for a VLD, committed through the virtual log).
+  virtual common::Status Write(Lba lba, std::span<const std::byte> in) = 0;
+
+  virtual uint64_t SectorCount() const = 0;
+  virtual uint32_t SectorBytes() const = 0;
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_BLOCK_DEVICE_H_

@@ -1,0 +1,68 @@
+#include "src/simdisk/disk_params.h"
+
+#include <cmath>
+
+namespace vlog::simdisk {
+
+common::Duration SeekCurve::SeekTime(uint32_t distance_cylinders) const {
+  if (distance_cylinders == 0) {
+    return 0;
+  }
+  const double d = static_cast<double>(distance_cylinders);
+  double ms = 0;
+  if (distance_cylinders < boundary_cylinders) {
+    ms = short_a_ms + short_b_ms * std::sqrt(d);
+  } else {
+    ms = long_c_ms + long_e_ms * d;
+  }
+  return common::Milliseconds(ms);
+}
+
+DiskParams Hp97560() {
+  DiskParams p;
+  p.name = "HP97560";
+  p.geometry = DiskGeometry{.cylinders = 1962,
+                            .tracks_per_cylinder = 19,
+                            .sectors_per_track = 72,
+                            .sector_bytes = 512};
+  p.rpm = 4002;
+  // Kotz et al.: seek(d) = 3.24 + 0.400*sqrt(d) ms for d < 383, 8.00 + 0.008*d ms otherwise.
+  p.seek = SeekCurve{.short_a_ms = 3.24,
+                     .short_b_ms = 0.400,
+                     .long_c_ms = 8.00,
+                     .long_e_ms = 0.008,
+                     .boundary_cylinders = 383};
+  p.head_switch = common::Milliseconds(2.5);
+  p.scsi_overhead = common::Milliseconds(2.3);
+  p.bus_mb_per_s = 10.0;  // SCSI-2.
+  return p;
+}
+
+DiskParams SeagateSt19101() {
+  DiskParams p;
+  p.name = "ST19101";
+  p.geometry = DiskGeometry{.cylinders = 6962,
+                            .tracks_per_cylinder = 16,
+                            .sectors_per_track = 256,
+                            .sector_bytes = 512};
+  p.rpm = 10000;
+  // Fitted to Table 1 (0.5 ms minimum seek) and the published ~5.2 ms average / ~10.5 ms
+  // full-stroke figures for the Cheetah 9LP family.
+  p.seek = SeekCurve{.short_a_ms = 0.30,
+                     .short_b_ms = 0.20,
+                     .long_c_ms = 4.70,
+                     .long_e_ms = 0.000828,
+                     .boundary_cylinders = 600};
+  p.head_switch = common::Milliseconds(0.5);
+  p.scsi_overhead = common::Milliseconds(0.1);
+  p.bus_mb_per_s = 40.0;  // Ultra SCSI.
+  return p;
+}
+
+DiskParams Truncated(DiskParams base, uint32_t cylinders) {
+  base.geometry.cylinders = cylinders;
+  base.name += "-" + std::to_string(cylinders) + "cyl";
+  return base;
+}
+
+}  // namespace vlog::simdisk

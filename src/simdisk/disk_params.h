@@ -1,0 +1,65 @@
+// Mechanical and interface timing parameters for the simulated disks, with presets matching
+// Table 1 of the paper (HP97560 and Seagate ST19101).
+#ifndef SRC_SIMDISK_DISK_PARAMS_H_
+#define SRC_SIMDISK_DISK_PARAMS_H_
+
+#include <string>
+
+#include "src/common/time.h"
+#include "src/simdisk/geometry.h"
+
+namespace vlog::simdisk {
+
+// Two-regime seek curve: short seeks follow a + b*sqrt(d), long seeks c + e*d (d in cylinders),
+// the standard form from Ruemmler & Wilkes used by the Dartmouth HP97560 model.
+struct SeekCurve {
+  double short_a_ms = 0;
+  double short_b_ms = 0;
+  double long_c_ms = 0;
+  double long_e_ms = 0;
+  uint32_t boundary_cylinders = 0;
+
+  common::Duration SeekTime(uint32_t distance_cylinders) const;
+};
+
+struct DiskParams {
+  std::string name;
+  DiskGeometry geometry;
+  double rpm = 0;
+  SeekCurve seek;
+  common::Duration head_switch = 0;    // Surface change within a cylinder.
+  common::Duration scsi_overhead = 0;  // Per host command processing cost ("o" in Table 1).
+  double bus_mb_per_s = 0;             // Host interface bandwidth, used for track-buffer hits.
+
+  common::Duration RotationPeriod() const {
+    return static_cast<common::Duration>(60.0e9 / rpm);
+  }
+  common::Duration SectorTime() const {
+    return RotationPeriod() / geometry.sectors_per_track;
+  }
+  common::Duration BusTransferTime(uint64_t bytes) const {
+    return static_cast<common::Duration>(static_cast<double>(bytes) / (bus_mb_per_s * 1e6) * 1e9);
+  }
+  // Media bandwidth in MB/s (a full track per rotation).
+  double MediaBandwidthMbPerS() const {
+    const double track_bytes =
+        static_cast<double>(geometry.sectors_per_track) * geometry.sector_bytes;
+    return track_bytes / common::ToSeconds(RotationPeriod()) / 1e6;
+  }
+};
+
+// HP97560: 1.3 GB, 4002 RPM, 72 sectors/track, 19 surfaces, 1962 cylinders. Seek curve from the
+// Dartmouth/Kotz model; SCSI overhead and head switch from Table 1.
+DiskParams Hp97560();
+
+// Seagate ST19101 (Cheetah 9LP class): 10000 RPM, 256 sectors/track, 16 surfaces. The paper's
+// own model is "a coarse approximation" (single zone); this preset matches that fidelity.
+DiskParams SeagateSt19101();
+
+// Returns `base` truncated to `cylinders` cylinders — the paper simulates 36 HP97560 cylinders
+// and 11 ST19101 cylinders to fit the 24 MB kernel ramdisk.
+DiskParams Truncated(DiskParams base, uint32_t cylinders);
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_DISK_PARAMS_H_

@@ -1,0 +1,62 @@
+// Disk geometry and physical addressing.
+//
+// The simulator models a single-zone disk: `cylinders` cylinders, `tracks_per_cylinder`
+// surfaces, `sectors_per_track` sectors of `sector_bytes` each. Logical block addresses (LBAs)
+// enumerate sectors cylinder-major: all of cylinder 0 (surface by surface), then cylinder 1, ...
+#ifndef SRC_SIMDISK_GEOMETRY_H_
+#define SRC_SIMDISK_GEOMETRY_H_
+
+#include <cstdint>
+
+namespace vlog::simdisk {
+
+using Lba = uint64_t;
+
+// A physical sector address: which cylinder, which surface (head), which rotational position.
+struct PhysAddr {
+  uint32_t cylinder = 0;
+  uint32_t head = 0;
+  uint32_t sector = 0;
+
+  bool operator==(const PhysAddr&) const = default;
+};
+
+struct DiskGeometry {
+  uint32_t cylinders = 0;
+  uint32_t tracks_per_cylinder = 0;
+  uint32_t sectors_per_track = 0;
+  uint32_t sector_bytes = 512;
+
+  uint64_t SectorsPerCylinder() const {
+    return static_cast<uint64_t>(tracks_per_cylinder) * sectors_per_track;
+  }
+  uint64_t TotalSectors() const { return static_cast<uint64_t>(cylinders) * SectorsPerCylinder(); }
+  uint64_t TotalTracks() const {
+    return static_cast<uint64_t>(cylinders) * tracks_per_cylinder;
+  }
+  uint64_t CapacityBytes() const { return TotalSectors() * sector_bytes; }
+
+  PhysAddr ToPhys(Lba lba) const {
+    PhysAddr p;
+    p.sector = static_cast<uint32_t>(lba % sectors_per_track);
+    const uint64_t track = lba / sectors_per_track;
+    p.head = static_cast<uint32_t>(track % tracks_per_cylinder);
+    p.cylinder = static_cast<uint32_t>(track / tracks_per_cylinder);
+    return p;
+  }
+
+  Lba ToLba(const PhysAddr& p) const {
+    return (static_cast<uint64_t>(p.cylinder) * tracks_per_cylinder + p.head) * sectors_per_track +
+           p.sector;
+  }
+
+  // Global track index (cylinder-major) of an LBA; tracks are the compactor's work unit.
+  uint64_t TrackOf(Lba lba) const { return lba / sectors_per_track; }
+
+  // First LBA of global track `track`.
+  Lba TrackStart(uint64_t track) const { return track * sectors_per_track; }
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_GEOMETRY_H_

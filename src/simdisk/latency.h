@@ -1,0 +1,43 @@
+// Latency accounting used to regenerate Figure 9's breakdown (SCSI overhead / transfer /
+// locate sectors / other) and general request statistics.
+#ifndef SRC_SIMDISK_LATENCY_H_
+#define SRC_SIMDISK_LATENCY_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace vlog::simdisk {
+
+struct LatencyBreakdown {
+  common::Duration scsi_overhead = 0;  // Per-command disk controller processing.
+  common::Duration locate = 0;         // Seek + head switch + rotational delay.
+  common::Duration transfer = 0;       // Media or bus transfer time.
+  common::Duration other = 0;          // Host OS / file system processing.
+
+  common::Duration Total() const { return scsi_overhead + locate + transfer + other; }
+
+  LatencyBreakdown& operator+=(const LatencyBreakdown& rhs) {
+    scsi_overhead += rhs.scsi_overhead;
+    locate += rhs.locate;
+    transfer += rhs.transfer;
+    other += rhs.other;
+    return *this;
+  }
+};
+
+struct DiskStats {
+  uint64_t read_requests = 0;
+  uint64_t write_requests = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  uint64_t buffer_hits = 0;  // Reads served entirely from the track buffer.
+  uint64_t seeks = 0;        // Requests that moved the arm.
+  LatencyBreakdown breakdown;
+
+  void Reset() { *this = DiskStats{}; }
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_LATENCY_H_

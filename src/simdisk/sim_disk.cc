@@ -1,0 +1,223 @@
+#include "src/simdisk/sim_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace vlog::simdisk {
+
+SimDisk::SimDisk(DiskParams params, common::Clock* clock)
+    : params_(std::move(params)), clock_(clock) {
+  media_.resize(params_.geometry.CapacityBytes());
+}
+
+common::Status SimDisk::CheckRange(Lba lba, size_t bytes, const char* op) const {
+  const uint32_t sector_bytes = params_.geometry.sector_bytes;
+  if (bytes == 0 || bytes % sector_bytes != 0) {
+    return common::InvalidArgument(std::string(op) + ": size not a whole number of sectors");
+  }
+  const uint64_t sectors = bytes / sector_bytes;
+  if (lba + sectors > params_.geometry.TotalSectors()) {
+    return common::InvalidArgument(std::string(op) + ": out of range");
+  }
+  return common::OkStatus();
+}
+
+uint32_t SimDisk::SectorUnderHead(common::Time t) const {
+  const common::Duration period = params_.RotationPeriod();
+  const common::Duration phase = t % period;
+  const uint32_t n = params_.geometry.sectors_per_track;
+  return static_cast<uint32_t>(static_cast<double>(phase) / static_cast<double>(period) *
+                               static_cast<double>(n)) %
+         n;
+}
+
+common::Duration SimDisk::RotationalWait(uint32_t sector, common::Time at) const {
+  const common::Duration period = params_.RotationPeriod();
+  const uint32_t n = params_.geometry.sectors_per_track;
+  // Time at which the leading edge of `sector` is next under the head.
+  const common::Duration sector_start =
+      static_cast<common::Duration>(static_cast<double>(period) * sector / n);
+  const common::Duration phase = at % period;
+  common::Duration wait = sector_start - phase;
+  if (wait < 0) {
+    wait += period;
+  }
+  return wait;
+}
+
+common::Duration SimDisk::ArmMoveCost(Lba lba) const {
+  const PhysAddr target = params_.geometry.ToPhys(lba);
+  const uint32_t dist = target.cylinder > arm_.cylinder ? target.cylinder - arm_.cylinder
+                                                        : arm_.cylinder - target.cylinder;
+  const common::Duration seek = params_.seek.SeekTime(dist);
+  const common::Duration head_switch = target.head != arm_.head ? params_.head_switch : 0;
+  // Head selection overlaps arm motion; the settle is bounded by the longer of the two.
+  return std::max(seek, head_switch);
+}
+
+common::Duration SimDisk::EstimatePosition(Lba lba, common::Time at) const {
+  const common::Duration move = ArmMoveCost(lba);
+  const PhysAddr target = params_.geometry.ToPhys(lba);
+  return move + RotationalWait(target.sector, at + move);
+}
+
+void SimDisk::Position(Lba lba, bool sequential) {
+  const PhysAddr target = params_.geometry.ToPhys(lba);
+  const common::Duration move = ArmMoveCost(lba);
+  if (move > 0) {
+    ++stats_.seeks;
+  }
+  common::Duration wait = 0;
+  if (!sequential) {
+    wait = RotationalWait(target.sector, clock_->Now() + move);
+  }
+  clock_->Advance(move + wait);
+  last_request_.locate += move + wait;
+  arm_.cylinder = target.cylinder;
+  arm_.head = target.head;
+}
+
+void SimDisk::CatchUpReadAhead() {
+  if (!buffer_.valid() || read_ahead_policy_ != ReadAheadPolicy::kStandard) {
+    return;
+  }
+  if (read_ahead_pos_ >= read_ahead_track_end_) {
+    return;
+  }
+  const common::Duration elapsed = clock_->Now() - last_read_end_;
+  const uint64_t passed = static_cast<uint64_t>(elapsed / params_.SectorTime());
+  const Lba new_pos = std::min<Lba>(read_ahead_pos_ + passed, read_ahead_track_end_);
+  buffer_.ExtendTo(new_pos);
+  read_ahead_pos_ = new_pos;
+  last_read_end_ = clock_->Now();
+}
+
+void SimDisk::Access(Lba lba, uint64_t sectors, bool is_write, bool host_command) {
+  last_request_ = LatencyBreakdown{};
+  if (host_command) {
+    clock_->Advance(params_.scsi_overhead);
+    last_request_.scsi_overhead = params_.scsi_overhead;
+  }
+
+  if (is_write) {
+    buffer_.InvalidateIfOverlaps(lba, sectors);
+    ++stats_.write_requests;
+    stats_.sectors_written += sectors;
+  } else {
+    CatchUpReadAhead();
+    ++stats_.read_requests;
+    stats_.sectors_read += sectors;
+    if (buffer_.Contains(lba, sectors)) {
+      // Served from the track buffer: bus transfer only.
+      const common::Duration bus =
+          params_.BusTransferTime(sectors * params_.geometry.sector_bytes);
+      clock_->Advance(bus);
+      last_request_.transfer = bus;
+      ++stats_.buffer_hits;
+      if (read_ahead_policy_ == ReadAheadPolicy::kStandard) {
+        buffer_.DiscardBelow(lba);
+      }
+      stats_.breakdown += last_request_;
+      return;
+    }
+  }
+
+  // Mechanical access, one contiguous run per track.
+  const uint32_t n = params_.geometry.sectors_per_track;
+  Lba pos = lba;
+  uint64_t remaining = sectors;
+  bool first = true;
+  while (remaining > 0) {
+    const uint64_t track = params_.geometry.TrackOf(pos);
+    const Lba track_end = params_.geometry.TrackStart(track) + n;
+    const uint64_t run = std::min<uint64_t>(remaining, track_end - pos);
+    Position(pos, /*sequential=*/!first);
+    const common::Duration xfer = params_.SectorTime() * static_cast<common::Duration>(run);
+    clock_->Advance(xfer);
+    last_request_.transfer += xfer;
+    pos += run;
+    remaining -= run;
+    first = false;
+  }
+
+  if (!is_write) {
+    const uint64_t last_track = params_.geometry.TrackOf(pos - 1);
+    const Lba last_track_start = params_.geometry.TrackStart(last_track);
+    if (read_ahead_policy_ == ReadAheadPolicy::kAggressiveTrack) {
+      // VLD policy: the whole target track is prefetched and retained until delivered.
+      buffer_.SetRange(last_track_start, last_track_start + n);
+      read_ahead_pos_ = last_track_start + n;
+    } else {
+      // Standard policy: cache from the request start; read-ahead continues in background.
+      buffer_.SetRange(lba, pos);
+      read_ahead_pos_ = pos;
+    }
+    read_ahead_track_end_ = last_track_start + n;
+    last_read_end_ = clock_->Now();
+  }
+  stats_.breakdown += last_request_;
+}
+
+common::Status SimDisk::Read(Lba lba, std::span<std::byte> out) {
+  RETURN_IF_ERROR(CheckRange(lba, out.size(), "Read"));
+  Access(lba, out.size() / params_.geometry.sector_bytes, /*is_write=*/false,
+         /*host_command=*/true);
+  PeekMedia(lba, out);
+  return common::OkStatus();
+}
+
+common::Status SimDisk::Write(Lba lba, std::span<const std::byte> in) {
+  RETURN_IF_ERROR(CheckRange(lba, in.size(), "Write"));
+  if (writes_until_failure_) {
+    if (*writes_until_failure_ == 0) {
+      return common::IoError("injected write failure (simulated power cut)");
+    }
+    --*writes_until_failure_;
+  }
+  Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
+         /*host_command=*/true);
+  PokeMedia(lba, in);
+  return common::OkStatus();
+}
+
+common::Status SimDisk::InternalRead(Lba lba, std::span<std::byte> out) {
+  RETURN_IF_ERROR(CheckRange(lba, out.size(), "InternalRead"));
+  Access(lba, out.size() / params_.geometry.sector_bytes, /*is_write=*/false,
+         /*host_command=*/false);
+  PeekMedia(lba, out);
+  return common::OkStatus();
+}
+
+common::Status SimDisk::InternalWrite(Lba lba, std::span<const std::byte> in) {
+  RETURN_IF_ERROR(CheckRange(lba, in.size(), "InternalWrite"));
+  if (writes_until_failure_) {
+    if (*writes_until_failure_ == 0) {
+      return common::IoError("injected write failure (simulated power cut)");
+    }
+    --*writes_until_failure_;
+  }
+  Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
+         /*host_command=*/false);
+  PokeMedia(lba, in);
+  return common::OkStatus();
+}
+
+void SimDisk::ChargeHostCommand() {
+  clock_->Advance(params_.scsi_overhead);
+  stats_.breakdown.scsi_overhead += params_.scsi_overhead;
+}
+
+void SimDisk::PeekMedia(Lba lba, std::span<std::byte> out) const {
+  const size_t offset = lba * params_.geometry.sector_bytes;
+  assert(offset + out.size() <= media_.size());
+  std::memcpy(out.data(), media_.data() + offset, out.size());
+}
+
+void SimDisk::PokeMedia(Lba lba, std::span<const std::byte> in) {
+  const size_t offset = lba * params_.geometry.sector_bytes;
+  assert(offset + in.size() <= media_.size());
+  std::memcpy(media_.data() + offset, in.data(), in.size());
+}
+
+}  // namespace vlog::simdisk

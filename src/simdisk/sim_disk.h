@@ -1,0 +1,114 @@
+// The mechanical disk simulator.
+//
+// Replaces the paper's in-kernel port of the Dartmouth HP97560 model: a sector-granularity
+// simulation of arm position, rotation, head switches, per-command SCSI overhead, media
+// transfer, and a track read-ahead buffer, all advancing a shared virtual clock. The media
+// contents live in an in-memory byte array (the paper's 24 MB kernel ramdisk).
+//
+// Rotational position is derived from the clock: the platter turns continuously, so the sector
+// under the head at time t is (t mod rotation_period) scaled to sectors-per-track. Sequential
+// runs that cross a track boundary are charged only the head-switch/seek cost (implicit optimal
+// track skew).
+#ifndef SRC_SIMDISK_SIM_DISK_H_
+#define SRC_SIMDISK_SIM_DISK_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/simdisk/block_device.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/latency.h"
+#include "src/simdisk/track_buffer.h"
+
+namespace vlog::simdisk {
+
+class SimDisk : public BlockDevice {
+ public:
+  SimDisk(DiskParams params, common::Clock* clock);
+
+  // BlockDevice: host commands. Each charges the SCSI command overhead.
+  common::Status Read(Lba lba, std::span<std::byte> out) override;
+  common::Status Write(Lba lba, std::span<const std::byte> in) override;
+  uint64_t SectorCount() const override { return params_.geometry.TotalSectors(); }
+  uint32_t SectorBytes() const override { return params_.geometry.sector_bytes; }
+
+  // In-disk operations used by VLD firmware and the compactor: no SCSI command overhead.
+  common::Status InternalRead(Lba lba, std::span<std::byte> out);
+  common::Status InternalWrite(Lba lba, std::span<const std::byte> in);
+
+  // Charges one SCSI command's controller overhead. The VLD calls this once per *host* command
+  // before issuing however many internal operations the command expands to.
+  void ChargeHostCommand();
+
+  // Zero-cost media access, for test setup and for modeling in-memory behaviour.
+  void PeekMedia(Lba lba, std::span<std::byte> out) const;
+  void PokeMedia(Lba lba, std::span<const std::byte> in);
+
+  // --- Introspection for eager writing (the VLD runs "inside" this disk) ---
+
+  // Arm position (cylinder+surface). The rotational position is time-derived; see below.
+  const PhysAddr& ArmPosition() const { return arm_; }
+
+  // The sector index whose leading edge is under the head at time t (fractional part dropped).
+  uint32_t SectorUnderHead(common::Time t) const;
+
+  // Rotational delay from time `at` until the start of `sector` passes under the head.
+  common::Duration RotationalWait(uint32_t sector, common::Time at) const;
+
+  // Seek + head-switch cost from the current arm position to the track holding `lba`
+  // (0 when already there). Excludes rotation.
+  common::Duration ArmMoveCost(Lba lba) const;
+
+  // Full positioning estimate: arm move plus rotational wait, starting at time `at`.
+  common::Duration EstimatePosition(Lba lba, common::Time at) const;
+
+  const DiskParams& params() const { return params_; }
+  const DiskGeometry& geometry() const { return params_.geometry; }
+  common::Clock* clock() { return clock_; }
+
+  DiskStats& stats() { return stats_; }
+  const DiskStats& stats() const { return stats_; }
+  // Breakdown of the most recent request (host or internal).
+  const LatencyBreakdown& last_request() const { return last_request_; }
+
+  void set_read_ahead_policy(ReadAheadPolicy policy) { read_ahead_policy_ = policy; }
+  ReadAheadPolicy read_ahead_policy() const { return read_ahead_policy_; }
+
+  // Failure injection for crash-recovery tests: after `writes` more successful writes (host or
+  // internal), every subsequent write fails with kIoError and leaves the media untouched —
+  // simulating a power cut at an arbitrary point in a multi-write operation.
+  void SetWriteFailureAfter(std::optional<uint64_t> writes) { writes_until_failure_ = writes; }
+
+ private:
+  common::Status CheckRange(Lba lba, size_t bytes, const char* op) const;
+  // Performs the mechanical work of accessing [lba, lba+sectors), advancing the clock and
+  // filling `last_request_`. `host_command` charges SCSI overhead.
+  void Access(Lba lba, uint64_t sectors, bool is_write, bool host_command);
+  // Moves the arm to the track of `lba` and waits for `lba`'s sector; returns when transfer may
+  // begin. `sequential` suppresses the rotational wait (implicit track skew).
+  void Position(Lba lba, bool sequential);
+  // Extends the standard-policy read-ahead window by the time elapsed since the last read.
+  void CatchUpReadAhead();
+
+  DiskParams params_;
+  common::Clock* clock_;
+  std::vector<std::byte> media_;
+  PhysAddr arm_{};
+  DiskStats stats_;
+  LatencyBreakdown last_request_;
+  TrackBuffer buffer_;
+  ReadAheadPolicy read_ahead_policy_ = ReadAheadPolicy::kStandard;
+  // Where background read-ahead was when the last read finished.
+  Lba read_ahead_pos_ = 0;
+  common::Time last_read_end_ = 0;
+  uint64_t read_ahead_track_end_ = 0;  // Exclusive LBA bound of the read-ahead (track end).
+  std::optional<uint64_t> writes_until_failure_;
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_SIM_DISK_H_

@@ -1,0 +1,75 @@
+// The disk's track read-ahead buffer.
+//
+// Two policies, per §4.2 of the paper:
+//  - kStandard: the Dartmouth behaviour — the buffer covers the sectors from the beginning of
+//    the current request through the read-ahead point; data at lower addresses is discarded.
+//    Read-ahead proceeds "for free" while the disk is otherwise idle.
+//  - kAggressiveTrack: the VLD modification — when the head reaches the target track the whole
+//    track is prefetched, and nothing is discarded until delivered, so sequential reads whose
+//    *physical* addresses are non-monotonic (the VLD case) still hit.
+//
+// The buffer tracks which LBA range is cached; the bytes themselves always come from the media
+// array (the buffer can never be stale because any overlapping write invalidates it).
+#ifndef SRC_SIMDISK_TRACK_BUFFER_H_
+#define SRC_SIMDISK_TRACK_BUFFER_H_
+
+#include <algorithm>
+
+#include "src/simdisk/geometry.h"
+
+namespace vlog::simdisk {
+
+enum class ReadAheadPolicy { kStandard, kAggressiveTrack };
+
+class TrackBuffer {
+ public:
+  // True if [lba, lba+count) is entirely cached.
+  bool Contains(Lba lba, uint64_t count) const {
+    return valid_ && lba >= lo_ && lba + count <= hi_;
+  }
+
+  // Replaces the buffer contents with the range [lo, hi).
+  void SetRange(Lba lo, Lba hi) {
+    lo_ = lo;
+    hi_ = hi;
+    valid_ = hi > lo;
+  }
+
+  // Grows the read-ahead point; never shrinks.
+  void ExtendTo(Lba hi) {
+    if (valid_) {
+      hi_ = std::max(hi_, hi);
+    }
+  }
+
+  // Standard-policy discard: drop data at addresses below the new request start.
+  void DiscardBelow(Lba lba) {
+    if (valid_) {
+      lo_ = std::max(lo_, lba);
+      if (lo_ >= hi_) {
+        valid_ = false;
+      }
+    }
+  }
+
+  void InvalidateIfOverlaps(Lba lba, uint64_t count) {
+    if (valid_ && lba < hi_ && lba + count > lo_) {
+      valid_ = false;
+    }
+  }
+
+  void Clear() { valid_ = false; }
+
+  bool valid() const { return valid_; }
+  Lba lo() const { return lo_; }
+  Lba hi() const { return hi_; }
+
+ private:
+  bool valid_ = false;
+  Lba lo_ = 0;
+  Lba hi_ = 0;
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_TRACK_BUFFER_H_

@@ -1,0 +1,140 @@
+// An FFS-style update-in-place file system (the paper's "UFS", §4.3).
+//
+// Semantics mirrored from Solaris UFS as the paper uses it:
+//  - metadata (inodes, directory blocks) is written synchronously on create/remove;
+//  - data writes are delayed by default and written through on WritePolicy::kSync, which also
+//    synchronously updates the inode — the two-I/O pattern that update-in-place pays for on
+//    every random 4 KB update (Figures 8-9);
+//  - blocks are placed update-in-place: an overwrite goes to the same fragments;
+//  - allocation prefers the cylinder group of the inode; 10% of fragments are reserved
+//    (the "minfree" the paper's df-based utilisation axis includes);
+//  - sequential reads trigger prefetch after two adjacent block reads.
+//
+// It runs unmodified on either a regular SimDisk or a Vld — both are BlockDevices — which is
+// the point of the VLD design.
+#ifndef SRC_UFS_UFS_H_
+#define SRC_UFS_UFS_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/simdisk/block_device.h"
+#include "src/simdisk/host_model.h"
+#include "src/ufs/layout.h"
+
+namespace vlog::ufs {
+
+struct UfsConfig {
+  uint32_t blocks_per_cg = 256;   // Set to the disk's blocks-per-cylinder for FFS locality.
+  uint32_t cache_blocks = 8192;   // Host buffer cache capacity (4 KB blocks).
+  uint32_t prefetch_blocks = 8;   // Read-ahead after a sequential pattern is detected.
+  uint32_t min_free_pct = 10;     // FFS minfree: allocation fails below this reserve.
+};
+
+struct UfsStats {
+  uint64_t creates = 0;
+  uint64_t removes = 0;
+  uint64_t sync_metadata_writes = 0;
+  uint64_t sync_data_writes = 0;
+  uint64_t delayed_data_writes = 0;  // Dirty buffers flushed later.
+  uint64_t prefetch_reads = 0;
+  uint64_t frag_promotions = 0;  // Tail fragment runs relocated on growth.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+class Ufs : public fs::FileSystem {
+ public:
+  Ufs(simdisk::BlockDevice* device, simdisk::HostModel* host, UfsConfig config = {});
+
+  // Writes a fresh file system. Mount() afterwards (Format leaves it mounted).
+  common::Status Format();
+  // Loads the superblock and cylinder-group headers from an existing file system.
+  common::Status Mount();
+
+  common::Status Create(const std::string& path) override;
+  common::Status Mkdir(const std::string& path) override;
+  common::Status Remove(const std::string& path) override;
+  common::Status Write(const std::string& path, uint64_t offset, std::span<const std::byte> data,
+                       fs::WritePolicy policy) override;
+  common::StatusOr<uint64_t> Read(const std::string& path, uint64_t offset,
+                                  std::span<std::byte> out) override;
+  common::StatusOr<fs::FileInfo> Stat(const std::string& path) override;
+  common::StatusOr<std::vector<std::string>> List(const std::string& dir_path) override;
+  common::Status Sync() override;
+  common::Status DropCaches() override;
+
+  // df-style utilisation: fraction of all fragments in use (the reserve is *not* subtracted,
+  // matching the paper's Figure 8 axis).
+  double Utilization() const;
+  uint64_t FreeFragCount() const;
+  const UfsStats& stats() const { return stats_; }
+  const Superblock& superblock() const { return sb_; }
+
+ private:
+  struct Buffer {
+    std::vector<std::byte> data;
+    uint8_t dirty_mask = 0;  // Bit per fragment.
+    uint64_t lru = 0;
+  };
+
+  // --- Buffer cache over device blocks (4 KB) ---
+  common::StatusOr<Buffer*> GetBlock(uint32_t dev_block, bool read_from_disk);
+  common::Status FlushBuffer(uint32_t dev_block, Buffer& buffer);
+  common::Status WriteFragsThrough(uint32_t dev_block, uint32_t frag_off, uint32_t frag_count);
+  common::Status EvictIfNeeded();
+
+  // --- Inodes ---
+  common::StatusOr<Inode> ReadInode(uint32_t ino);
+  common::Status StoreInode(uint32_t ino, const Inode& inode, bool sync);
+
+  // --- Paths & directories ---
+  common::StatusOr<uint32_t> LookupPath(const std::string& path);
+  // Splits "/a/b/c" into the inode of "/a/b" and leaf name "c".
+  common::StatusOr<uint32_t> ResolveParent(const std::string& path, std::string* leaf);
+  common::StatusOr<uint32_t> DirFind(const Inode& dir, const std::string& name);
+  common::Status DirAdd(uint32_t dir_ino, Inode& dir, const std::string& name, uint32_t child);
+  common::Status DirRemove(uint32_t dir_ino, Inode& dir, const std::string& name);
+  common::Status CreateNode(const std::string& path, InodeType type);
+
+  // --- Block mapping (fragment addresses) ---
+  // Fragment address of file block `fbi`, or kNoAddr when unallocated. Does not allocate.
+  common::StatusOr<uint32_t> BmapRead(const Inode& inode, uint64_t fbi);
+  // Ensures file block `fbi` is backed by `frags` fragments, reallocating a tail run when it
+  // must grow (fragment promotion). Returns the fragment address.
+  common::StatusOr<uint32_t> BmapAlloc(Inode& inode, uint64_t fbi, uint32_t frags,
+                                       fs::WritePolicy policy);
+  common::Status FreeFileBlocks(Inode& inode);
+
+  // --- Allocation across cylinder groups ---
+  common::StatusOr<uint32_t> AllocFrags(uint32_t cg_hint, uint32_t count, bool block_aligned);
+  void FreeFragsAt(uint32_t frag_addr, uint32_t count);
+  common::StatusOr<uint32_t> AllocInodeNumber(uint32_t cg_hint);
+  // How many fragments back file block `fbi` given file size `size` (tail rule).
+  static uint32_t FragsForBlock(uint64_t size, uint64_t fbi);
+
+  uint32_t CgOfFrag(uint32_t frag_addr) const;
+  uint32_t CgOfInode(uint32_t ino) const { return ino / sb_.inodes_per_cg; }
+
+  simdisk::BlockDevice* device_;
+  simdisk::HostModel* host_;
+  UfsConfig config_;
+  Superblock sb_;
+  std::vector<CylinderGroup> cgs_;
+  std::vector<bool> cg_dirty_;
+  bool mounted_ = false;
+  std::unordered_map<uint32_t, Buffer> cache_;
+  uint64_t lru_tick_ = 0;
+  // Sequential-read detector: ino -> (next expected file block, run length).
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint32_t>> read_state_;
+  UfsStats stats_;
+};
+
+}  // namespace vlog::ufs
+
+#endif  // SRC_UFS_UFS_H_

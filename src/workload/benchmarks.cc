@@ -1,0 +1,187 @@
+#include "src/workload/benchmarks.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace vlog::workload {
+namespace {
+
+std::vector<std::byte> Payload(size_t n, uint64_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(static_cast<uint8_t>(seed * 97 + i));
+  }
+  return v;
+}
+
+}  // namespace
+
+common::StatusOr<SmallFileResult> RunSmallFile(Platform& platform, int files,
+                                               size_t file_bytes) {
+  fs::FileSystem& fs = platform.fs();
+  common::Clock& clock = platform.clock();
+  const auto payload = Payload(file_bytes, 7);
+  SmallFileResult result;
+
+  common::Time start = clock.Now();
+  for (int i = 0; i < files; ++i) {
+    const std::string path = "/small" + std::to_string(i);
+    RETURN_IF_ERROR(fs.Create(path));
+    RETURN_IF_ERROR(fs.Write(path, 0, payload, fs::WritePolicy::kAsync));
+  }
+  RETURN_IF_ERROR(fs.Sync());
+  result.create = clock.Now() - start;
+
+  RETURN_IF_ERROR(fs.DropCaches());
+  std::vector<std::byte> out(file_bytes);
+  start = clock.Now();
+  for (int i = 0; i < files; ++i) {
+    ASSIGN_OR_RETURN(const uint64_t n, fs.Read("/small" + std::to_string(i), 0, out));
+    if (n != file_bytes) {
+      return common::IoError("short read in small-file benchmark");
+    }
+  }
+  result.read = clock.Now() - start;
+
+  start = clock.Now();
+  for (int i = 0; i < files; ++i) {
+    RETURN_IF_ERROR(fs.Remove("/small" + std::to_string(i)));
+  }
+  RETURN_IF_ERROR(fs.Sync());
+  result.remove = clock.Now() - start;
+  return result;
+}
+
+common::Status FillFile(Platform& platform, const std::string& path, uint64_t bytes) {
+  fs::FileSystem& fs = platform.fs();
+  RETURN_IF_ERROR(fs.Create(path));
+  const auto chunk = Payload(64 << 10, 11);
+  uint64_t offset = 0;
+  while (offset < bytes) {
+    const uint64_t n = std::min<uint64_t>(chunk.size(), bytes - offset);
+    RETURN_IF_ERROR(fs.Write(path, offset, std::span<const std::byte>(chunk).first(n),
+                             fs::WritePolicy::kAsync));
+    offset += n;
+  }
+  return fs.Sync();
+}
+
+common::StatusOr<LargeFileResult> RunLargeFile(Platform& platform, uint64_t file_bytes,
+                                               bool include_sync_phase, uint64_t seed) {
+  fs::FileSystem& fs = platform.fs();
+  common::Clock& clock = platform.clock();
+  common::Rng rng(seed);
+  LargeFileResult result;
+  result.file_bytes = file_bytes;
+  const uint64_t blocks = file_bytes / 4096;
+  const auto block = Payload(4096, 13);
+
+  RETURN_IF_ERROR(fs.Create("/large"));
+  common::Time start = clock.Now();
+  for (uint64_t b = 0; b < blocks; ++b) {
+    RETURN_IF_ERROR(fs.Write("/large", b * 4096, block, fs::WritePolicy::kAsync));
+  }
+  RETURN_IF_ERROR(fs.Sync());
+  result.seq_write = clock.Now() - start;
+
+  RETURN_IF_ERROR(fs.DropCaches());
+  std::vector<std::byte> out(4096);
+  start = clock.Now();
+  for (uint64_t b = 0; b < blocks; ++b) {
+    RETURN_IF_ERROR(fs.Read("/large", b * 4096, out).status());
+  }
+  result.seq_read = clock.Now() - start;
+
+  RETURN_IF_ERROR(fs.DropCaches());
+  start = clock.Now();
+  for (uint64_t i = 0; i < blocks; ++i) {
+    RETURN_IF_ERROR(fs.Write("/large", rng.Below(blocks) * 4096, block,
+                             fs::WritePolicy::kAsync));
+  }
+  RETURN_IF_ERROR(fs.Sync());
+  result.rand_write_async = clock.Now() - start;
+
+  if (include_sync_phase) {
+    RETURN_IF_ERROR(fs.DropCaches());
+    start = clock.Now();
+    for (uint64_t i = 0; i < blocks; ++i) {
+      RETURN_IF_ERROR(fs.Write("/large", rng.Below(blocks) * 4096, block,
+                               fs::WritePolicy::kSync));
+    }
+    result.rand_write_sync = clock.Now() - start;
+  }
+
+  RETURN_IF_ERROR(fs.DropCaches());
+  start = clock.Now();
+  for (uint64_t b = 0; b < blocks; ++b) {
+    RETURN_IF_ERROR(fs.Read("/large", b * 4096, out).status());
+  }
+  result.seq_read_again = clock.Now() - start;
+
+  RETURN_IF_ERROR(fs.DropCaches());
+  start = clock.Now();
+  for (uint64_t i = 0; i < blocks; ++i) {
+    RETURN_IF_ERROR(fs.Read("/large", rng.Below(blocks) * 4096, out).status());
+  }
+  result.rand_read = clock.Now() - start;
+  return result;
+}
+
+common::StatusOr<UpdateResult> RunRandomUpdates(Platform& platform, uint64_t file_bytes,
+                                                int updates, int warmup, uint64_t seed) {
+  RETURN_IF_ERROR(FillFile(platform, "/bench_data", file_bytes));
+  fs::FileSystem& fs = platform.fs();
+  common::Clock& clock = platform.clock();
+  common::Rng rng(seed);
+  const uint64_t blocks = file_bytes / 4096;
+  const auto block = Payload(4096, 17);
+  // UFS runs write synchronously ("the write system call does not return until the block is on
+  // the disk surface"); LFS runs rely on the NVRAM buffer cache.
+  const fs::WritePolicy policy = platform.config().fs_kind == FsKind::kUfs
+                                     ? fs::WritePolicy::kSync
+                                     : fs::WritePolicy::kAsync;
+  for (int i = 0; i < warmup; ++i) {
+    RETURN_IF_ERROR(fs.Write("/bench_data", rng.Below(blocks) * 4096, block, policy));
+  }
+  const common::Time start = clock.Now();
+  for (int i = 0; i < updates; ++i) {
+    RETURN_IF_ERROR(fs.Write("/bench_data", rng.Below(blocks) * 4096, block, policy));
+  }
+  UpdateResult result;
+  result.avg_latency = (clock.Now() - start) / updates;
+  result.fs_utilization = platform.FsUtilization();
+  return result;
+}
+
+common::StatusOr<common::Duration> RunBurstIdle(Platform& platform, uint64_t file_bytes,
+                                                uint64_t burst_bytes, common::Duration idle,
+                                                int rounds, int warmup_rounds, uint64_t seed) {
+  RETURN_IF_ERROR(FillFile(platform, "/bench_data", file_bytes));
+  fs::FileSystem& fs = platform.fs();
+  common::Clock& clock = platform.clock();
+  common::Rng rng(seed);
+  const uint64_t blocks = file_bytes / 4096;
+  const uint64_t updates_per_burst = burst_bytes / 4096;
+  const auto block = Payload(4096, 19);
+  const fs::WritePolicy policy = platform.config().fs_kind == FsKind::kUfs
+                                     ? fs::WritePolicy::kSync
+                                     : fs::WritePolicy::kAsync;
+  common::Duration busy = 0;
+  uint64_t measured = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const common::Time start = clock.Now();
+    for (uint64_t i = 0; i < updates_per_burst; ++i) {
+      RETURN_IF_ERROR(fs.Write("/bench_data", rng.Below(blocks) * 4096, block, policy));
+    }
+    if (round >= warmup_rounds) {
+      busy += clock.Now() - start;
+      measured += updates_per_burst;
+    }
+    platform.RunIdle(idle);
+  }
+  return busy / static_cast<common::Duration>(measured);
+}
+
+}  // namespace vlog::workload

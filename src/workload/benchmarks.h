@@ -1,0 +1,61 @@
+// The paper's micro-benchmarks (§5), expressed against the Platform abstraction so every
+// figure's bench binary is a thin parameter sweep around these.
+#ifndef SRC_WORKLOAD_BENCHMARKS_H_
+#define SRC_WORKLOAD_BENCHMARKS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/workload/platform.h"
+
+namespace vlog::workload {
+
+// §5.1 — create, read back (after a cache flush), and delete `files` small files.
+struct SmallFileResult {
+  common::Duration create = 0;
+  common::Duration read = 0;
+  common::Duration remove = 0;
+};
+common::StatusOr<SmallFileResult> RunSmallFile(Platform& platform, int files = 1500,
+                                               size_t file_bytes = 1024);
+
+// §5.2 — sequentially write a large file, read it back, rewrite it randomly (async and, on
+// UFS, also sync), read it sequentially again, read it randomly. Durations per phase.
+struct LargeFileResult {
+  uint64_t file_bytes = 0;
+  common::Duration seq_write = 0;
+  common::Duration seq_read = 0;
+  common::Duration rand_write_async = 0;
+  common::Duration rand_write_sync = 0;  // 0 when the sync phase was skipped (LFS runs).
+  common::Duration seq_read_again = 0;
+  common::Duration rand_read = 0;
+};
+common::StatusOr<LargeFileResult> RunLargeFile(Platform& platform,
+                                               uint64_t file_bytes = 10 << 20,
+                                               bool include_sync_phase = true,
+                                               uint64_t seed = 1);
+
+// Creates /bench_data of `bytes` with sequential asynchronous writes, then syncs.
+common::Status FillFile(Platform& platform, const std::string& path, uint64_t bytes);
+
+// §5.3 — steady-state random 4 KB updates with no idle time. UFS updates are synchronous;
+// LFS updates go into the (NVRAM) cache and pay eviction/cleaning costs as they come due.
+struct UpdateResult {
+  common::Duration avg_latency = 0;
+  double fs_utilization = 0;
+};
+common::StatusOr<UpdateResult> RunRandomUpdates(Platform& platform, uint64_t file_bytes,
+                                                int updates, int warmup, uint64_t seed = 2);
+
+// §5.5 — bursts of random 4 KB updates separated by idle intervals; reports the mean
+// user-visible latency per update over the measured rounds.
+common::StatusOr<common::Duration> RunBurstIdle(Platform& platform, uint64_t file_bytes,
+                                                uint64_t burst_bytes, common::Duration idle,
+                                                int rounds, int warmup_rounds,
+                                                uint64_t seed = 3);
+
+}  // namespace vlog::workload
+
+#endif  // SRC_WORKLOAD_BENCHMARKS_H_

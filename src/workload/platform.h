@@ -1,0 +1,88 @@
+// Experimental platform assembly (the paper's Figure 5).
+//
+// A Platform bundles one simulated disk (HP97560 or Seagate ST19101, truncated to the paper's
+// 36/11 cylinders), optionally a Virtual Log Disk on top, a host CPU model (SPARCstation-10 or
+// UltraSPARC-170), and one of the two file system stacks:
+//   kUfs — update-in-place FFS work-alike directly on the block device;
+//   kLfs — MinixUFS-style FS on the log-structured logical disk.
+// Benchmarks drive the fs::FileSystem interface and read timing off the shared virtual clock.
+#ifndef SRC_WORKLOAD_PLATFORM_H_
+#define SRC_WORKLOAD_PLATFORM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/vld.h"
+#include "src/fs/file_system.h"
+#include "src/lfs/log_disk.h"
+#include "src/lfs/simple_fs.h"
+#include "src/simdisk/host_model.h"
+#include "src/simdisk/sim_disk.h"
+#include "src/ufs/ufs.h"
+
+namespace vlog::workload {
+
+enum class DiskModel { kHp97560, kSt19101 };
+enum class DiskKind { kRegular, kVld };
+enum class FsKind { kUfs, kLfs };
+enum class HostKind { kSparc10, kUltra170, kZeroCost };
+
+struct PlatformConfig {
+  DiskModel disk_model = DiskModel::kSt19101;
+  DiskKind disk_kind = DiskKind::kRegular;
+  FsKind fs_kind = FsKind::kUfs;
+  HostKind host_kind = HostKind::kSparc10;
+  // 0 = the paper's truncation (36 HP cylinders / 11 Seagate cylinders, ~24 MB).
+  uint32_t cylinders = 0;
+  core::VldConfig vld;
+  lfs::LldConfig lld;
+  lfs::SimpleFsConfig simple_fs;
+
+  std::string Name() const;
+};
+
+class Platform {
+ public:
+  explicit Platform(const PlatformConfig& config);
+
+  // Formats every layer; must be called before use.
+  common::Status Format();
+
+  fs::FileSystem& fs() { return *fs_; }
+  common::Clock& clock() { return clock_; }
+  simdisk::SimDisk& raw_disk() { return *raw_; }
+  simdisk::HostModel& host() { return *host_; }
+  core::Vld* vld() { return vld_.get(); }                        // Null on a regular disk.
+  lfs::LogStructuredDisk* log_disk() { return lld_.get(); }      // Null for UFS.
+  lfs::SimpleFs* simple_fs() { return simple_fs_.get(); }
+  ufs::Ufs* ufs() { return ufs_.get(); }
+  const PlatformConfig& config() const { return config_; }
+
+  // Device capacity visible to the file system, in bytes.
+  uint64_t DeviceBytes() const;
+  // df-style utilisation of whichever file system is mounted.
+  double FsUtilization() const;
+
+  // Gives the storage stack an idle interval: the VLD compactor and/or the LFS stack
+  // (flush dirty buffers, then clean segments) run until the budget is exhausted, after which
+  // the clock stands at exactly now+budget.
+  void RunIdle(common::Duration budget);
+
+  // Snapshot of the cumulative disk-latency breakdown, for the Figure 9 decomposition.
+  simdisk::LatencyBreakdown DiskBreakdown() const { return raw_->stats().breakdown; }
+
+ private:
+  PlatformConfig config_;
+  common::Clock clock_;
+  std::unique_ptr<simdisk::SimDisk> raw_;
+  std::unique_ptr<core::Vld> vld_;
+  std::unique_ptr<simdisk::HostModel> host_;
+  std::unique_ptr<ufs::Ufs> ufs_;
+  std::unique_ptr<lfs::LogStructuredDisk> lld_;
+  std::unique_ptr<lfs::SimpleFs> simple_fs_;
+  fs::FileSystem* fs_ = nullptr;
+};
+
+}  // namespace vlog::workload
+
+#endif  // SRC_WORKLOAD_PLATFORM_H_

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/eager_allocator.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+namespace {
+
+class EagerAllocatorTest : public ::testing::Test {
+ protected:
+  EagerAllocatorTest()
+      : disk_(simdisk::Truncated(simdisk::Hp97560(), 8), &clock_),
+        space_(disk_.geometry(), 8) {}
+
+  EagerAllocator MakeGreedy() {
+    return EagerAllocator(&disk_, &space_, AllocatorConfig{.fill_to_threshold = false});
+  }
+  EagerAllocator MakeFill(double threshold = 0.25) {
+    return EagerAllocator(&disk_, &space_,
+                          AllocatorConfig{.fill_to_threshold = true,
+                                          .track_switch_threshold = threshold});
+  }
+
+  // Writes one block at the allocated location, as the VLD would.
+  void WriteTo(uint32_t block) {
+    std::vector<std::byte> data(8 * 512);
+    ASSERT_TRUE(disk_.InternalWrite(space_.BlockToLba(block), data).ok());
+  }
+
+  common::Clock clock_;
+  simdisk::SimDisk disk_;
+  FreeSpaceMap space_;
+};
+
+TEST_F(EagerAllocatorTest, AllocatesFreeBlocksAndMarksThem) {
+  EagerAllocator alloc = MakeGreedy();
+  const auto block = alloc.Allocate();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(space_.state(*block), BlockState::kLive);
+  EXPECT_EQ(alloc.stats().allocations, 1u);
+}
+
+TEST_F(EagerAllocatorTest, PrefersCurrentTrack) {
+  EagerAllocator alloc = MakeGreedy();
+  // Arm starts at cylinder 0 head 0 with everything free: allocation stays on track 0.
+  for (int i = 0; i < static_cast<int>(space_.blocks_per_track()); ++i) {
+    const auto block = alloc.Allocate();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(space_.TrackOfBlock(*block), 0u) << i;
+    WriteTo(*block);
+  }
+  EXPECT_EQ(alloc.stats().same_track, space_.blocks_per_track());
+}
+
+TEST_F(EagerAllocatorTest, SwitchesHeadWhenTrackFull) {
+  EagerAllocator alloc = MakeGreedy();
+  for (uint32_t i = 0; i < space_.blocks_per_track(); ++i) {
+    WriteTo(*alloc.Allocate());
+  }
+  const auto block = alloc.Allocate();
+  ASSERT_TRUE(block.has_value());
+  // Still cylinder 0, different surface.
+  const auto phys = disk_.geometry().ToPhys(space_.BlockToLba(*block));
+  EXPECT_EQ(phys.cylinder, 0u);
+  EXPECT_NE(phys.head, 0u);
+  EXPECT_GE(alloc.stats().same_cylinder, 1u);
+}
+
+TEST_F(EagerAllocatorTest, SeeksWhenCylinderFull) {
+  EagerAllocator alloc = MakeGreedy();
+  const uint64_t per_cyl = space_.blocks_per_track() * disk_.geometry().tracks_per_cylinder;
+  for (uint64_t i = 0; i < per_cyl; ++i) {
+    WriteTo(*alloc.Allocate());
+  }
+  const auto block = alloc.Allocate();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_GT(space_.TrackOfBlock(*block), disk_.geometry().tracks_per_cylinder - 1);
+  EXPECT_GE(alloc.stats().cylinder_seeks, 1u);
+}
+
+TEST_F(EagerAllocatorTest, ReturnsNulloptWhenFull) {
+  EagerAllocator alloc = MakeGreedy();
+  while (space_.free_blocks() > 0) {
+    ASSERT_TRUE(alloc.Allocate().has_value());
+  }
+  EXPECT_FALSE(alloc.Allocate().has_value());
+}
+
+TEST_F(EagerAllocatorTest, NeverReturnsOccupiedBlock) {
+  EagerAllocator alloc = MakeGreedy();
+  std::vector<bool> seen(space_.total_blocks(), false);
+  while (space_.free_blocks() > 0) {
+    const auto block = alloc.Allocate();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_FALSE(seen[*block]);
+    seen[*block] = true;
+  }
+}
+
+TEST_F(EagerAllocatorTest, RespectsExcludedTrack) {
+  EagerAllocator alloc = MakeGreedy();
+  alloc.SetExcludedTrack(0);
+  for (int i = 0; i < 20; ++i) {
+    const auto block = alloc.Allocate();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_NE(space_.TrackOfBlock(*block), 0u);
+  }
+}
+
+TEST_F(EagerAllocatorTest, FillModeReservesThresholdPerTrack) {
+  EagerAllocator alloc = MakeFill(0.25);  // Reserve 25% of 9 blocks -> 2 blocks stay free.
+  std::vector<uint32_t> track_fill(space_.total_tracks(), 0);
+  for (int i = 0; i < 40; ++i) {
+    const auto block = alloc.Allocate();
+    ASSERT_TRUE(block.has_value());
+    ++track_fill[space_.TrackOfBlock(*block)];
+    WriteTo(*block);
+  }
+  for (uint64_t t = 0; t < space_.total_tracks(); ++t) {
+    EXPECT_LE(track_fill[t], space_.blocks_per_track() - 2) << "track " << t;
+  }
+  EXPECT_GE(alloc.stats().fill_track_switches, 40u / (space_.blocks_per_track() - 2));
+}
+
+TEST_F(EagerAllocatorTest, FillModeFallsBackToGreedyWithoutEmptyTracks) {
+  EagerAllocator alloc = MakeFill(0.25);
+  // Occupy one block in every track so no track is empty.
+  for (uint64_t t = 0; t < space_.total_tracks(); ++t) {
+    space_.MarkLive(static_cast<uint32_t>(t * space_.blocks_per_track()));
+  }
+  const auto block = alloc.Allocate();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_GE(alloc.stats().greedy_fallbacks, 1u);
+}
+
+TEST_F(EagerAllocatorTest, NotedEmptyTracksAreUsedFirst) {
+  EagerAllocator alloc = MakeFill(0.25);
+  alloc.NoteEmptyTrack(5);
+  const auto block = alloc.Allocate();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(space_.TrackOfBlock(*block), 5u);
+}
+
+TEST_F(EagerAllocatorTest, EstimateReflectsRotationalProximity) {
+  EagerAllocator alloc = MakeGreedy();
+  // Consecutive allocations on an empty track should have sub-rotation estimated cost.
+  WriteTo(*alloc.Allocate());
+  const auto before = alloc.stats().estimated_locate;
+  WriteTo(*alloc.Allocate());
+  const auto delta = alloc.stats().estimated_locate - before;
+  EXPECT_LT(delta, disk_.params().RotationPeriod());
+}
+
+}  // namespace
+}  // namespace vlog::core

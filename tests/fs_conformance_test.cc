@@ -1,0 +1,245 @@
+// Parameterized conformance suite: one behavioural contract, five storage stacks.
+//
+// Every fs::FileSystem implementation — UFS and LFS on both the regular disk and the VLD
+// (Figure 5's four configurations) plus VLFS — must satisfy the same functional contract.
+// This is the guarantee behind the paper's headline deployment story: the VLD changes the
+// performance of an unmodified file system, never its semantics.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/host_model.h"
+#include "src/simdisk/sim_disk.h"
+#include "src/vlfs/vlfs.h"
+#include "src/workload/platform.h"
+
+namespace vlog {
+namespace {
+
+std::vector<std::byte> Pattern(size_t n, uint32_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(static_cast<uint8_t>(seed * 131 + i * 17));
+  }
+  return v;
+}
+
+enum class Stack { kUfsRegular, kUfsVld, kLfsRegular, kLfsVld, kVlfs };
+
+const char* StackName(Stack stack) {
+  switch (stack) {
+    case Stack::kUfsRegular:
+      return "UfsRegular";
+    case Stack::kUfsVld:
+      return "UfsVld";
+    case Stack::kLfsRegular:
+      return "LfsRegular";
+    case Stack::kLfsVld:
+      return "LfsVld";
+    case Stack::kVlfs:
+      return "Vlfs";
+  }
+  return "?";
+}
+
+// Owns whichever stack the parameter selects and exposes it as fs::FileSystem.
+class StackHarness {
+ public:
+  explicit StackHarness(Stack stack) {
+    if (stack == Stack::kVlfs) {
+      disk_ = std::make_unique<simdisk::SimDisk>(
+          simdisk::Truncated(simdisk::SeagateSt19101(), 6), &clock_);
+      host_ = std::make_unique<simdisk::HostModel>(simdisk::ZeroCostHost(), &clock_);
+      vlfs_ = std::make_unique<vlfs::Vlfs>(disk_.get(), host_.get());
+      EXPECT_TRUE(vlfs_->Format().ok());
+      fs_ = vlfs_.get();
+      return;
+    }
+    workload::PlatformConfig config;
+    config.host_kind = workload::HostKind::kZeroCost;
+    config.cylinders = 6;
+    config.fs_kind = (stack == Stack::kUfsRegular || stack == Stack::kUfsVld)
+                         ? workload::FsKind::kUfs
+                         : workload::FsKind::kLfs;
+    config.disk_kind = (stack == Stack::kUfsVld || stack == Stack::kLfsVld)
+                           ? workload::DiskKind::kVld
+                           : workload::DiskKind::kRegular;
+    platform_ = std::make_unique<workload::Platform>(config);
+    EXPECT_TRUE(platform_->Format().ok());
+    fs_ = &platform_->fs();
+  }
+
+  fs::FileSystem& fs() { return *fs_; }
+
+ private:
+  common::Clock clock_;
+  std::unique_ptr<simdisk::SimDisk> disk_;
+  std::unique_ptr<simdisk::HostModel> host_;
+  std::unique_ptr<vlfs::Vlfs> vlfs_;
+  std::unique_ptr<workload::Platform> platform_;
+  fs::FileSystem* fs_ = nullptr;
+};
+
+class FsConformanceTest : public ::testing::TestWithParam<Stack> {
+ protected:
+  FsConformanceTest() : harness_(GetParam()) {}
+  fs::FileSystem& fs() { return harness_.fs(); }
+  StackHarness harness_;
+};
+
+TEST_P(FsConformanceTest, CreateStatRemoveLifecycle) {
+  ASSERT_TRUE(fs().Create("/f").ok());
+  auto info = fs().Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 0u);
+  EXPECT_FALSE(info->is_directory);
+  ASSERT_TRUE(fs().Remove("/f").ok());
+  EXPECT_EQ(fs().Stat("/f").status().code(), common::StatusCode::kNotFound);
+  EXPECT_EQ(fs().Remove("/f").code(), common::StatusCode::kNotFound);
+}
+
+TEST_P(FsConformanceTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(fs().Create("/dup").ok());
+  EXPECT_EQ(fs().Create("/dup").code(), common::StatusCode::kAlreadyExists);
+}
+
+TEST_P(FsConformanceTest, RelativePathsRejected) {
+  EXPECT_EQ(fs().Create("nope").code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_P(FsConformanceTest, WriteReadByteExact) {
+  ASSERT_TRUE(fs().Create("/f").ok());
+  for (const size_t size : {1ul, 511ul, 512ul, 4095ul, 4096ul, 4097ul, 70000ul}) {
+    const auto data = Pattern(size, static_cast<uint32_t>(size));
+    ASSERT_TRUE(fs().Write("/f", 0, data, fs::WritePolicy::kSync).ok()) << size;
+    std::vector<std::byte> out(size);
+    auto n = fs().Read("/f", 0, out);
+    ASSERT_TRUE(n.ok()) << size;
+    ASSERT_EQ(*n, size);
+    ASSERT_EQ(out, data) << size;
+  }
+}
+
+TEST_P(FsConformanceTest, UnalignedOverwriteInMiddle) {
+  ASSERT_TRUE(fs().Create("/f").ok());
+  auto base = Pattern(20000, 1);
+  ASSERT_TRUE(fs().Write("/f", 0, base, fs::WritePolicy::kAsync).ok());
+  const auto patch = Pattern(3333, 2);
+  ASSERT_TRUE(fs().Write("/f", 7777, patch, fs::WritePolicy::kSync).ok());
+  std::memcpy(base.data() + 7777, patch.data(), patch.size());
+  std::vector<std::byte> out(base.size());
+  ASSERT_TRUE(fs().Read("/f", 0, out).ok());
+  EXPECT_EQ(out, base);
+}
+
+TEST_P(FsConformanceTest, ReadBeyondEofIsShortOrZero) {
+  ASSERT_TRUE(fs().Create("/f").ok());
+  ASSERT_TRUE(fs().Write("/f", 0, Pattern(100, 3), fs::WritePolicy::kAsync).ok());
+  std::vector<std::byte> out(500);
+  auto n = fs().Read("/f", 60, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 40u);
+  EXPECT_EQ(*fs().Read("/f", 100, out), 0u);
+  EXPECT_EQ(*fs().Read("/f", 5000, out), 0u);
+}
+
+TEST_P(FsConformanceTest, AppendGrowsFile) {
+  ASSERT_TRUE(fs().Create("/log").ok());
+  std::vector<std::byte> all;
+  for (int i = 0; i < 24; ++i) {
+    const auto chunk = Pattern(1000 + i * 37, i);
+    ASSERT_TRUE(fs().Write("/log", all.size(), chunk, fs::WritePolicy::kAsync).ok()) << i;
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(fs().Stat("/log")->size, all.size());
+  std::vector<std::byte> out(all.size());
+  ASSERT_TRUE(fs().Read("/log", 0, out).ok());
+  EXPECT_EQ(out, all);
+}
+
+TEST_P(FsConformanceTest, DirectoryTreeOperations) {
+  ASSERT_TRUE(fs().Mkdir("/a").ok());
+  ASSERT_TRUE(fs().Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs().Create("/a/b/c").ok());
+  ASSERT_TRUE(fs().Write("/a/b/c", 0, Pattern(5000, 4), fs::WritePolicy::kAsync).ok());
+  EXPECT_TRUE(fs().Stat("/a")->is_directory);
+  EXPECT_TRUE(fs().Stat("/a/b")->is_directory);
+  auto names = fs().List("/a/b");
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "c");
+  EXPECT_EQ(fs().Remove("/a").code(), common::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs().Remove("/a/b/c").ok());
+  ASSERT_TRUE(fs().Remove("/a/b").ok());
+  ASSERT_TRUE(fs().Remove("/a").ok());
+}
+
+TEST_P(FsConformanceTest, DataSurvivesSyncAndCacheDrop) {
+  ASSERT_TRUE(fs().Create("/durable").ok());
+  const auto data = Pattern(123456, 5);
+  ASSERT_TRUE(fs().Write("/durable", 0, data, fs::WritePolicy::kAsync).ok());
+  ASSERT_TRUE(fs().Sync().ok());
+  ASSERT_TRUE(fs().DropCaches().ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(fs().Read("/durable", 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(FsConformanceTest, ManyFilesChurn) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+  std::vector<std::pair<std::string, std::vector<std::byte>>> live;
+  for (int op = 0; op < 300; ++op) {
+    if (live.size() < 40 || rng.Chance(0.6)) {
+      const std::string path = "/churn" + std::to_string(op);
+      ASSERT_TRUE(fs().Create(path).ok()) << op;
+      auto data = Pattern(1 + rng.Below(9000), op);
+      ASSERT_TRUE(fs().Write(path, 0, data, fs::WritePolicy::kAsync).ok()) << op;
+      live.emplace_back(path, std::move(data));
+    } else {
+      const size_t victim = rng.Below(live.size());
+      ASSERT_TRUE(fs().Remove(live[victim].first).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  ASSERT_TRUE(fs().DropCaches().ok());
+  for (const auto& [path, data] : live) {
+    std::vector<std::byte> out(data.size());
+    auto n = fs().Read(path, 0, out);
+    ASSERT_TRUE(n.ok()) << path;
+    ASSERT_EQ(*n, data.size()) << path;
+    ASSERT_EQ(out, data) << path;
+  }
+}
+
+TEST_P(FsConformanceTest, SyncWritesInterleavedWithReads) {
+  ASSERT_TRUE(fs().Create("/mix").ok());
+  std::vector<std::byte> shadow(64 * 1024, std::byte{0});
+  ASSERT_TRUE(fs().Write("/mix", 0, shadow, fs::WritePolicy::kSync).ok());
+  common::Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t off = rng.Below(shadow.size() - 4096);
+    const auto data = Pattern(4096, i);
+    ASSERT_TRUE(fs().Write("/mix", off, data, fs::WritePolicy::kSync).ok());
+    std::memcpy(shadow.data() + off, data.data(), data.size());
+    const uint64_t roff = rng.Below(shadow.size() - 512);
+    std::vector<std::byte> out(512);
+    ASSERT_TRUE(fs().Read("/mix", roff, out).ok());
+    ASSERT_TRUE(std::equal(out.begin(), out.end(), shadow.begin() + roff)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, FsConformanceTest,
+                         ::testing::Values(Stack::kUfsRegular, Stack::kUfsVld,
+                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs),
+                         [](const ::testing::TestParamInfo<Stack>& param_info) {
+                           return StackName(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace vlog

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/models/analytic.h"
+#include "src/models/track_sim.h"
+
+namespace vlog::models {
+namespace {
+
+TEST(SingleTrack, MatchesClosedForm) {
+  // Formula (1): (1-p)n / (1+pn). Spot values.
+  EXPECT_NEAR(SingleTrackSkips(0.5, 100), 0.5 * 100 / 51.0, 1e-12);
+  EXPECT_NEAR(SingleTrackSkips(0.2, 72), 0.8 * 72 / (1 + 0.2 * 72), 1e-12);
+}
+
+TEST(SingleTrack, ApproximatesUsedToFreeRatio) {
+  // §2.1: the formula is roughly the ratio of occupied to free sectors; at 80% utilization
+  // expect about a four-sector delay.
+  EXPECT_NEAR(SingleTrackSkips(0.2, 256), 4.0, 0.35);
+}
+
+TEST(SingleTrack, MonotoneInFreeSpace) {
+  double prev = 1e18;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double v = SingleTrackSkips(p, 72);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SingleTrack, AgreesWithMonteCarlo) {
+  common::Rng rng(42);
+  for (double p : {0.1, 0.3, 0.5, 0.8}) {
+    const double model = SingleTrackSkips(p, 72);
+    const double sim = SimulateSingleTrackSkips(p, 72, 40000, rng);
+    EXPECT_NEAR(sim, model, 0.05 * model + 0.1) << "p=" << p;
+  }
+}
+
+TEST(BlockSkips, MatchedBlockSizeIsBest) {
+  // Appendix A.1: latency is lowest when the physical block size matches the logical size.
+  const uint32_t n = 256;
+  for (double p : {0.2, 0.5}) {
+    const double matched = BlockSkips(p, n, 8, 8);
+    for (uint32_t b : {1u, 2u, 4u}) {
+      EXPECT_LT(matched, BlockSkips(p, n, 8, b)) << "p=" << p << " b=" << b;
+    }
+  }
+}
+
+TEST(BlockSkips, ReducesToSingleSectorForm) {
+  EXPECT_NEAR(BlockSkips(0.3, 72, 1, 1), SingleTrackSkips(0.3, 72), 1e-12);
+  // Eight independent single-sector searches.
+  EXPECT_NEAR(BlockSkips(0.3, 72, 8, 1), 8 * SingleTrackSkips(0.3, 72), 1e-12);
+}
+
+TEST(SingleCylinder, NeverWorseThanSingleTrack) {
+  // Having other tracks to choose from can only help. Formula (2)'s fx is geometric (like the
+  // paper's), so the matching single-track baseline is E[x] = (1-p)/p.
+  for (double p : {0.1, 0.3, 0.6}) {
+    EXPECT_LE(SingleCylinderSkips(p, 72, 19, 12.0), (1.0 - p) / p + 1e-9);
+  }
+}
+
+TEST(SingleCylinder, ReducesToSingleTrackWhenAlone) {
+  EXPECT_NEAR(SingleCylinderSkips(0.4, 72, 1, 12.0), SingleTrackSkips(0.4, 72), 1e-9);
+}
+
+TEST(SingleCylinder, AgreesWithMonteCarlo) {
+  common::Rng rng(7);
+  // HP97560-like: head switch of 2.5 ms = 12 sectors at 208 us/sector.
+  for (double p : {0.1, 0.3, 0.6}) {
+    const double model = SingleCylinderSkips(p, 72, 19, 12.0);
+    const double sim = SimulateCylinderSkips(p, 72, 19, 12.0, 20000, rng);
+    EXPECT_NEAR(sim, model, 0.08 * model + 0.15) << "p=" << p;
+  }
+}
+
+TEST(SingleCylinder, HeadSwitchMattersAtHighUtilization) {
+  // With scarce free space the other tracks help despite the switch cost; latency must fall
+  // well below the geometric single-track expectation (1-p)/p = 19 sectors at p = 0.05.
+  const double cyl = SingleCylinderSkips(0.05, 72, 19, 12.0);
+  EXPECT_LT(cyl, 0.95 / 0.05 / 2);
+}
+
+TEST(FillTrack, ExactSumMatchesIntegralApproximation) {
+  for (uint32_t n : {72u, 256u}) {
+    for (uint32_t m : {n / 10, n / 4, n / 2}) {
+      const double exact = FillTrackSkipsExact(n, m);
+      const double approx = (n + 1.0) * std::log((n + 2.0) / (m + 2.0)) - (n - m);
+      EXPECT_NEAR(approx, exact, 0.05 * exact + 0.5) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(FillTrack, LatencyIsUShapedInThreshold) {
+  // Figure 2: too-frequent switches pay the switch cost; too-rare switches pay crowded-track
+  // rotational delays. The optimum is interior.
+  const auto hp_switch = common::Milliseconds(2.5);
+  const auto hp_sector = common::Milliseconds(14.992 / 72);
+  const common::Duration high = FillTrackLatency(72, 64, hp_switch, hp_sector);  // Switch often.
+  const common::Duration low = FillTrackLatency(72, 1, hp_switch, hp_sector);    // Fill full.
+  common::Duration best = std::min(high, low);
+  bool interior_better = false;
+  for (uint32_t m = 2; m < 64; ++m) {
+    if (FillTrackLatency(72, m, hp_switch, hp_sector) < best) {
+      interior_better = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(interior_better);
+}
+
+TEST(FillTrack, ModelTracksSimulation) {
+  common::Rng rng(99);
+  const double switch_sectors = 12.0;
+  for (uint32_t m : {4u, 8u, 18u, 36u}) {
+    const double sim = SimulateFillTrack(72, m, switch_sectors, 4000, rng);
+    const double skips =
+        (72 + 1.0) * std::log((72 + 2.0) / (m + 2.0)) - (72.0 - m) + NonRandomnessCorrection(72, m);
+    const double model = (switch_sectors + skips) / (72.0 - m);
+    EXPECT_NEAR(sim, model, 0.25 * model + 0.3) << "m=" << m;
+  }
+}
+
+TEST(HalfRotation, Baseline) {
+  EXPECT_EQ(HalfRotation(common::Milliseconds(6.0)), common::Milliseconds(3.0));
+}
+
+TEST(TechnologyTrend, SeagateLocatesTenTimesFaster) {
+  // Figure 1's headline: nearly an order of magnitude improvement from HP97560 to ST19101 at
+  // equal utilization, because locate time scales with platter bandwidth.
+  const double hp_ms = SingleCylinderSkips(0.3, 72, 19, 12.0) * 14.992 / 72;
+  const double st_ms = SingleCylinderSkips(0.3, 256, 16, 21.0) * 6.0 / 256;
+  EXPECT_GT(hp_ms / st_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace vlog::models

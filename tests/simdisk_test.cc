@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/geometry.h"
+#include "src/simdisk/host_model.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::simdisk {
+namespace {
+
+using common::Clock;
+using common::Duration;
+using common::Milliseconds;
+
+std::vector<std::byte> Pattern(size_t n, uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(static_cast<uint8_t>(seed + i));
+  }
+  return v;
+}
+
+TEST(Geometry, LbaPhysRoundTrip) {
+  const DiskGeometry g{.cylinders = 36, .tracks_per_cylinder = 19, .sectors_per_track = 72,
+                       .sector_bytes = 512};
+  EXPECT_EQ(g.TotalSectors(), 36ull * 19 * 72);
+  for (Lba lba : {Lba{0}, Lba{71}, Lba{72}, Lba{1367}, Lba{1368}, g.TotalSectors() - 1}) {
+    EXPECT_EQ(g.ToLba(g.ToPhys(lba)), lba);
+  }
+  const PhysAddr p = g.ToPhys(72 * 19);  // First sector of cylinder 1.
+  EXPECT_EQ(p.cylinder, 1u);
+  EXPECT_EQ(p.head, 0u);
+  EXPECT_EQ(p.sector, 0u);
+}
+
+TEST(Geometry, TrackIndexing) {
+  const DiskGeometry g{.cylinders = 4, .tracks_per_cylinder = 2, .sectors_per_track = 8,
+                       .sector_bytes = 512};
+  EXPECT_EQ(g.TrackOf(0), 0u);
+  EXPECT_EQ(g.TrackOf(7), 0u);
+  EXPECT_EQ(g.TrackOf(8), 1u);
+  EXPECT_EQ(g.TrackStart(3), 24u);
+  EXPECT_EQ(g.TotalTracks(), 8u);
+}
+
+TEST(DiskParams, Table1Values) {
+  const DiskParams hp = Hp97560();
+  EXPECT_EQ(hp.geometry.sectors_per_track, 72u);
+  EXPECT_EQ(hp.geometry.tracks_per_cylinder, 19u);
+  EXPECT_EQ(hp.head_switch, Milliseconds(2.5));
+  EXPECT_EQ(hp.scsi_overhead, Milliseconds(2.3));
+  EXPECT_NEAR(common::ToMilliseconds(hp.RotationPeriod()), 14.99, 0.01);
+  // Table 1: minimum seek 3.6 ms.
+  EXPECT_NEAR(common::ToMilliseconds(hp.seek.SeekTime(1)), 3.64, 0.01);
+
+  const DiskParams st = SeagateSt19101();
+  EXPECT_EQ(st.geometry.sectors_per_track, 256u);
+  EXPECT_EQ(st.geometry.tracks_per_cylinder, 16u);
+  EXPECT_NEAR(common::ToMilliseconds(st.RotationPeriod()), 6.0, 0.001);
+  EXPECT_NEAR(common::ToMilliseconds(st.seek.SeekTime(1)), 0.5, 0.001);
+  EXPECT_EQ(st.scsi_overhead, Milliseconds(0.1));
+}
+
+TEST(DiskParams, SeekCurveMonotone) {
+  for (const DiskParams& p : {Hp97560(), SeagateSt19101()}) {
+    Duration prev = 0;
+    for (uint32_t d = 0; d < p.geometry.cylinders; d += 37) {
+      const Duration t = p.seek.SeekTime(d);
+      EXPECT_GE(t, prev) << p.name << " distance " << d;
+      prev = t;
+    }
+  }
+}
+
+TEST(DiskParams, TruncatedKeepsTiming) {
+  const DiskParams t = Truncated(Hp97560(), 36);
+  EXPECT_EQ(t.geometry.cylinders, 36u);
+  EXPECT_EQ(t.RotationPeriod(), Hp97560().RotationPeriod());
+  // ~24 MB, matching the paper's kernel-memory ramdisk.
+  EXPECT_NEAR(static_cast<double>(t.geometry.CapacityBytes()) / (1 << 20), 24.0, 1.5);
+}
+
+class SimDiskTest : public ::testing::Test {
+ protected:
+  SimDiskTest() : disk_(Truncated(Hp97560(), 36), &clock_) {}
+  Clock clock_;
+  SimDisk disk_;
+};
+
+TEST_F(SimDiskTest, WriteThenReadBack) {
+  const auto data = Pattern(4096, 3);
+  ASSERT_TRUE(disk_.Write(100, data).ok());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(disk_.Read(100, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(SimDiskTest, RejectsBadRanges) {
+  std::vector<std::byte> buf(100);  // Not a whole sector.
+  EXPECT_FALSE(disk_.Read(0, buf).ok());
+  std::vector<std::byte> sector(512);
+  EXPECT_FALSE(disk_.Write(disk_.SectorCount(), sector).ok());
+  std::vector<std::byte> two_sectors(1024);
+  EXPECT_FALSE(disk_.Read(disk_.SectorCount() - 1, two_sectors).ok());
+}
+
+TEST_F(SimDiskTest, HostCommandChargesScsiOverhead) {
+  const common::Time before = clock_.Now();
+  std::vector<std::byte> sector(512);
+  ASSERT_TRUE(disk_.Write(0, sector).ok());
+  EXPECT_GE(clock_.Now() - before, disk_.params().scsi_overhead);
+  EXPECT_EQ(disk_.stats().breakdown.scsi_overhead, disk_.params().scsi_overhead);
+}
+
+TEST_F(SimDiskTest, InternalOpSkipsScsiOverhead) {
+  std::vector<std::byte> sector(512);
+  ASSERT_TRUE(disk_.InternalWrite(0, sector).ok());
+  EXPECT_EQ(disk_.stats().breakdown.scsi_overhead, 0);
+}
+
+TEST_F(SimDiskTest, SeekChargedWhenCylinderChanges) {
+  std::vector<std::byte> sector(512);
+  ASSERT_TRUE(disk_.InternalWrite(0, sector).ok());
+  const Duration same_cyl = disk_.last_request().locate;
+  // Same cylinder: no seek beyond rotation; far cylinder pays the seek curve.
+  const Lba far = disk_.geometry().ToLba(PhysAddr{35, 0, 0});
+  ASSERT_TRUE(disk_.InternalWrite(far, sector).ok());
+  const Duration far_locate = disk_.last_request().locate;
+  EXPECT_GE(far_locate, disk_.params().seek.SeekTime(35));
+  EXPECT_LE(same_cyl, disk_.params().RotationPeriod());
+}
+
+TEST_F(SimDiskTest, RotationalWaitMatchesClockPhase) {
+  const Duration period = disk_.params().RotationPeriod();
+  const uint32_t n = disk_.geometry().sectors_per_track;
+  // At time 0 the head is at sector 0; waiting for sector k takes k/n of a rotation.
+  for (uint32_t k : {1u, 7u, n - 1}) {
+    const Duration wait = disk_.RotationalWait(k, 0);
+    EXPECT_NEAR(static_cast<double>(wait), static_cast<double>(period) * k / n, 2.0);
+  }
+  // Sector 0 at time 0: zero wait.
+  EXPECT_EQ(disk_.RotationalWait(0, 0), 0);
+}
+
+TEST_F(SimDiskTest, SequentialTransferRunsAtMediaRate) {
+  // Writing a whole track takes about one rotation of transfer time.
+  const uint32_t n = disk_.geometry().sectors_per_track;
+  const auto data = Pattern(static_cast<size_t>(n) * 512, 1);
+  disk_.stats().Reset();
+  ASSERT_TRUE(disk_.InternalWrite(0, data).ok());
+  EXPECT_EQ(disk_.last_request().transfer, disk_.params().SectorTime() * n);
+}
+
+TEST_F(SimDiskTest, TrackBufferServesSequentialReread) {
+  const auto data = Pattern(8 * 512, 9);
+  ASSERT_TRUE(disk_.Write(16, data).ok());
+  std::vector<std::byte> out(8 * 512);
+  ASSERT_TRUE(disk_.Read(16, out).ok());  // Mechanical, populates the buffer.
+  const uint64_t hits_before = disk_.stats().buffer_hits;
+  ASSERT_TRUE(disk_.Read(16, out).ok());  // Same range: buffered.
+  EXPECT_EQ(disk_.stats().buffer_hits, hits_before + 1);
+}
+
+TEST_F(SimDiskTest, StandardPolicyDiscardsLowerAddresses) {
+  disk_.set_read_ahead_policy(ReadAheadPolicy::kStandard);
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE(disk_.Read(40, out).ok());
+  ASSERT_TRUE(disk_.Read(45, out).ok());
+  // After reading ahead to 45, address 40 was discarded (lower than current request start).
+  const uint64_t hits = disk_.stats().buffer_hits;
+  ASSERT_TRUE(disk_.Read(40, out).ok());
+  EXPECT_EQ(disk_.stats().buffer_hits, hits);
+}
+
+TEST_F(SimDiskTest, AggressivePolicyKeepsWholeTrack) {
+  disk_.set_read_ahead_policy(ReadAheadPolicy::kAggressiveTrack);
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE(disk_.Read(40, out).ok());  // Prefetches the entire track 0.
+  uint64_t hits = disk_.stats().buffer_hits;
+  ASSERT_TRUE(disk_.Read(10, out).ok());  // Lower address, same track: still buffered.
+  EXPECT_EQ(disk_.stats().buffer_hits, hits + 1);
+  ASSERT_TRUE(disk_.Read(70, out).ok());
+  EXPECT_EQ(disk_.stats().buffer_hits, hits + 2);
+}
+
+TEST_F(SimDiskTest, WriteInvalidatesOverlappingBuffer) {
+  std::vector<std::byte> out(512);
+  ASSERT_TRUE(disk_.Read(40, out).ok());
+  ASSERT_TRUE(disk_.Write(40, Pattern(512, 2)).ok());
+  const uint64_t hits = disk_.stats().buffer_hits;
+  ASSERT_TRUE(disk_.Read(40, out).ok());
+  EXPECT_EQ(disk_.stats().buffer_hits, hits);  // Miss: buffer was invalidated.
+}
+
+TEST_F(SimDiskTest, EstimatePositionMatchesCharge) {
+  // The allocator's cost estimate must agree with what servicing actually charges.
+  std::vector<std::byte> sector(512);
+  ASSERT_TRUE(disk_.InternalWrite(0, sector).ok());
+  const Lba target = disk_.geometry().ToLba(PhysAddr{7, 3, 41});
+  const Duration estimate = disk_.EstimatePosition(target, clock_.Now());
+  ASSERT_TRUE(disk_.InternalWrite(target, sector).ok());
+  EXPECT_EQ(disk_.last_request().locate, estimate);
+}
+
+TEST_F(SimDiskTest, InjectedWriteFailureLeavesMediaIntact) {
+  ASSERT_TRUE(disk_.Write(8, Pattern(512, 1)).ok());
+  disk_.SetWriteFailureAfter(1);
+  EXPECT_TRUE(disk_.Write(16, Pattern(512, 2)).ok());   // One more succeeds.
+  EXPECT_FALSE(disk_.Write(24, Pattern(512, 3)).ok());  // Then the power is gone.
+  std::vector<std::byte> out(512);
+  disk_.PeekMedia(24, out);
+  EXPECT_EQ(out, std::vector<std::byte>(512));  // Untouched.
+  disk_.SetWriteFailureAfter(std::nullopt);
+  EXPECT_TRUE(disk_.Write(24, Pattern(512, 3)).ok());
+}
+
+TEST(HostModel, ChargesAndAccounts) {
+  Clock clock;
+  HostModel host(SparcStation10(), &clock);
+  host.ChargeSyscall();
+  host.ChargeBlocks(2);
+  host.ChargeCopy(4096);
+  const Duration expected = common::Microseconds(100) + 2 * common::Microseconds(350) +
+                            4 * common::Microseconds(12);
+  EXPECT_EQ(clock.Now(), expected);
+  EXPECT_EQ(host.total_charged(), expected);
+}
+
+TEST(HostModel, UltraSparcIsFasterByClockRatio) {
+  const HostParams slow = SparcStation10();
+  const HostParams fast = UltraSparc170();
+  EXPECT_NEAR(static_cast<double>(fast.per_block_fs_cpu) / slow.per_block_fs_cpu, 50.0 / 167.0,
+              0.01);
+}
+
+TEST(MediaBandwidth, SeagateIsAnOrderFasterThanHp) {
+  // §2.1: locating a free sector scales with platter bandwidth; the ST19101 moves ~7x more
+  // bytes per second under the head than the HP97560.
+  const double hp = Hp97560().MediaBandwidthMbPerS();
+  const double st = SeagateSt19101().MediaBandwidthMbPerS();
+  EXPECT_GT(st / hp, 5.0);
+}
+
+}  // namespace
+}  // namespace vlog::simdisk

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/virtual_log.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+namespace {
+
+constexpr uint32_t kPieces = 6;
+constexpr uint32_t kBlockSectors = 8;
+
+// A VirtualLog with its supporting disk/space/allocator, on a small HP-like disk.
+class VirtualLogTest : public ::testing::Test {
+ protected:
+  VirtualLogTest() { Reset(/*pinned_limit=*/64); }
+
+  void Reset(uint32_t pinned_limit) {
+    clock_ = common::Clock();
+    disk_.emplace(simdisk::Truncated(simdisk::Hp97560(), 6), &clock_);
+    space_.emplace(disk_->geometry(), kBlockSectors);
+    // System region: park sector + checkpoint (pieces+1 sectors) -> one 8-sector block.
+    space_->MarkSystem(0);
+    allocator_.emplace(&*disk_, &*space_, AllocatorConfig{});
+    vlog_.emplace(&*disk_, &*allocator_,
+                  VirtualLogConfig{.pieces = kPieces,
+                                   .block_sectors = kBlockSectors,
+                                   .park_lba = 0,
+                                   .checkpoint_lba = 1,
+                                   .pinned_limit = pinned_limit});
+    ASSERT_TRUE(vlog_->Format().ok());
+  }
+
+  // Simulates a restart: fresh in-memory state over the same media.
+  void Reopen() {
+    space_.emplace(disk_->geometry(), kBlockSectors);
+    space_->MarkSystem(0);
+    allocator_.emplace(&*disk_, &*space_, AllocatorConfig{});
+    VirtualLogConfig cfg = vlog_->config();
+    vlog_.emplace(&*disk_, &*allocator_, cfg);
+  }
+
+  static std::vector<uint32_t> Entries(uint32_t fill) {
+    std::vector<uint32_t> e(kEntriesPerSector, kUnmappedBlock);
+    e[0] = fill;
+    e[1] = fill * 2 + 1;
+    return e;
+  }
+
+  // After recovery, live map blocks must be re-marked before further appends.
+  void RemarkLiveBlocks() {
+    for (uint32_t k = 0; k < kPieces; ++k) {
+      if (const auto block = vlog_->LiveBlockOfPiece(k)) {
+        space_->MarkLive(*block);
+      }
+    }
+    for (const uint32_t block : vlog_->PinnedBlocks()) {
+      space_->MarkLive(block);
+    }
+  }
+
+  common::Clock clock_;
+  std::optional<simdisk::SimDisk> disk_;
+  std::optional<FreeSpaceMap> space_;
+  std::optional<EagerAllocator> allocator_;
+  std::optional<VirtualLog> vlog_;
+};
+
+TEST_F(VirtualLogTest, FreshLogRecoversEmpty) {
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->used_scan);
+  for (const auto& piece : result->pieces) {
+    EXPECT_TRUE(piece.empty());
+  }
+}
+
+TEST_F(VirtualLogTest, AppendParkRecoverRoundTrip) {
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(10)).ok());
+  ASSERT_TRUE(vlog_->AppendPiece(3, Entries(20)).ok());
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->used_scan);
+  EXPECT_EQ(result->pieces[0], Entries(10));
+  EXPECT_EQ(result->pieces[3], Entries(20));
+  EXPECT_TRUE(result->pieces[1].empty());
+  EXPECT_TRUE(result->uncovered_pieces.empty());
+}
+
+TEST_F(VirtualLogTest, YoungestVersionWinsAfterOverwrites) {
+  for (uint32_t v = 0; v < 25; ++v) {
+    ASSERT_TRUE(vlog_->AppendPiece(1, Entries(v)).ok());
+  }
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pieces[1], Entries(24));
+}
+
+TEST_F(VirtualLogTest, OverwritingRecyclesBlocks) {
+  for (uint32_t v = 0; v < 25; ++v) {
+    ASSERT_TRUE(vlog_->AppendPiece(1, Entries(v)).ok());
+  }
+  // One live sector plus maybe a few pinned: nearly all 25 appends were recycled.
+  EXPECT_GE(vlog_->stats().recycled_blocks, 20u);
+  EXPECT_LE(space_->live_blocks(), 1 + vlog_->PinnedCount());
+}
+
+TEST_F(VirtualLogTest, CrashWithoutParkFallsBackToScan) {
+  ASSERT_TRUE(vlog_->AppendPiece(2, Entries(7)).ok());
+  // No Park: a crash. The stale park sector was cleared at Format.
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  EXPECT_EQ(result->pieces[2], Entries(7));
+}
+
+TEST_F(VirtualLogTest, ParkIsClearedAfterRecovery) {
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(1)).ok());
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  ASSERT_TRUE(vlog_->Recover().ok());
+  RemarkLiveBlocks();
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(2)).ok());
+  // Crash now: the old park record must not be trusted (it was cleared), so scan runs and
+  // finds the newer version.
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  EXPECT_EQ(result->pieces[0], Entries(2));
+}
+
+TEST_F(VirtualLogTest, TransactionAppliedAtomicallyWhenComplete) {
+  std::vector<VirtualLog::PieceUpdate> updates;
+  updates.push_back({0, Entries(100)});
+  updates.push_back({1, Entries(101)});
+  updates.push_back({2, Entries(102)});
+  ASSERT_TRUE(vlog_->AppendTransaction(updates).ok());
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pieces[0], Entries(100));
+  EXPECT_EQ(result->pieces[1], Entries(101));
+  EXPECT_EQ(result->pieces[2], Entries(102));
+  EXPECT_EQ(result->discarded_txn_sectors, 0u);
+}
+
+TEST_F(VirtualLogTest, InterruptedTransactionRollsBackEveryPiece) {
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(1)).ok());
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(2)).ok());
+  // Crash after the first sector of a two-piece transaction hits the disk.
+  disk_->SetWriteFailureAfter(1);
+  std::vector<VirtualLog::PieceUpdate> updates;
+  updates.push_back({0, Entries(50)});
+  updates.push_back({1, Entries(51)});
+  EXPECT_FALSE(vlog_->AppendTransaction(updates).ok());
+  disk_->SetWriteFailureAfter(std::nullopt);
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->discarded_txn_sectors, 1u);
+  EXPECT_EQ(result->pieces[0], Entries(1)) << "must roll back to the pre-transaction version";
+  EXPECT_EQ(result->pieces[1], Entries(2));
+}
+
+TEST_F(VirtualLogTest, CheckpointSeedsRecoveryAndFreesLog) {
+  std::vector<std::vector<uint32_t>> all(kPieces);
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    all[k] = Entries(k + 60);
+    ASSERT_TRUE(vlog_->AppendPiece(k, all[k]).ok());
+  }
+  const uint64_t live_before = space_->live_blocks();
+  ASSERT_TRUE(vlog_->WriteCheckpoint(all).ok());
+  EXPECT_LT(space_->live_blocks(), live_before);
+  // Post-checkpoint append, then clean shutdown.
+  ASSERT_TRUE(vlog_->AppendPiece(2, Entries(99)).ok());
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->from_checkpoint);
+  EXPECT_EQ(result->pieces[2], Entries(99)) << "log beats checkpoint";
+  EXPECT_EQ(result->pieces[4], Entries(64)) << "checkpoint fills unlogged pieces";
+}
+
+TEST_F(VirtualLogTest, ScanRecoveryHonorsCheckpointBoundary) {
+  std::vector<std::vector<uint32_t>> all(kPieces);
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    all[k] = Entries(k);
+    ASSERT_TRUE(vlog_->AppendPiece(k, all[k]).ok());
+  }
+  all[1] = Entries(500);
+  ASSERT_TRUE(vlog_->AppendPiece(1, all[1]).ok());
+  ASSERT_TRUE(vlog_->WriteCheckpoint(all).ok());
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(700)).ok());
+  Reopen();  // Crash (no park) -> scan.
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  EXPECT_EQ(result->pieces[0], Entries(700));
+  EXPECT_EQ(result->pieces[1], Entries(500));
+}
+
+TEST_F(VirtualLogTest, AutoCheckpointValveBoundsPinnedSectors) {
+  Reset(/*pinned_limit=*/0);
+  std::vector<std::vector<uint32_t>> shadow(kPieces);
+  vlog_->SetEntriesProvider([this, &shadow](uint32_t piece) { return shadow[piece]; });
+  common::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const uint32_t piece = static_cast<uint32_t>(rng.Below(kPieces));
+    shadow[piece] = Entries(static_cast<uint32_t>(i));
+    ASSERT_TRUE(vlog_->AppendPiece(piece, shadow[piece]).ok());
+    ASSERT_LE(vlog_->PinnedCount(), 1u);
+  }
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    EXPECT_EQ(result->pieces[k], shadow[k]) << "piece " << k;
+  }
+}
+
+// The crown-jewel property test: random appends/transactions with freed blocks being actively
+// reused as "data" (overwritten with junk), interleaved with random crashes (scan recovery) and
+// clean shutdowns (park recovery). After every recovery the map must equal the shadow model.
+TEST_F(VirtualLogTest, RandomizedCrashRecoveryMatchesShadow) {
+  common::Rng rng(20260706);
+  std::vector<std::vector<uint32_t>> shadow(kPieces);
+  uint32_t version = 0;
+
+  for (int round = 0; round < 30; ++round) {
+    const int ops = 1 + static_cast<int>(rng.Below(40));
+    for (int op = 0; op < ops; ++op) {
+      if (rng.Chance(0.25)) {
+        // Multi-piece transaction.
+        std::vector<VirtualLog::PieceUpdate> updates;
+        const uint32_t count = 2 + static_cast<uint32_t>(rng.Below(3));
+        std::vector<std::vector<uint32_t>> staged = shadow;
+        for (uint32_t i = 0; i < count; ++i) {
+          uint32_t piece = static_cast<uint32_t>(rng.Below(kPieces));
+          bool duplicate = false;
+          for (const auto& u : updates) {
+            duplicate |= u.piece == piece;
+          }
+          if (duplicate) {
+            continue;
+          }
+          staged[piece] = Entries(++version);
+          updates.push_back({piece, staged[piece]});
+        }
+        ASSERT_TRUE(vlog_->AppendTransaction(updates).ok());
+        shadow = staged;
+      } else {
+        const uint32_t piece = static_cast<uint32_t>(rng.Below(kPieces));
+        shadow[piece] = Entries(++version);
+        ASSERT_TRUE(vlog_->AppendPiece(piece, shadow[piece]).ok());
+      }
+      // Aggressively reuse freed space: overwrite a random free block with junk, simulating
+      // the VLD putting file data there. This is what makes stale map sectors disappear.
+      for (int j = 0; j < 2; ++j) {
+        const uint32_t block = static_cast<uint32_t>(rng.Below(space_->total_blocks()));
+        if (space_->state(block) == BlockState::kFree) {
+          std::vector<std::byte> junk(kBlockSectors * 512);
+          for (auto& b : junk) {
+            b = static_cast<std::byte>(rng.Next());
+          }
+          ASSERT_TRUE(disk_->InternalWrite(space_->BlockToLba(block), junk).ok());
+        }
+      }
+    }
+
+    const bool clean = rng.Chance(0.5);
+    if (clean) {
+      ASSERT_TRUE(vlog_->Park().ok());
+    }
+    Reopen();
+    auto result = vlog_->Recover();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->used_scan, !clean) << "round " << round;
+    for (uint32_t k = 0; k < kPieces; ++k) {
+      ASSERT_EQ(result->pieces[k], shadow[k]) << "round " << round << " piece " << k
+                                              << (clean ? " (park)" : " (scan)");
+    }
+    RemarkLiveBlocks();
+    // Repair any uncovered pieces, as the VLD would.
+    for (const uint32_t piece : result->uncovered_pieces) {
+      ASSERT_TRUE(vlog_->AppendPiece(piece, shadow[piece]).ok());
+    }
+  }
+}
+
+TEST_F(VirtualLogTest, RecoveryCostIsProportionalToLiveLog) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(vlog_->AppendPiece(static_cast<uint32_t>(i) % kPieces, Entries(i)).ok());
+  }
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  // Tail traversal touches roughly the live sectors (plus stale-but-valid stragglers), far
+  // fewer than the 100 appends and vastly fewer than a disk scan.
+  EXPECT_LT(result->sectors_read, 60u);
+}
+
+
+// Regression for the double-recycle hazard that breaks the paper's literal Figure 3b rule:
+// with pieces a, b, c written in order, rewriting b twice recycles first W_b and then N_b —
+// the sector whose bypass pointer was covering W_c. If both recycled blocks are physically
+// reused, a naive implementation loses W_c (piece c's live sector). The designated-cover
+// machinery must keep recovery correct regardless, including when the freed blocks are
+// overwritten with garbage.
+TEST_F(VirtualLogTest, DoubleRecycleOfBypassCarrierKeepsLogConnected) {
+  ASSERT_TRUE(vlog_->AppendPiece(2, Entries(300)).ok());  // W_c (oldest, stays live).
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(301)).ok());  // W_b.
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(302)).ok());  // W_a.
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(303)).ok());  // N_b: bypass covers W_c, frees W_b.
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(304)).ok());  // N_b2: frees (or pins) N_b.
+  // Destroy every freed block's contents, simulating data reuse.
+  common::Rng rng(1);
+  for (uint32_t block = 0; block < space_->total_blocks(); ++block) {
+    if (space_->state(block) == BlockState::kFree) {
+      std::vector<std::byte> junk(kBlockSectors * 512);
+      for (auto& b : junk) {
+        b = static_cast<std::byte>(rng.Next());
+      }
+      ASSERT_TRUE(disk_->InternalWrite(space_->BlockToLba(block), junk).ok());
+    }
+  }
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->used_scan);
+  EXPECT_EQ(result->pieces[2], Entries(300)) << "W_c must stay reachable through covers";
+  EXPECT_EQ(result->pieces[0], Entries(302));
+  EXPECT_EQ(result->pieces[1], Entries(304));
+}
+
+// When a sector that still carries covers is obsoleted, it must be pinned (its block stays
+// unallocatable) until its targets are re-covered — observable through PinnedCount.
+TEST_F(VirtualLogTest, LoadBearingObsoleteSectorsArePinnedThenReleased) {
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(1)).ok());
+  // The head sector of piece 0 is covered by the next append's prev pointer...
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(2)).ok());
+  // ...so obsoleting piece 1 (the current head, which carries that cover) pins it.
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(3)).ok());
+  const size_t pinned_after = vlog_->PinnedCount();
+  // Rewriting piece 0 re-covers it with the new sector, unpinning the old carrier eventually.
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(4)).ok());
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(5)).ok());
+  EXPECT_LE(vlog_->PinnedCount(), pinned_after + 1);
+  // Regardless of pinning dynamics, recovery stays exact.
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pieces[0], Entries(5));
+  EXPECT_EQ(result->pieces[1], Entries(3));
+}
+
+TEST_F(VirtualLogTest, AppendRejectsOutOfRangePiece) {
+  EXPECT_FALSE(vlog_->AppendPiece(kPieces, Entries(0)).ok());
+}
+
+}  // namespace
+}  // namespace vlog::core

@@ -1,0 +1,118 @@
+// Parameterized VLD properties: the invariants must hold for every (disk model, physical block
+// size, compactor mode) combination, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/vld.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+namespace {
+
+using VldParam = std::tuple<bool /*hp disk*/, uint32_t /*block sectors*/, bool /*compactor*/>;
+
+class VldParamTest : public ::testing::TestWithParam<VldParam> {
+ protected:
+  VldParamTest() {
+    const auto [hp, block_sectors, compactor] = GetParam();
+    disk_ = std::make_unique<simdisk::SimDisk>(
+        simdisk::Truncated(hp ? simdisk::Hp97560() : simdisk::SeagateSt19101(), hp ? 8 : 3),
+        &clock_);
+    config_.block_sectors = block_sectors;
+    config_.compactor_enabled = compactor;
+    vld_ = std::make_unique<Vld>(disk_.get(), config_);
+    EXPECT_TRUE(vld_->Format().ok());
+  }
+
+  void Reopen() { vld_ = std::make_unique<Vld>(disk_.get(), config_); }
+
+  std::vector<std::byte> Pattern(size_t n, uint32_t seed) {
+    std::vector<std::byte> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::byte>(static_cast<uint8_t>(seed * 31 + i));
+    }
+    return v;
+  }
+
+  common::Clock clock_;
+  VldConfig config_;
+  std::unique_ptr<simdisk::SimDisk> disk_;
+  std::unique_ptr<Vld> vld_;
+};
+
+TEST_P(VldParamTest, WriteReadTrimRecoverProperty) {
+  common::Rng rng(std::get<1>(GetParam()) * 1000 + (std::get<0>(GetParam()) ? 1 : 0));
+  const uint32_t blocks = std::min<uint32_t>(vld_->logical_blocks(), 600);
+  const uint32_t bs = vld_->block_sectors();
+  std::vector<std::vector<std::byte>> shadow(blocks);
+  const size_t block_bytes = static_cast<size_t>(bs) * 512;
+
+  for (int round = 0; round < 4; ++round) {
+    for (int op = 0; op < 60; ++op) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      const double dice = rng.NextDouble();
+      if (dice < 0.72) {
+        auto data = Pattern(block_bytes, static_cast<uint32_t>(round * 100 + op));
+        ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * bs, data).ok());
+        shadow[b] = std::move(data);
+      } else if (dice < 0.85) {
+        ASSERT_TRUE(vld_->Trim(static_cast<simdisk::Lba>(b) * bs, bs).ok());
+        shadow[b].clear();
+      } else {
+        vld_->RunIdle(common::Milliseconds(30));
+      }
+    }
+    const bool clean = rng.Chance(0.5);
+    if (clean) {
+      ASSERT_TRUE(vld_->Park().ok());
+    }
+    Reopen();
+    auto info = vld_->Recover();
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    std::vector<std::byte> out(block_bytes);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * bs, out).ok());
+      if (shadow[b].empty()) {
+        ASSERT_EQ(out, std::vector<std::byte>(block_bytes)) << "round " << round << " b " << b;
+      } else {
+        ASSERT_EQ(out, shadow[b]) << "round " << round << " block " << b;
+      }
+    }
+  }
+}
+
+TEST_P(VldParamTest, UtilizationAccountingConsistent) {
+  const uint32_t bs = vld_->block_sectors();
+  const size_t block_bytes = static_cast<size_t>(bs) * 512;
+  const uint64_t live_before = vld_->space().live_blocks();
+  for (uint32_t b = 0; b < 50; ++b) {
+    ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * bs, Pattern(block_bytes, b)).ok());
+  }
+  // 50 data blocks plus at most a handful of live/pinned map-sector blocks.
+  const uint64_t live = vld_->space().live_blocks() - live_before;
+  EXPECT_GE(live, 50u);
+  EXPECT_LE(live, 50u + vld_->vlog().config().pieces + vld_->vlog().PinnedCount());
+  ASSERT_TRUE(vld_->Trim(0, 50 * bs).ok());
+  EXPECT_LT(vld_->space().live_blocks(), live_before + live);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<VldParam>& param_info) {
+  return std::string(std::get<0>(param_info.param) ? "Hp" : "Seagate") + "Bs" +
+         std::to_string(std::get<1>(param_info.param)) +
+         (std::get<2>(param_info.param) ? "Compact" : "Greedy");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DiskAndBlockMatrix, VldParamTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(2u, 4u, 8u), ::testing::Bool()),
+    ParamName);
+
+}  // namespace
+}  // namespace vlog::core

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/vld.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::core {
+namespace {
+
+constexpr size_t kBlockBytes = 4096;
+
+std::vector<std::byte> Pattern(size_t n, uint32_t seed) {
+  std::vector<std::byte> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(static_cast<uint8_t>(seed * 131 + i * 7));
+  }
+  return v;
+}
+
+class VldTest : public ::testing::Test {
+ protected:
+  VldTest() { Reset(); }
+
+  void Reset(VldConfig config = {}) {
+    config_ = config;
+    clock_ = common::Clock();
+    disk_ = std::make_unique<simdisk::SimDisk>(simdisk::Truncated(simdisk::SeagateSt19101(), 3),
+                                               &clock_);
+    vld_ = std::make_unique<Vld>(disk_.get(), config_);
+    ASSERT_TRUE(vld_->Format().ok());
+  }
+
+  // Simulates a restart over the same media.
+  void Reopen() { vld_ = std::make_unique<Vld>(disk_.get(), config_); }
+
+  VldConfig config_;
+  common::Clock clock_;
+  std::unique_ptr<simdisk::SimDisk> disk_;
+  std::unique_ptr<Vld> vld_;
+};
+
+TEST_F(VldTest, ExportsSmallerLogicalSpace) {
+  EXPECT_LT(vld_->SectorCount(), disk_->SectorCount());
+  EXPECT_GT(vld_->SectorCount(), disk_->SectorCount() * 9 / 10);
+  EXPECT_EQ(vld_->SectorBytes(), 512u);
+}
+
+TEST_F(VldTest, WriteReadRoundTripBlockAligned) {
+  const auto data = Pattern(kBlockBytes, 1);
+  ASSERT_TRUE(vld_->Write(0, data).ok());
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VldTest, WriteReadMultiBlock) {
+  const auto data = Pattern(kBlockBytes * 5, 2);
+  ASSERT_TRUE(vld_->Write(64, data).ok());
+  std::vector<std::byte> out(kBlockBytes * 5);
+  ASSERT_TRUE(vld_->Read(64, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VldTest, SubBlockWriteMergesWithExisting) {
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 3)).ok());
+  const auto small = Pattern(512, 4);
+  ASSERT_TRUE(vld_->Write(2, small).ok());  // One sector inside the block.
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  auto expect = Pattern(kBlockBytes, 3);
+  std::memcpy(expect.data() + 2 * 512, small.data(), 512);
+  EXPECT_EQ(out, expect);
+  EXPECT_GE(vld_->stats().read_modify_writes, 1u);
+}
+
+TEST_F(VldTest, UnalignedSpanningWrite) {
+  const auto data = Pattern(512 * 12, 5);  // Sectors 5..16: spans three blocks, ragged edges.
+  ASSERT_TRUE(vld_->Write(5, data).ok());
+  std::vector<std::byte> out(512 * 12);
+  ASSERT_TRUE(vld_->Read(5, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VldTest, UnmappedReadsReturnZeros) {
+  std::vector<std::byte> out(kBlockBytes, std::byte{0xFF});
+  ASSERT_TRUE(vld_->Read(800, out).ok());
+  EXPECT_EQ(out, std::vector<std::byte>(kBlockBytes));
+  EXPECT_GE(vld_->stats().unmapped_reads, 1u);
+}
+
+TEST_F(VldTest, OverwriteMonitoringFreesOldBlocks) {
+  const uint64_t baseline = vld_->space().live_blocks();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, i)).ok());
+  }
+  // One data block + one live map sector regardless of 50 overwrites (plus pinned slack).
+  EXPECT_LE(vld_->space().live_blocks(), baseline + 2 + vld_->vlog().PinnedCount());
+}
+
+TEST_F(VldTest, RejectsBadRanges) {
+  EXPECT_FALSE(vld_->Write(vld_->SectorCount(), Pattern(512, 0)).ok());
+  std::vector<std::byte> out(100);
+  EXPECT_FALSE(vld_->Read(0, out).ok());
+}
+
+TEST_F(VldTest, EagerWriteIsFasterThanHalfRotation) {
+  // Prime the head position.
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 0)).ok());
+  const auto start = clock_.Now();
+  ASSERT_TRUE(vld_->Write(8, Pattern(kBlockBytes, 1)).ok());
+  const auto latency = clock_.Now() - start;
+  // SCSI 0.1ms + locate (tiny) + 2 transfers (4KB data + map sector). Half rotation alone
+  // would be 3 ms.
+  EXPECT_LT(latency, common::Milliseconds(1.5));
+}
+
+TEST_F(VldTest, ParkRecoverPreservesData) {
+  std::vector<std::pair<simdisk::Lba, std::vector<std::byte>>> writes;
+  common::Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    const simdisk::Lba lba = rng.Below(vld_->SectorCount() / 8) * 8;
+    auto data = Pattern(kBlockBytes, 100 + i);
+    ASSERT_TRUE(vld_->Write(lba, data).ok());
+    writes.emplace_back(lba, std::move(data));
+  }
+  ASSERT_TRUE(vld_->Park().ok());
+  Reopen();
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->used_scan);
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+    std::vector<std::byte> out(kBlockBytes);
+    ASSERT_TRUE(vld_->Read(it->first, out).ok());
+    // Later writes may have overwritten earlier ones at the same LBA; check only latest.
+    bool is_latest = true;
+    for (auto later = writes.rbegin(); later != it; ++later) {
+      is_latest &= later->first != it->first;
+    }
+    if (is_latest) {
+      EXPECT_EQ(out, it->second) << "lba " << it->first;
+    }
+  }
+}
+
+TEST_F(VldTest, CrashRecoveryViaScanPreservesCommittedWrites) {
+  ASSERT_TRUE(vld_->Write(16, Pattern(kBlockBytes, 6)).ok());
+  ASSERT_TRUE(vld_->Write(24, Pattern(kBlockBytes, 7)).ok());
+  Reopen();  // No park.
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->used_scan);
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(16, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 6));
+  ASSERT_TRUE(vld_->Read(24, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 7));
+}
+
+TEST_F(VldTest, WriteAtomicAllOrNothing) {
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 1)).ok());
+  // A multi-extent atomic write far enough apart to touch two map pieces.
+  const simdisk::Lba second = (vld_->logical_blocks() - 4) / 8 * 8 * 8;
+  ASSERT_TRUE(vld_->Write(second, Pattern(kBlockBytes, 2)).ok());
+
+  const auto a = Pattern(kBlockBytes, 10);
+  const auto b = Pattern(kBlockBytes, 11);
+  std::vector<Vld::AtomicWrite> writes;
+  writes.push_back({0, a});
+  writes.push_back({second, b});
+  ASSERT_TRUE(vld_->WriteAtomic(writes).ok());
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(vld_->Read(second, out).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST_F(VldTest, InterruptedAtomicWriteRollsBack) {
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 1)).ok());
+  const simdisk::Lba second = (vld_->logical_blocks() - 4) / 8 * 8 * 8;
+  ASSERT_TRUE(vld_->Write(second, Pattern(kBlockBytes, 2)).ok());
+
+  // Fail after the two data blocks and the first of two map sectors are durable.
+  disk_->SetWriteFailureAfter(3);
+  std::vector<Vld::AtomicWrite> writes;
+  const auto a = Pattern(kBlockBytes, 10);
+  const auto b = Pattern(kBlockBytes, 11);
+  writes.push_back({0, a});
+  writes.push_back({second, b});
+  EXPECT_FALSE(vld_->WriteAtomic(writes).ok());
+  disk_->SetWriteFailureAfter(std::nullopt);
+
+  Reopen();
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 1)) << "partial transaction must roll back";
+  ASSERT_TRUE(vld_->Read(second, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 2));
+}
+
+TEST_F(VldTest, TrimFreesBlocks) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(vld_->Write(i * 8, Pattern(kBlockBytes, i)).ok());
+  }
+  const uint64_t live = vld_->space().live_blocks();
+  ASSERT_TRUE(vld_->Trim(0, 40).ok());  // Blocks 0..4.
+  EXPECT_EQ(vld_->stats().trims, 5u);
+  EXPECT_LE(vld_->space().live_blocks(), live - 5 + 1);  // -5 data, +<=1 map churn.
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, std::vector<std::byte>(kBlockBytes));  // Trimmed reads as zeros.
+  ASSERT_TRUE(vld_->Read(5 * 8, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 5));  // Untrimmed survives.
+}
+
+TEST_F(VldTest, TrimSurvivesRecovery) {
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 9)).ok());
+  ASSERT_TRUE(vld_->Trim(0, 8).ok());
+  ASSERT_TRUE(vld_->Park().ok());
+  Reopen();
+  ASSERT_TRUE(vld_->Recover().ok());
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, std::vector<std::byte>(kBlockBytes));
+}
+
+TEST_F(VldTest, CompactorCreatesEmptyTracksDuringIdle) {
+  // Fill a swath of the disk, then punch holes so tracks are partially utilized.
+  const uint32_t blocks = vld_->logical_blocks() * 3 / 4;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * 8, Pattern(kBlockBytes, b)).ok());
+  }
+  common::Rng rng(5);
+  for (uint32_t b = 0; b < blocks; b += 2) {
+    ASSERT_TRUE(vld_->Trim(static_cast<simdisk::Lba>(b) * 8, 8).ok());
+  }
+  auto empty_tracks = [&] {
+    uint64_t n = 0;
+    for (uint64_t t = 0; t < vld_->space().total_tracks(); ++t) {
+      n += vld_->space().TrackEmpty(t) ? 1 : 0;
+    }
+    return n;
+  };
+  const uint64_t before = empty_tracks();
+  vld_->RunIdle(common::Seconds(2));
+  EXPECT_GT(empty_tracks(), before);
+  EXPECT_GT(vld_->compactor().stats().tracks_compacted, 0u);
+  // Compaction must preserve every surviving block's contents.
+  std::vector<std::byte> out(kBlockBytes);
+  for (uint32_t b = 1; b < blocks; b += 2) {
+    ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * 8, out).ok());
+    ASSERT_EQ(out, Pattern(kBlockBytes, b)) << "block " << b;
+  }
+}
+
+TEST_F(VldTest, CompactionSurvivesRecovery) {
+  const uint32_t blocks = vld_->logical_blocks() / 2;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * 8, Pattern(kBlockBytes, b)).ok());
+  }
+  for (uint32_t b = 0; b < blocks; b += 3) {
+    ASSERT_TRUE(vld_->Trim(static_cast<simdisk::Lba>(b) * 8, 8).ok());
+  }
+  vld_->RunIdle(common::Seconds(1));
+  Reopen();  // Crash right after compaction.
+  ASSERT_TRUE(vld_->Recover().ok());
+  std::vector<std::byte> out(kBlockBytes);
+  for (uint32_t b = 0; b < blocks; ++b) {
+    ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * 8, out).ok());
+    if (b % 3 == 0) {
+      ASSERT_EQ(out, std::vector<std::byte>(kBlockBytes)) << "block " << b;
+    } else {
+      ASSERT_EQ(out, Pattern(kBlockBytes, b)) << "block " << b;
+    }
+  }
+}
+
+TEST_F(VldTest, CheckpointShrinksRecoveryWork) {
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(vld_->Write((i % 30) * 8, Pattern(kBlockBytes, i)).ok());
+  }
+  ASSERT_TRUE(vld_->Checkpoint().ok());
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 999)).ok());
+  ASSERT_TRUE(vld_->Park().ok());
+  Reopen();
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->from_checkpoint);
+  EXPECT_LE(info->log_sectors_read, 5u);
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(0, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 999));
+  ASSERT_TRUE(vld_->Read(8, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockBytes, 31));
+}
+
+// Property test: random block writes, trims, idle compaction, and crashes (parked or not) must
+// always read back exactly what a shadow byte array says.
+TEST_F(VldTest, RandomizedWorkloadWithCrashesMatchesShadow) {
+  common::Rng rng(424242);
+  const uint32_t blocks = vld_->logical_blocks();
+  std::vector<std::vector<std::byte>> shadow(blocks);  // Empty = unwritten/trimmed.
+  uint32_t version = 0;
+
+  for (int round = 0; round < 8; ++round) {
+    const int ops = 20 + static_cast<int>(rng.Below(60));
+    for (int i = 0; i < ops; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      const double dice = rng.NextDouble();
+      if (dice < 0.70) {
+        auto data = Pattern(kBlockBytes, ++version);
+        ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * 8, data).ok());
+        shadow[b] = std::move(data);
+      } else if (dice < 0.85) {
+        ASSERT_TRUE(vld_->Trim(static_cast<simdisk::Lba>(b) * 8, 8).ok());
+        shadow[b].clear();
+      } else {
+        vld_->RunIdle(common::Milliseconds(50));
+      }
+    }
+    const bool clean = rng.Chance(0.5);
+    if (clean) {
+      ASSERT_TRUE(vld_->Park().ok());
+    }
+    Reopen();
+    auto info = vld_->Recover();
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->used_scan, !clean);
+    std::vector<std::byte> out(kBlockBytes);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * 8, out).ok());
+      if (shadow[b].empty()) {
+        ASSERT_EQ(out, std::vector<std::byte>(kBlockBytes)) << "round " << round << " b " << b;
+      } else {
+        ASSERT_EQ(out, shadow[b]) << "round " << round << " block " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlog::core

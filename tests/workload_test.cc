@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/benchmarks.h"
+#include "src/workload/platform.h"
+
+namespace vlog::workload {
+namespace {
+
+TEST(PlatformConfig, NamesAreDescriptive) {
+  PlatformConfig config;
+  config.fs_kind = FsKind::kUfs;
+  config.disk_kind = DiskKind::kVld;
+  config.disk_model = DiskModel::kHp97560;
+  config.host_kind = HostKind::kUltra170;
+  EXPECT_EQ(config.Name(), "UFS/VLD (HP97560, Ultra-170)");
+  config.fs_kind = FsKind::kLfs;
+  config.disk_kind = DiskKind::kRegular;
+  config.disk_model = DiskModel::kSt19101;
+  config.host_kind = HostKind::kSparc10;
+  EXPECT_EQ(config.Name(), "LFS/regular (ST19101, SPARC-10)");
+}
+
+TEST(Platform, DefaultTruncationMatchesPaper) {
+  // ~24 MB for both disk models (36 HP cylinders / 11 Seagate cylinders).
+  for (const DiskModel model : {DiskModel::kHp97560, DiskModel::kSt19101}) {
+    PlatformConfig config;
+    config.disk_model = model;
+    Platform platform(config);
+    const double mb =
+        static_cast<double>(platform.raw_disk().geometry().CapacityBytes()) / (1 << 20);
+    EXPECT_NEAR(mb, 23.5, 1.5) << static_cast<int>(model);
+  }
+}
+
+TEST(Platform, AssemblesAllFourConfigurations) {
+  for (const FsKind fs : {FsKind::kUfs, FsKind::kLfs}) {
+    for (const DiskKind disk : {DiskKind::kRegular, DiskKind::kVld}) {
+      PlatformConfig config;
+      config.fs_kind = fs;
+      config.disk_kind = disk;
+      config.cylinders = 4;
+      Platform platform(config);
+      ASSERT_TRUE(platform.Format().ok());
+      EXPECT_EQ(platform.vld() != nullptr, disk == DiskKind::kVld);
+      EXPECT_EQ(platform.ufs() != nullptr, fs == FsKind::kUfs);
+      EXPECT_EQ(platform.log_disk() != nullptr, fs == FsKind::kLfs);
+      ASSERT_TRUE(platform.fs().Create("/x").ok());
+      EXPECT_TRUE(platform.fs().Stat("/x").ok());
+    }
+  }
+}
+
+TEST(Platform, RunIdleAdvancesClockExactly) {
+  PlatformConfig config;
+  config.cylinders = 4;
+  Platform platform(config);
+  ASSERT_TRUE(platform.Format().ok());
+  const common::Time before = platform.clock().Now();
+  platform.RunIdle(common::Milliseconds(250));
+  EXPECT_EQ(platform.clock().Now(), before + common::Milliseconds(250));
+}
+
+TEST(Platform, DeviceBytesSmallerOnVld) {
+  PlatformConfig regular;
+  regular.cylinders = 4;
+  PlatformConfig vld = regular;
+  vld.disk_kind = DiskKind::kVld;
+  Platform a(regular), b(vld);
+  ASSERT_TRUE(a.Format().ok());
+  ASSERT_TRUE(b.Format().ok());
+  EXPECT_GT(a.DeviceBytes(), b.DeviceBytes());  // Map + slack overhead.
+  EXPECT_GT(b.DeviceBytes(), a.DeviceBytes() * 9 / 10);
+}
+
+TEST(Benchmarks, SmallFileRunsAndOrdersPhases) {
+  PlatformConfig config;
+  config.cylinders = 6;
+  config.host_kind = HostKind::kZeroCost;
+  Platform platform(config);
+  ASSERT_TRUE(platform.Format().ok());
+  auto result = RunSmallFile(platform, /*files=*/100, /*file_bytes=*/1024);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->create, 0);
+  EXPECT_GT(result->read, 0);
+  EXPECT_GT(result->remove, 0);
+  // Synchronous metadata makes create/delete far costlier than cached reads on UFS.
+  EXPECT_GT(result->create, result->read);
+}
+
+TEST(Benchmarks, LargeFileBandwidthSane) {
+  PlatformConfig config;
+  config.cylinders = 6;
+  Platform platform(config);
+  ASSERT_TRUE(platform.Format().ok());
+  auto result = RunLargeFile(platform, /*file_bytes=*/2 << 20, /*include_sync_phase=*/true);
+  ASSERT_TRUE(result.ok());
+  // Every phase finishes in positive time, and sync random writes are the slowest of all.
+  EXPECT_GT(result->rand_write_sync, result->seq_write);
+  EXPECT_GT(result->rand_write_sync, result->rand_write_async);
+  EXPECT_GT(result->seq_read, 0);
+}
+
+TEST(Benchmarks, RandomUpdatesFasterOnVld) {
+  auto run = [](DiskKind kind) {
+    PlatformConfig config;
+    config.cylinders = 6;
+    config.disk_kind = kind;
+    Platform platform(config);
+    EXPECT_TRUE(platform.Format().ok());
+    auto result = RunRandomUpdates(platform, /*file_bytes=*/4 << 20, /*updates=*/100,
+                                   /*warmup=*/20);
+    EXPECT_TRUE(result.ok());
+    return result->avg_latency;
+  };
+  EXPECT_GT(run(DiskKind::kRegular), 2 * run(DiskKind::kVld));
+}
+
+TEST(Benchmarks, BurstIdleImprovesWithIdleOnVld) {
+  auto run = [](double idle_s) {
+    PlatformConfig config;
+    config.cylinders = 6;
+    config.disk_kind = DiskKind::kVld;
+    config.vld.target_empty_tracks = 64;
+    Platform platform(config);
+    EXPECT_TRUE(platform.Format().ok());
+    auto latency = RunBurstIdle(platform, /*file_bytes=*/7 << 20, /*burst_bytes=*/128 << 10,
+                                common::Seconds(idle_s), /*rounds=*/12, /*warmup_rounds=*/4);
+    EXPECT_TRUE(latency.ok());
+    return *latency;
+  };
+  EXPECT_GT(run(0.0), run(0.5));
+}
+
+TEST(Benchmarks, UpdateUtilizationReported) {
+  PlatformConfig config;
+  config.cylinders = 6;
+  Platform platform(config);
+  ASSERT_TRUE(platform.Format().ok());
+  auto result = RunRandomUpdates(platform, /*file_bytes=*/3 << 20, /*updates=*/50,
+                                 /*warmup=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->fs_utilization, 0.2);
+  EXPECT_LT(result->fs_utilization, 0.9);
+}
+
+}  // namespace
+}  // namespace vlog::workload
