@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_blocksize.cpp" "bench/CMakeFiles/bench_ablation_blocksize.dir/bench_ablation_blocksize.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_blocksize.dir/bench_ablation_blocksize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vlog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/vlog_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/vlog_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/vlog_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlfs/CMakeFiles/vlog_vlfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdisk/CMakeFiles/vlog_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

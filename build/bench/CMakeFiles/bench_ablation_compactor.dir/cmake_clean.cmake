@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compactor.dir/bench_ablation_compactor.cpp.o"
+  "CMakeFiles/bench_ablation_compactor.dir/bench_ablation_compactor.cpp.o.d"
+  "bench_ablation_compactor"
+  "bench_ablation_compactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

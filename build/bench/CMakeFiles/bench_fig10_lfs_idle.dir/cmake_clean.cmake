@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lfs_idle.dir/bench_fig10_lfs_idle.cpp.o"
+  "CMakeFiles/bench_fig10_lfs_idle.dir/bench_fig10_lfs_idle.cpp.o.d"
+  "bench_fig10_lfs_idle"
+  "bench_fig10_lfs_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lfs_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

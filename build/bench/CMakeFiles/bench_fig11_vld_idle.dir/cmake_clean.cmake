@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vld_idle.dir/bench_fig11_vld_idle.cpp.o"
+  "CMakeFiles/bench_fig11_vld_idle.dir/bench_fig11_vld_idle.cpp.o.d"
+  "bench_fig11_vld_idle"
+  "bench_fig11_vld_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vld_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_locate.dir/bench_fig1_locate.cpp.o"
+  "CMakeFiles/bench_fig1_locate.dir/bench_fig1_locate.cpp.o.d"
+  "bench_fig1_locate"
+  "bench_fig1_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

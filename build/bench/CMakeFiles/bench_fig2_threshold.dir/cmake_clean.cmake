@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_threshold.dir/bench_fig2_threshold.cpp.o"
+  "CMakeFiles/bench_fig2_threshold.dir/bench_fig2_threshold.cpp.o.d"
+  "bench_fig2_threshold"
+  "bench_fig2_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_smallfile.dir/bench_fig6_smallfile.cpp.o"
+  "CMakeFiles/bench_fig6_smallfile.dir/bench_fig6_smallfile.cpp.o.d"
+  "bench_fig6_smallfile"
+  "bench_fig6_smallfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_smallfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_largefile.dir/bench_fig7_largefile.cpp.o"
+  "CMakeFiles/bench_fig7_largefile.dir/bench_fig7_largefile.cpp.o.d"
+  "bench_fig7_largefile"
+  "bench_fig7_largefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_largefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

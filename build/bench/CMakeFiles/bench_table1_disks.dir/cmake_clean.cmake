@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disks.dir/bench_table1_disks.cpp.o"
+  "CMakeFiles/bench_table1_disks.dir/bench_table1_disks.cpp.o.d"
+  "bench_table1_disks"
+  "bench_table1_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fig9_trends.dir/bench_table2_fig9_trends.cpp.o"
+  "CMakeFiles/bench_table2_fig9_trends.dir/bench_table2_fig9_trends.cpp.o.d"
+  "bench_table2_fig9_trends"
+  "bench_table2_fig9_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fig9_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

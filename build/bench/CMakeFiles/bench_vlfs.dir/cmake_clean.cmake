@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vlfs.dir/bench_vlfs.cpp.o"
+  "CMakeFiles/bench_vlfs.dir/bench_vlfs.cpp.o.d"
+  "bench_vlfs"
+  "bench_vlfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vlfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_comparison.dir/filesystem_comparison.cpp.o"
+  "CMakeFiles/filesystem_comparison.dir/filesystem_comparison.cpp.o.d"
+  "filesystem_comparison"
+  "filesystem_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_log.dir/transaction_log.cpp.o"
+  "CMakeFiles/transaction_log.dir/transaction_log.cpp.o.d"
+  "transaction_log"
+  "transaction_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

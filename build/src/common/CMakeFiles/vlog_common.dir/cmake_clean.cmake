@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_common.dir/crc32.cc.o"
+  "CMakeFiles/vlog_common.dir/crc32.cc.o.d"
+  "CMakeFiles/vlog_common.dir/status.cc.o"
+  "CMakeFiles/vlog_common.dir/status.cc.o.d"
+  "libvlog_common.a"
+  "libvlog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

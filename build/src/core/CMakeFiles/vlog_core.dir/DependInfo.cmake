@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compactor.cc" "src/core/CMakeFiles/vlog_core.dir/compactor.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/compactor.cc.o.d"
+  "/root/repo/src/core/eager_allocator.cc" "src/core/CMakeFiles/vlog_core.dir/eager_allocator.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/eager_allocator.cc.o.d"
+  "/root/repo/src/core/free_space.cc" "src/core/CMakeFiles/vlog_core.dir/free_space.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/free_space.cc.o.d"
+  "/root/repo/src/core/map_sector.cc" "src/core/CMakeFiles/vlog_core.dir/map_sector.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/map_sector.cc.o.d"
+  "/root/repo/src/core/virtual_log.cc" "src/core/CMakeFiles/vlog_core.dir/virtual_log.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/virtual_log.cc.o.d"
+  "/root/repo/src/core/vld.cc" "src/core/CMakeFiles/vlog_core.dir/vld.cc.o" "gcc" "src/core/CMakeFiles/vlog_core.dir/vld.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simdisk/CMakeFiles/vlog_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

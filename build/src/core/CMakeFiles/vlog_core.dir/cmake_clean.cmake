@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_core.dir/compactor.cc.o"
+  "CMakeFiles/vlog_core.dir/compactor.cc.o.d"
+  "CMakeFiles/vlog_core.dir/eager_allocator.cc.o"
+  "CMakeFiles/vlog_core.dir/eager_allocator.cc.o.d"
+  "CMakeFiles/vlog_core.dir/free_space.cc.o"
+  "CMakeFiles/vlog_core.dir/free_space.cc.o.d"
+  "CMakeFiles/vlog_core.dir/map_sector.cc.o"
+  "CMakeFiles/vlog_core.dir/map_sector.cc.o.d"
+  "CMakeFiles/vlog_core.dir/virtual_log.cc.o"
+  "CMakeFiles/vlog_core.dir/virtual_log.cc.o.d"
+  "CMakeFiles/vlog_core.dir/vld.cc.o"
+  "CMakeFiles/vlog_core.dir/vld.cc.o.d"
+  "libvlog_core.a"
+  "libvlog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_lfs.dir/log_disk.cc.o"
+  "CMakeFiles/vlog_lfs.dir/log_disk.cc.o.d"
+  "CMakeFiles/vlog_lfs.dir/simple_fs.cc.o"
+  "CMakeFiles/vlog_lfs.dir/simple_fs.cc.o.d"
+  "libvlog_lfs.a"
+  "libvlog_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_models.dir/analytic.cc.o"
+  "CMakeFiles/vlog_models.dir/analytic.cc.o.d"
+  "CMakeFiles/vlog_models.dir/track_sim.cc.o"
+  "CMakeFiles/vlog_models.dir/track_sim.cc.o.d"
+  "libvlog_models.a"
+  "libvlog_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdisk/disk_params.cc" "src/simdisk/CMakeFiles/vlog_simdisk.dir/disk_params.cc.o" "gcc" "src/simdisk/CMakeFiles/vlog_simdisk.dir/disk_params.cc.o.d"
+  "/root/repo/src/simdisk/sim_disk.cc" "src/simdisk/CMakeFiles/vlog_simdisk.dir/sim_disk.cc.o" "gcc" "src/simdisk/CMakeFiles/vlog_simdisk.dir/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

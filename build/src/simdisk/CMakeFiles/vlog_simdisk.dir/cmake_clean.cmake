@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_simdisk.dir/disk_params.cc.o"
+  "CMakeFiles/vlog_simdisk.dir/disk_params.cc.o.d"
+  "CMakeFiles/vlog_simdisk.dir/sim_disk.cc.o"
+  "CMakeFiles/vlog_simdisk.dir/sim_disk.cc.o.d"
+  "libvlog_simdisk.a"
+  "libvlog_simdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_simdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlog_simdisk.a"
+)

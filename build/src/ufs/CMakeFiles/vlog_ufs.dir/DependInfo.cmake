@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ufs/layout.cc" "src/ufs/CMakeFiles/vlog_ufs.dir/layout.cc.o" "gcc" "src/ufs/CMakeFiles/vlog_ufs.dir/layout.cc.o.d"
+  "/root/repo/src/ufs/ufs.cc" "src/ufs/CMakeFiles/vlog_ufs.dir/ufs.cc.o" "gcc" "src/ufs/CMakeFiles/vlog_ufs.dir/ufs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simdisk/CMakeFiles/vlog_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_ufs.dir/layout.cc.o"
+  "CMakeFiles/vlog_ufs.dir/layout.cc.o.d"
+  "CMakeFiles/vlog_ufs.dir/ufs.cc.o"
+  "CMakeFiles/vlog_ufs.dir/ufs.cc.o.d"
+  "libvlog_ufs.a"
+  "libvlog_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

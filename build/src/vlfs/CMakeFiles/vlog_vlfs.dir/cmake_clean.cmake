@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_vlfs.dir/vlfs.cc.o"
+  "CMakeFiles/vlog_vlfs.dir/vlfs.cc.o.d"
+  "libvlog_vlfs.a"
+  "libvlog_vlfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_vlfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

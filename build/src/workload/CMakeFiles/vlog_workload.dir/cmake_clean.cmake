@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/vlog_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/vlog_workload.dir/platform.cc.o"
+  "CMakeFiles/vlog_workload.dir/platform.cc.o.d"
+  "libvlog_workload.a"
+  "libvlog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

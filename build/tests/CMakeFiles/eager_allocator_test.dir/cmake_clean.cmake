@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_allocator_test.dir/eager_allocator_test.cc.o"
+  "CMakeFiles/eager_allocator_test.dir/eager_allocator_test.cc.o.d"
+  "eager_allocator_test"
+  "eager_allocator_test.pdb"
+  "eager_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

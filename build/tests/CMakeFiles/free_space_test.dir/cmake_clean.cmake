@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_space_test.dir/free_space_test.cc.o"
+  "CMakeFiles/free_space_test.dir/free_space_test.cc.o.d"
+  "free_space_test"
+  "free_space_test.pdb"
+  "free_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_conformance_test.dir/fs_conformance_test.cc.o"
+  "CMakeFiles/fs_conformance_test.dir/fs_conformance_test.cc.o.d"
+  "fs_conformance_test"
+  "fs_conformance_test.pdb"
+  "fs_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_test.dir/lfs_test.cc.o"
+  "CMakeFiles/lfs_test.dir/lfs_test.cc.o.d"
+  "lfs_test"
+  "lfs_test.pdb"
+  "lfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/map_sector_test.cc" "tests/CMakeFiles/map_sector_test.dir/map_sector_test.cc.o" "gcc" "tests/CMakeFiles/map_sector_test.dir/map_sector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vlog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdisk/CMakeFiles/vlog_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

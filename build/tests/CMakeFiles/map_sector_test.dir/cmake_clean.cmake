@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_sector_test.dir/map_sector_test.cc.o"
+  "CMakeFiles/map_sector_test.dir/map_sector_test.cc.o.d"
+  "map_sector_test"
+  "map_sector_test.pdb"
+  "map_sector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_sector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdisk_test.dir/simdisk_test.cc.o"
+  "CMakeFiles/simdisk_test.dir/simdisk_test.cc.o.d"
+  "simdisk_test"
+  "simdisk_test.pdb"
+  "simdisk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdisk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufs_test.dir/ufs_test.cc.o"
+  "CMakeFiles/ufs_test.dir/ufs_test.cc.o.d"
+  "ufs_test"
+  "ufs_test.pdb"
+  "ufs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_log_test.dir/virtual_log_test.cc.o"
+  "CMakeFiles/virtual_log_test.dir/virtual_log_test.cc.o.d"
+  "virtual_log_test"
+  "virtual_log_test.pdb"
+  "virtual_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

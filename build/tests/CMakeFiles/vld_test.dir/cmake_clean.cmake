@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vld_test.dir/vld_test.cc.o"
+  "CMakeFiles/vld_test.dir/vld_test.cc.o.d"
+  "vld_test"
+  "vld_test.pdb"
+  "vld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlfs_test.dir/vlfs_test.cc.o"
+  "CMakeFiles/vlfs_test.dir/vlfs_test.cc.o.d"
+  "vlfs_test"
+  "vlfs_test.pdb"
+  "vlfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

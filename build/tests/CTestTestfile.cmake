@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simdisk_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/map_sector_test[1]_include.cmake")
+include("/root/repo/build/tests/free_space_test[1]_include.cmake")
+include("/root/repo/build/tests/eager_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/virtual_log_test[1]_include.cmake")
+include("/root/repo/build/tests/vld_test[1]_include.cmake")
+include("/root/repo/build/tests/ufs_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_test[1]_include.cmake")
+include("/root/repo/build/tests/vlfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/compactor_test[1]_include.cmake")
+include("/root/repo/build/tests/vld_param_test[1]_include.cmake")
