@@ -1,0 +1,63 @@
+// Crash-sweep throughput and recovery-cost distribution. For each scenario: how many crash
+// points the harness explores, how fast the sweep runs (wall-clock points/sec — the cost of
+// using the harness in CI), and the distribution of *simulated* recovery time across crash
+// points (what a real power cycle would cost at each point in the workload's history).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/crashsim/harness.h"
+#include "src/crashsim/scenarios.h"
+
+namespace {
+
+using namespace vlog;
+
+void PrintReport(const char* name, const crashsim::CrashSweepReport& report,
+                 double wall_seconds) {
+  if (!report.ok()) {
+    std::fprintf(stderr, "FATAL %s: %llu invariant violations\n%s\n", name,
+                 static_cast<unsigned long long>(report.violations), report.Summary().c_str());
+    std::exit(1);
+  }
+  const double rate = wall_seconds > 0 ? static_cast<double>(report.points) / wall_seconds : 0;
+  std::printf("%-24s | %6llu %6llu %6llu %6llu | %8.0f | %s\n", name,
+              static_cast<unsigned long long>(report.points),
+              static_cast<unsigned long long>(report.clean_points),
+              static_cast<unsigned long long>(report.torn_points),
+              static_cast<unsigned long long>(report.corrupt_points), rate,
+              report.Summary().c_str());
+}
+
+template <typename Sweep>
+void Run(const char* name, const Sweep& sweep) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const crashsim::CrashSweepReport report = sweep();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  PrintReport(name, report, wall);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Crash sweep: points explored, wall-clock rate, recovery-time distribution");
+  std::printf("%-24s | %6s %6s %6s %6s | %8s | summary\n", "scenario", "points", "clean",
+              "torn", "corru", "pts/sec");
+
+  for (const auto scenario :
+       {crashsim::VldScenario::kUfsOnVld, crashsim::VldScenario::kCompactorActive,
+        crashsim::VldScenario::kCheckpointInterrupted}) {
+    Run(crashsim::VldScenarioName(scenario), [&] {
+      crashsim::VldCrashSim sim(crashsim::CrashSimDiskParams(), crashsim::CrashSimVldConfig());
+      bench::Check(crashsim::RecordVldScenario(scenario, sim), "record");
+      return sim.Sweep(crashsim::CrashSweepOptions{});
+    });
+  }
+  Run("vlfs-script", [] {
+    crashsim::VlfsCrashSim sim(crashsim::CrashSimDiskParams(), crashsim::CrashSimVlfsConfig());
+    bench::Check(sim.Record(crashsim::VlfsScenarioScript()), "record");
+    return sim.Sweep(crashsim::CrashSweepOptions{});
+  });
+  return 0;
+}

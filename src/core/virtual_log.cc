@@ -90,12 +90,18 @@ VirtualLog::VirtualLog(simdisk::SimDisk* disk, EagerAllocator* allocator, Virtua
 common::Status VirtualLog::Format() {
   next_seq_ = 1;
   checkpoint_seq_ = 0;
+  next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
   chain_.clear();
   piece_at_block_.clear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
+  // Invalidate any stale checkpoint headers from a previous life of the media; otherwise a
+  // later scan-based recovery would trust an old map over the new log.
+  const std::vector<std::byte> zero(kSectorBytes);
+  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(0), zero));
+  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(1), zero));
   return WritePark(/*clear=*/true);
 }
 
@@ -271,19 +277,24 @@ common::Status VirtualLog::WriteCheckpoint(
     return common::InvalidArgument("WriteCheckpoint: wrong piece count");
   }
   const uint64_t seq = next_seq_++;
-  std::vector<std::byte> region;
-  region.reserve(static_cast<size_t>(CheckpointSectors()) * kSectorBytes);
-  const auto header = SerializeCkptHeader(seq, config_.pieces);
-  region.insert(region.end(), header.begin(), header.end());
+  const uint32_t slot = next_ckpt_slot_;
+  std::vector<std::byte> body;
+  body.reserve(static_cast<size_t>(config_.pieces) * kSectorBytes);
   for (uint32_t k = 0; k < config_.pieces; ++k) {
     MapSector sector;
     sector.seq = seq;
     sector.piece = k;
     sector.entries = entries_of_piece[k];
     const auto raw = sector.Serialize();
-    region.insert(region.end(), raw.begin(), raw.end());
+    body.insert(body.end(), raw.begin(), raw.end());
   }
-  RETURN_IF_ERROR(disk_->InternalWrite(config_.checkpoint_lba, region));
+  // Piece sectors first, CRC-signed header last: the header write is the commit point. A crash
+  // before it leaves the other slot's checkpoint (and the log it bounds) untouched.
+  if (!body.empty()) {
+    RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(slot) + 1, body));
+  }
+  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(slot), SerializeCkptHeader(seq, config_.pieces)));
+  next_ckpt_slot_ = 1 - slot;
 
   // Every log sector — live or pinned — is now redundant: recycle all of them.
   for (const auto& [node_seq, node] : chain_) {
@@ -316,7 +327,8 @@ common::Status VirtualLog::WritePark(bool clear) {
 common::Status VirtualLog::Park() { return WritePark(/*clear=*/false); }
 
 common::StatusOr<RecoveryResult> VirtualLog::Recover() {
-  // Reset in-memory state; it is rebuilt below.
+  // Reset in-memory state; it is rebuilt below (LoadCheckpoint re-derives next_ckpt_slot_).
+  next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
   chain_.clear();
   piece_at_block_.clear();
@@ -379,12 +391,17 @@ common::StatusOr<RecoveryResult> VirtualLog::RecoverFromTail(DiskPtr tail,
 }
 
 common::StatusOr<RecoveryResult> VirtualLog::RecoverByScan() {
-  // Read the checkpoint header first: it bounds which sequence numbers are still meaningful.
-  std::vector<std::byte> raw(kSectorBytes);
-  RETURN_IF_ERROR(disk_->InternalRead(config_.checkpoint_lba, raw));
+  // Read both slots' checkpoint headers first: the newest valid one bounds which sequence
+  // numbers are still meaningful. A slot whose header fails its CRC is an interrupted or
+  // damaged checkpoint and is simply ignored.
   uint64_t checkpoint_seq = 0;
-  if (const auto header = ParseCkptHeader(raw)) {
-    checkpoint_seq = header->seq;
+  std::vector<std::byte> raw(kSectorBytes);
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    RETURN_IF_ERROR(disk_->InternalRead(CkptSlotLba(slot), raw));
+    if (const auto header = ParseCkptHeader(raw);
+        header && header->pieces == config_.pieces) {
+      checkpoint_seq = std::max(checkpoint_seq, header->seq);
+    }
   }
 
   // Full scan, track by track, for cryptographically signed map sectors. Since the scan sees
@@ -567,22 +584,28 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
 
 common::StatusOr<std::vector<std::vector<uint32_t>>> VirtualLog::LoadCheckpoint(
     uint64_t checkpoint_seq) {
-  std::vector<std::byte> region(static_cast<size_t>(CheckpointSectors()) * kSectorBytes);
-  RETURN_IF_ERROR(disk_->InternalRead(config_.checkpoint_lba, region));
-  const auto header = ParseCkptHeader(std::span<const std::byte>(region).first(kSectorBytes));
-  if (!header || header->seq != checkpoint_seq || header->pieces != config_.pieces) {
-    return common::Corruption("checkpoint header mismatch");
-  }
-  std::vector<std::vector<uint32_t>> pieces(config_.pieces);
-  for (uint32_t k = 0; k < config_.pieces; ++k) {
-    auto parsed = MapSector::Parse(std::span<const std::byte>(region).subspan(
-        static_cast<size_t>(k + 1) * kSectorBytes, kSectorBytes));
-    if (!parsed.ok() || parsed->seq != checkpoint_seq || parsed->piece != k) {
-      return common::Corruption("checkpoint piece sector corrupt");
+  std::vector<std::byte> region(static_cast<size_t>(CheckpointSlotSectors()) * kSectorBytes);
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    RETURN_IF_ERROR(disk_->InternalRead(CkptSlotLba(slot), region));
+    const auto header = ParseCkptHeader(std::span<const std::byte>(region).first(kSectorBytes));
+    if (!header || header->seq != checkpoint_seq || header->pieces != config_.pieces) {
+      continue;
     }
-    pieces[k] = std::move(parsed->entries);
+    // The header is the commit point and is written after the piece sectors, so a slot with a
+    // matching header must have intact pieces; anything else is real media corruption.
+    std::vector<std::vector<uint32_t>> pieces(config_.pieces);
+    for (uint32_t k = 0; k < config_.pieces; ++k) {
+      auto parsed = MapSector::Parse(std::span<const std::byte>(region).subspan(
+          static_cast<size_t>(k + 1) * kSectorBytes, kSectorBytes));
+      if (!parsed.ok() || parsed->seq != checkpoint_seq || parsed->piece != k) {
+        return common::Corruption("checkpoint piece sector corrupt");
+      }
+      pieces[k] = std::move(parsed->entries);
+    }
+    next_ckpt_slot_ = 1 - slot;  // Keep alternating: don't overwrite the slot just recovered.
+    return pieces;
   }
-  return pieces;
+  return common::Corruption("checkpoint header mismatch");
 }
 
 std::optional<uint32_t> VirtualLog::LiveBlockOfPiece(uint32_t piece) const {

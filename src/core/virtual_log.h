@@ -20,6 +20,12 @@
 // record is missing or corrupt, a full-disk scan for signed map sectors finds the live map
 // instead. A checkpoint (§3.3) bounds both paths: the whole map is written contiguously to a
 // reserved region and traversal prunes below the checkpoint sequence number.
+//
+// The checkpoint region is double-buffered: two slots of (header + one sector per piece),
+// written alternately. Within a slot the piece sectors go down first and the CRC-signed header
+// last, so the header write is the commit point; a crash anywhere in the middle leaves the
+// previous checkpoint (in the other slot) intact. Recovery trusts the newest slot whose header
+// parses.
 #ifndef SRC_CORE_VIRTUAL_LOG_H_
 #define SRC_CORE_VIRTUAL_LOG_H_
 
@@ -41,7 +47,7 @@ struct VirtualLogConfig {
   uint32_t pieces = 0;         // Number of map pieces (ceil(logical blocks / entries/sector)).
   uint32_t block_sectors = 8;  // Physical block size in sectors.
   simdisk::Lba park_lba = 0;   // The landing-zone sector holding the parked tail.
-  simdisk::Lba checkpoint_lba = 1;  // First sector of the reserved checkpoint region.
+  simdisk::Lba checkpoint_lba = 1;  // First sector of the reserved (double-slot) checkpoint region.
   uint32_t pinned_limit = 64;  // Auto-checkpoint when more obsolete sectors than this are pinned.
 };
 
@@ -118,8 +124,13 @@ class VirtualLog {
   size_t PinnedCount() const { return pinned_.size(); }
   const VirtualLogStats& stats() const { return stats_; }
   const VirtualLogConfig& config() const { return config_; }
-  // Sectors needed by a checkpoint: one header plus one per piece.
-  uint32_t CheckpointSectors() const { return config_.pieces + 1; }
+  // Sectors in one checkpoint slot: one header plus one per piece.
+  uint32_t CheckpointSlotSectors() const { return config_.pieces + 1; }
+  // Total sectors of the reserved checkpoint region (both slots).
+  uint32_t CheckpointSectors() const { return 2 * CheckpointSlotSectors(); }
+  // Reserved sectors at the front of the disk for the default layout (park at sector 0,
+  // checkpoint region right behind it): park + two checkpoint slots.
+  static constexpr uint32_t ReservedSectors(uint32_t pieces) { return 1 + 2 * (pieces + 1); }
 
  private:
   struct PieceState {
@@ -148,6 +159,10 @@ class VirtualLog {
   void RemoveObsolete(uint32_t block, uint64_t seq);
   void FreeLogBlock(uint32_t block);
 
+  simdisk::Lba CkptSlotLba(uint32_t slot) const {
+    return config_.checkpoint_lba + slot * CheckpointSlotSectors();
+  }
+
   common::Status AppendOne(uint32_t piece, const std::vector<uint32_t>& entries, uint64_t txn_id,
                            uint16_t txn_index, uint16_t txn_total,
                            std::vector<DeferredFree>* deferred_frees);
@@ -167,6 +182,7 @@ class VirtualLog {
   VirtualLogConfig config_;
   uint64_t next_seq_ = 1;
   uint64_t checkpoint_seq_ = 0;  // 0 = no checkpoint taken.
+  uint32_t next_ckpt_slot_ = 0;  // Slot the next checkpoint writes to (alternates).
   std::vector<PieceState> piece_state_;
   // Live map sectors ordered by sequence (ascending).
   std::map<uint64_t, ChainNode> chain_;

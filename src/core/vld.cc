@@ -14,7 +14,8 @@ Vld::Layout Vld::ComputeLayout(const simdisk::DiskGeometry& geometry, const VldC
   // point (converges immediately in practice).
   uint32_t pieces = 0;
   for (int iter = 0; iter < 8; ++iter) {
-    const uint32_t system_sectors = 2 + pieces;  // Park + checkpoint header + piece sectors.
+    // Park sector + the double-buffered checkpoint region.
+    const uint32_t system_sectors = VirtualLog::ReservedSectors(pieces);
     const uint32_t system_blocks =
         (system_sectors + config.block_sectors - 1) / config.block_sectors;
     // Live map sectors occupy up to `pieces` blocks; slack keeps eager writing possible.
@@ -84,10 +85,9 @@ common::Status Vld::Format() {
                               AllocatorConfig{.fill_to_threshold = config_.compactor_enabled,
                                               .track_switch_threshold =
                                                   config_.track_switch_threshold});
-  RETURN_IF_ERROR(vlog_.Format());
-  // Invalidate any stale checkpoint header from a previous life of the media.
-  std::vector<std::byte> zero(disk_->SectorBytes());
-  return disk_->InternalWrite(vlog_.config().checkpoint_lba, zero);
+  // VirtualLog::Format also invalidates any stale checkpoint headers from a previous life of
+  // the media.
+  return vlog_.Format();
 }
 
 common::Status Vld::Park() { return vlog_.Park(); }
@@ -115,6 +115,7 @@ common::StatusOr<VldRecoveryInfo> Vld::Recover() {
   info.used_scan = recovered.used_scan;
   info.from_checkpoint = recovered.from_checkpoint;
   info.log_sectors_read = recovered.sectors_read;
+  info.discarded_txn_sectors = recovered.discarded_txn_sectors;
   for (uint32_t k = 0; k < recovered.pieces.size(); ++k) {
     const auto& entries = recovered.pieces[k];
     for (uint32_t i = 0; i < entries.size(); ++i) {

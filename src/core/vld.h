@@ -8,7 +8,8 @@
 // Trim extension). A free-space compactor runs during idle time.
 //
 // Layout: sector 0 is the park sector (the "landing zone" record written by the power-down
-// sequence); a checkpoint region of pieces+1 sectors follows; everything else is allocatable.
+// sequence); a double-buffered checkpoint region of 2*(pieces+1) sectors follows; everything
+// else is allocatable.
 #ifndef SRC_CORE_VLD_H_
 #define SRC_CORE_VLD_H_
 
@@ -54,6 +55,9 @@ struct VldRecoveryInfo {
   uint64_t log_sectors_read = 0;
   uint64_t mapped_blocks = 0;
   uint32_t repaired_pieces = 0;  // Uncovered pieces re-appended after a scan recovery.
+  // Map sectors dropped because they belonged to a trailing incomplete (torn) transaction.
+  // Zero means the recovery was clean; nonzero means a crashed commit was rolled back.
+  uint64_t discarded_txn_sectors = 0;
 };
 
 class Vld : public simdisk::BlockDevice, public CompactionBackend {
@@ -96,6 +100,9 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   common::Status RewritePiece(uint32_t piece) override;
 
   double PhysicalUtilization() const { return space_.Utilization(); }
+  // The full logical-to-physical translation map (kUnmappedBlock where unmapped). Read-only
+  // introspection for invariant checkers such as crashsim.
+  const std::vector<uint32_t>& logical_map() const { return map_; }
   uint32_t logical_blocks() const { return logical_blocks_; }
   uint32_t block_sectors() const { return config_.block_sectors; }
   simdisk::SimDisk& disk() { return *disk_; }

@@ -1,0 +1,108 @@
+#include "src/crashsim/crash_point.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace vlog::crashsim {
+namespace {
+
+// Distinct, deterministic seed per (base seed, write index).
+uint64_t VariantSeed(uint64_t base, uint64_t index) { return base * 1000003ULL + index + 1; }
+
+void CopySectors(std::vector<std::byte>& image, const WriteRecord& record, uint32_t sector_bytes,
+                 uint64_t first_sector, uint64_t count) {
+  const size_t offset = (record.lba + first_sector) * sector_bytes;
+  assert(offset + count * sector_bytes <= image.size());
+  std::memcpy(image.data() + offset, record.data.data() + first_sector * sector_bytes,
+              count * sector_bytes);
+}
+
+}  // namespace
+
+const char* CrashKindName(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kClean:
+      return "clean";
+    case CrashKind::kTornPrefix:
+      return "torn-prefix";
+    case CrashKind::kTornSuffix:
+      return "torn-suffix";
+    case CrashKind::kTornRandom:
+      return "torn-random";
+    case CrashKind::kCorruptTail:
+      return "corrupt-tail";
+  }
+  return "?";
+}
+
+std::vector<CrashPoint> EnumerateCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
+                                             const EnumerateOptions& options) {
+  std::vector<CrashPoint> points;
+  for (uint64_t n = 0; n <= trace.size(); ++n) {
+    if (n == trace.size() || (options.clean_stride > 0 && n % options.clean_stride == 0)) {
+      points.push_back(CrashPoint{n, CrashKind::kClean});
+    }
+    if (n == trace.size()) {
+      break;
+    }
+    const uint64_t sectors = trace[n].Sectors(sector_bytes);
+    if (sectors > 1 && options.torn_stride > 0 && n % options.torn_stride == 0) {
+      points.push_back(CrashPoint{n, CrashKind::kTornPrefix, 1});
+      if (sectors > 2) {
+        points.push_back(
+            CrashPoint{n, CrashKind::kTornPrefix, static_cast<uint32_t>(sectors - 1)});
+      }
+      points.push_back(CrashPoint{n, CrashKind::kTornSuffix, 1});
+      points.push_back(
+          CrashPoint{n, CrashKind::kTornRandom, 0, VariantSeed(options.seed, n)});
+    }
+    if (options.corrupt_stride > 0 && n % options.corrupt_stride == 0) {
+      points.push_back(
+          CrashPoint{n, CrashKind::kCorruptTail, 0, VariantSeed(options.seed, n)});
+    }
+  }
+  return points;
+}
+
+void ApplyCrashedWrite(std::vector<std::byte>& image, const WriteRecord& record,
+                       uint32_t sector_bytes, const CrashPoint& point) {
+  const uint64_t sectors = record.Sectors(sector_bytes);
+  switch (point.kind) {
+    case CrashKind::kClean:
+      break;
+    case CrashKind::kTornPrefix: {
+      const uint64_t keep = std::min<uint64_t>(point.keep_sectors, sectors);
+      CopySectors(image, record, sector_bytes, 0, keep);
+      break;
+    }
+    case CrashKind::kTornSuffix: {
+      const uint64_t keep = std::min<uint64_t>(point.keep_sectors, sectors);
+      CopySectors(image, record, sector_bytes, sectors - keep, keep);
+      break;
+    }
+    case CrashKind::kTornRandom: {
+      common::Rng rng(point.seed);
+      for (uint64_t s = 0; s < sectors; ++s) {
+        if (rng.Chance(0.5)) {
+          CopySectors(image, record, sector_bytes, s, 1);
+        }
+      }
+      break;
+    }
+    case CrashKind::kCorruptTail: {
+      CopySectors(image, record, sector_bytes, 0, sectors);
+      common::Rng rng(point.seed);
+      const uint64_t flips = 1 + rng.Below(8);
+      std::byte* tail = image.data() + (record.lba + sectors - 1) * sector_bytes;
+      for (uint64_t i = 0; i < flips; ++i) {
+        tail[rng.Below(sector_bytes)] ^= static_cast<std::byte>(1 + rng.Below(255));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace vlog::crashsim

@@ -1,0 +1,57 @@
+// Crash-point enumeration over a recorded write trace.
+//
+// The crash model (see DESIGN.md, "Crash model and recovery guarantees"): power can drop
+// between any two media writes (a *clean stop*), in the middle of a multi-sector write so that
+// only some of its sectors persist (a *torn tail* — prefix, suffix, or an arbitrary subset,
+// since the drive may reorder sectors within one command), or during the last sector so that
+// it persists damaged (a *corrupted tail*, which must be caught by the CRC on every signed
+// structure). Writes are never reordered across command boundaries: the SimDisk commits each
+// write before acknowledging it.
+#ifndef SRC_CRASHSIM_CRASH_POINT_H_
+#define SRC_CRASHSIM_CRASH_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crashsim/write_trace.h"
+
+namespace vlog::crashsim {
+
+enum class CrashKind : uint8_t {
+  kClean,        // Power drops between writes; the trace prefix persists exactly.
+  kTornPrefix,   // The final write persists only its first keep_sectors sectors.
+  kTornSuffix,   // The final write persists only its last keep_sectors sectors.
+  kTornRandom,   // A seeded pseudo-random subset of the final write's sectors persists.
+  kCorruptTail,  // The final write persists fully but its last sector takes seeded bit flips.
+};
+
+const char* CrashKindName(CrashKind kind);
+
+struct CrashPoint {
+  uint64_t writes_applied = 0;  // Trace records fully persisted before the cut.
+  CrashKind kind = CrashKind::kClean;  // Fate of record[writes_applied] (unused for kClean).
+  uint32_t keep_sectors = 0;           // kTornPrefix / kTornSuffix only.
+  uint64_t seed = 1;                   // kTornRandom / kCorruptTail only.
+};
+
+struct EnumerateOptions {
+  uint64_t clean_stride = 1;    // Clean stop after every Nth write (the final state is always
+                                // included regardless of stride).
+  uint64_t torn_stride = 1;     // Torn variants for every Nth multi-sector write (0 = none).
+  uint64_t corrupt_stride = 4;  // Corrupt-tail variant for every Nth write (0 = none).
+  uint64_t seed = 1;            // Base seed for the randomized variants.
+};
+
+// All crash points for `trace`, ordered by writes_applied so a sweep can maintain a rolling
+// reconstructed image.
+std::vector<CrashPoint> EnumerateCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
+                                             const EnumerateOptions& options);
+
+// Applies the partially-persisted or corrupted form of `record` that `point` describes. The
+// modes mirror SimDisk's WriteFaultMode semantics, replayed over an offline image.
+void ApplyCrashedWrite(std::vector<std::byte>& image, const WriteRecord& record,
+                       uint32_t sector_bytes, const CrashPoint& point);
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_CRASH_POINT_H_

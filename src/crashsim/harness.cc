@@ -1,0 +1,475 @@
+#include "src/crashsim/harness.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/simdisk/host_model.h"
+
+namespace vlog::crashsim {
+namespace {
+
+std::string PointName(const CrashPoint& point) {
+  std::ostringstream os;
+  os << "crash point n=" << point.writes_applied << " kind=" << CrashKindName(point.kind);
+  if (point.kind == CrashKind::kTornPrefix || point.kind == CrashKind::kTornSuffix) {
+    os << " keep=" << point.keep_sectors;
+  }
+  return os.str();
+}
+
+bool IsZero(std::span<const std::byte> bytes) {
+  return std::all_of(bytes.begin(), bytes.end(), [](std::byte b) { return b == std::byte{0}; });
+}
+
+// Does `got` equal `expect`, where an empty `expect` means all zeros?
+bool ContentMatches(std::span<const std::byte> got, const std::vector<std::byte>& expect) {
+  if (expect.empty()) {
+    return IsZero(got);
+  }
+  return got.size() == expect.size() &&
+         std::memcmp(got.data(), expect.data(), expect.size()) == 0;
+}
+
+common::Duration Percentile(std::vector<common::Duration> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+void CrashSweepReport::AddViolation(const CrashPoint& point, const std::string& what,
+                                    size_t max_details) {
+  ++violations;
+  if (violation_details.size() < max_details) {
+    violation_details.push_back(PointName(point) + ": " + what);
+  }
+}
+
+std::string CrashSweepReport::Summary() const {
+  std::vector<common::Duration> sorted = recovery_times;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream os;
+  os << points << " crash points (" << clean_points << " clean, " << torn_points << " torn, "
+     << corrupt_points << " corrupt-tail), " << violations << " violations; recoveries: "
+     << park_recoveries << " park, " << scan_recoveries << " scan, " << checkpoint_recoveries
+     << " checkpoint-seeded, " << rolled_back_recoveries << " rolled back a torn commit, "
+     << repaired_pieces << " pieces repaired";
+  if (!sorted.empty()) {
+    os << "; recovery time ms min/median/p90/max = " << common::ToMilliseconds(sorted.front())
+       << "/" << common::ToMilliseconds(Percentile(sorted, 0.5)) << "/"
+       << common::ToMilliseconds(Percentile(sorted, 0.9)) << "/"
+       << common::ToMilliseconds(sorted.back());
+  }
+  for (const std::string& detail : violation_details) {
+    os << "\n  " << detail;
+  }
+  return os.str();
+}
+
+// --- VldCrashSim ---
+
+VldCrashSim::VldCrashSim(simdisk::DiskParams params, core::VldConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+common::Status VldCrashSim::Record(
+    const std::function<common::Status(ShadowVld&)>& workload) {
+  common::Clock clock;
+  simdisk::SimDisk disk(params_, &clock);
+  core::Vld vld(&disk, config_);
+  RETURN_IF_ERROR(vld.Format());
+  logical_blocks_ = vld.logical_blocks();
+  block_bytes_ = vld.block_sectors() * disk.SectorBytes();
+  // Recording starts after Format: the base image is the freshly formatted device, and every
+  // later media write (data, map sectors, checkpoints, park) lands in the trace.
+  trace_.set_base(SnapshotMedia(disk));
+  disk.set_write_observer(
+      [this](simdisk::Lba lba, std::span<const std::byte> data) { trace_.Append(lba, data); });
+  ShadowVld shadow(&vld, &trace_);
+  common::Status status = workload(shadow);
+  disk.set_write_observer(nullptr);
+  ops_ = shadow.TakeOps();
+  return status;
+}
+
+CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
+  CrashSweepReport report;
+  const uint32_t sector_bytes = params_.geometry.sector_bytes;
+  const uint32_t block_sectors = block_bytes_ / sector_bytes;
+  const std::vector<CrashPoint> points =
+      EnumerateCrashPoints(trace_, sector_bytes, options.enumerate);
+  report.points = points.size();
+
+  // Rolling state, advanced monotonically since points are ordered by writes_applied: the
+  // reconstructed image and the committed shadow (contents after every fully-persisted op).
+  std::vector<std::byte> image = trace_.base();
+  uint64_t applied = 0;
+  size_t op_idx = 0;
+  std::vector<std::vector<std::byte>> committed(logical_blocks_);
+
+  std::vector<std::byte> probe_block(block_bytes_, std::byte{0xA5});
+  std::vector<std::byte> readback(block_bytes_);
+
+  for (const CrashPoint& point : points) {
+    while (applied < point.writes_applied) {
+      ApplyWrite(image, trace_[applied], sector_bytes);
+      ++applied;
+    }
+    while (op_idx < ops_.size() && ops_[op_idx].end_writes <= applied) {
+      const ShadowVld::Op& op = ops_[op_idx];
+      for (size_t i = 0; i < op.blocks.size(); ++i) {
+        committed[op.blocks[i]] = op.after[i];
+      }
+      ++op_idx;
+    }
+    const ShadowVld::Op* inflight = op_idx < ops_.size() ? &ops_[op_idx] : nullptr;
+
+    switch (point.kind) {
+      case CrashKind::kClean:
+        ++report.clean_points;
+        break;
+      case CrashKind::kCorruptTail:
+        ++report.corrupt_points;
+        break;
+      default:
+        ++report.torn_points;
+    }
+
+    // Reconstruct the crashed media and recover a fresh instance over it.
+    std::vector<std::byte> crashed = image;
+    if (point.kind != CrashKind::kClean) {
+      ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
+    }
+    common::Clock clock;
+    simdisk::SimDisk disk(params_, &clock);
+    disk.PokeMedia(0, crashed);
+    core::Vld vld(&disk, config_);
+    const common::Time start = clock.Now();
+    auto info = vld.Recover();
+    report.recovery_times.push_back(clock.Now() - start);
+    if (!info.ok()) {
+      report.AddViolation(point, "recovery failed: " + info.status().ToString(),
+                          options.max_violation_details);
+      continue;
+    }
+    (info->used_scan ? report.scan_recoveries : report.park_recoveries) += 1;
+    report.checkpoint_recoveries += info->from_checkpoint ? 1 : 0;
+    report.rolled_back_recoveries += info->discarded_txn_sectors > 0 ? 1 : 0;
+    report.repaired_pieces += info->repaired_pieces;
+
+    // Invariant 2: committed contents exact; in-flight blocks all-old or all-new.
+    std::unordered_map<uint32_t, size_t> inflight_index;
+    if (inflight != nullptr) {
+      for (size_t i = 0; i < inflight->blocks.size(); ++i) {
+        inflight_index.emplace(inflight->blocks[i], i);
+      }
+    }
+    bool all_old = true;
+    bool all_new = true;
+    bool content_ok = true;
+    for (uint32_t b = 0; b < logical_blocks_ && content_ok; ++b) {
+      if (!vld.Read(static_cast<simdisk::Lba>(b) * block_sectors, readback).ok()) {
+        report.AddViolation(point, "read of logical block " + std::to_string(b) + " failed",
+                            options.max_violation_details);
+        content_ok = false;
+        break;
+      }
+      const auto it = inflight_index.find(b);
+      if (it == inflight_index.end()) {
+        if (!ContentMatches(readback, committed[b])) {
+          report.AddViolation(point,
+                              "committed logical block " + std::to_string(b) +
+                                  " has wrong contents after recovery",
+                              options.max_violation_details);
+          content_ok = false;
+        }
+        continue;
+      }
+      all_old = all_old && ContentMatches(readback, inflight->before[it->second]);
+      all_new = all_new && ContentMatches(readback, inflight->after[it->second]);
+    }
+    if (content_ok && !(all_old || all_new)) {
+      report.AddViolation(point, "in-flight command partially applied (atomicity violated)",
+                          options.max_violation_details);
+    }
+
+    // Invariant 3: the recovered map is injective over physical blocks.
+    const std::vector<uint32_t>& map = vld.logical_map();
+    std::unordered_set<uint32_t> phys_seen;
+    uint64_t mapped = 0;
+    for (uint32_t b = 0; b < map.size(); ++b) {
+      if (map[b] == core::kUnmappedBlock) {
+        continue;
+      }
+      ++mapped;
+      if (!phys_seen.insert(map[b]).second) {
+        report.AddViolation(point,
+                            "two logical blocks map to physical block " + std::to_string(map[b]),
+                            options.max_violation_details);
+        break;
+      }
+      if (vld.space().state(map[b]) != core::BlockState::kLive) {
+        report.AddViolation(point,
+                            "mapped physical block " + std::to_string(map[b]) +
+                                " not marked live in the free-space map",
+                            options.max_violation_details);
+        break;
+      }
+    }
+
+    // Invariant 4: free-space accounting equals mapped data + live map pieces + pinned blocks.
+    std::unordered_set<uint32_t> map_blocks;
+    for (uint32_t k = 0; k < vld.vlog().config().pieces; ++k) {
+      if (const auto block = vld.vlog().LiveBlockOfPiece(k)) {
+        map_blocks.insert(*block);
+      }
+    }
+    for (const uint32_t block : vld.vlog().PinnedBlocks()) {
+      map_blocks.insert(block);
+    }
+    if (mapped + map_blocks.size() != vld.space().live_blocks()) {
+      report.AddViolation(point,
+                          "free-space accounting mismatch: " + std::to_string(mapped) +
+                              " mapped + " + std::to_string(map_blocks.size()) +
+                              " map blocks != " + std::to_string(vld.space().live_blocks()) +
+                              " live",
+                          options.max_violation_details);
+    }
+
+    // Invariant 5: the recovered device still accepts and serves writes.
+    if (options.probe_after_recovery) {
+      const common::Status w = vld.Write(0, probe_block);
+      const common::Status r = w.ok() ? vld.Read(0, readback) : w;
+      if (!r.ok() || !ContentMatches(readback, probe_block)) {
+        report.AddViolation(point, "post-recovery probe write/read failed",
+                            options.max_violation_details);
+      }
+    }
+  }
+  return report;
+}
+
+// --- VlfsCrashSim ---
+
+VlfsCrashSim::VlfsCrashSim(simdisk::DiskParams params, vlfs::VlfsConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+common::Status VlfsCrashSim::Record(const std::vector<VlfsOp>& script) {
+  common::Clock clock;
+  simdisk::SimDisk disk(params_, &clock);
+  simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
+  vlfs::Vlfs fs(&disk, &host, config_);
+  RETURN_IF_ERROR(fs.Format());
+  trace_.set_base(SnapshotMedia(disk));
+  disk.set_write_observer(
+      [this](simdisk::Lba lba, std::span<const std::byte> data) { trace_.Append(lba, data); });
+
+  // The expected-state model is maintained here, not read back from the fs: a divergence shows
+  // up in the sweep (including at the final clean point, which is the uncrashed state).
+  std::unordered_map<std::string, FileState> state;
+  std::unordered_set<std::string> known;
+  for (const VlfsOp& op : script) {
+    FsOpRecord rec;
+    rec.path = op.path;
+    if (!op.path.empty() && known.insert(op.path).second) {
+      all_paths_.push_back(op.path);
+    }
+    const auto it = op.path.empty() ? state.end() : state.find(op.path);
+    rec.before = it == state.end() ? std::nullopt : std::optional<FileState>(it->second);
+    switch (op.kind) {
+      case VlfsOp::Kind::kCreate:
+        RETURN_IF_ERROR(fs.Create(op.path));
+        rec.after = FileState{};
+        break;
+      case VlfsOp::Kind::kMkdir: {
+        RETURN_IF_ERROR(fs.Mkdir(op.path));
+        FileState dir;
+        dir.is_dir = true;
+        rec.after = std::move(dir);
+        break;
+      }
+      case VlfsOp::Kind::kRemove:
+        RETURN_IF_ERROR(fs.Remove(op.path));
+        rec.after = std::nullopt;
+        break;
+      case VlfsOp::Kind::kWriteSync: {
+        RETURN_IF_ERROR(fs.Write(op.path, op.offset, op.data, fs::WritePolicy::kSync));
+        FileState next = rec.before.value_or(FileState{});
+        if (next.content.size() < op.offset + op.data.size()) {
+          next.content.resize(op.offset + op.data.size());
+        }
+        std::memcpy(next.content.data() + op.offset, op.data.data(), op.data.size());
+        rec.after = std::move(next);
+        break;
+      }
+      case VlfsOp::Kind::kCheckpoint:
+        RETURN_IF_ERROR(fs.Checkpoint());
+        break;
+      case VlfsOp::Kind::kIdle:
+        fs.RunIdle(op.idle_budget);
+        break;
+      case VlfsOp::Kind::kPark:
+        RETURN_IF_ERROR(fs.Park());
+        break;
+    }
+    rec.end_writes = trace_.size();
+    if (!op.path.empty()) {
+      if (rec.after.has_value()) {
+        state[op.path] = *rec.after;
+      } else {
+        state.erase(op.path);
+      }
+    }
+    ops_.push_back(std::move(rec));
+  }
+  disk.set_write_observer(nullptr);
+  return common::OkStatus();
+}
+
+CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
+  CrashSweepReport report;
+  const uint32_t sector_bytes = params_.geometry.sector_bytes;
+  const std::vector<CrashPoint> points =
+      EnumerateCrashPoints(trace_, sector_bytes, options.enumerate);
+  report.points = points.size();
+
+  std::vector<std::byte> image = trace_.base();
+  uint64_t applied = 0;
+  size_t op_idx = 0;
+  std::unordered_map<std::string, FileState> committed;
+
+  // Checks one path against an expected state (nullopt = absent). Returns a description of the
+  // mismatch, or an empty string.
+  auto check_path = [](vlfs::Vlfs& fs, const std::string& path,
+                       const std::optional<FileState>& expect) -> std::string {
+    auto stat = fs.Stat(path);
+    if (!expect.has_value()) {
+      return stat.ok() ? "path '" + path + "' resurrected after recovery" : "";
+    }
+    if (!stat.ok()) {
+      return "path '" + path + "' missing after recovery";
+    }
+    if (stat->is_directory != expect->is_dir) {
+      return "path '" + path + "' changed type after recovery";
+    }
+    if (expect->is_dir) {
+      return "";
+    }
+    if (stat->size != expect->content.size()) {
+      return "file '" + path + "' has wrong size after recovery";
+    }
+    std::vector<std::byte> data(expect->content.size());
+    if (!data.empty()) {
+      auto read = fs.Read(path, 0, data);
+      if (!read.ok() || *read != data.size() ||
+          std::memcmp(data.data(), expect->content.data(), data.size()) != 0) {
+        return "file '" + path + "' has wrong contents after recovery";
+      }
+    }
+    return "";
+  };
+
+  for (const CrashPoint& point : points) {
+    while (applied < point.writes_applied) {
+      ApplyWrite(image, trace_[applied], sector_bytes);
+      ++applied;
+    }
+    while (op_idx < ops_.size() && ops_[op_idx].end_writes <= applied) {
+      const FsOpRecord& op = ops_[op_idx];
+      if (!op.path.empty()) {
+        if (op.after.has_value()) {
+          committed[op.path] = *op.after;
+        } else {
+          committed.erase(op.path);
+        }
+      }
+      ++op_idx;
+    }
+    const FsOpRecord* inflight = op_idx < ops_.size() ? &ops_[op_idx] : nullptr;
+
+    switch (point.kind) {
+      case CrashKind::kClean:
+        ++report.clean_points;
+        break;
+      case CrashKind::kCorruptTail:
+        ++report.corrupt_points;
+        break;
+      default:
+        ++report.torn_points;
+    }
+
+    std::vector<std::byte> crashed = image;
+    if (point.kind != CrashKind::kClean) {
+      ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
+    }
+    common::Clock clock;
+    simdisk::SimDisk disk(params_, &clock);
+    disk.PokeMedia(0, crashed);
+    simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
+    vlfs::Vlfs fs(&disk, &host, config_);
+    const common::Time start = clock.Now();
+    auto info = fs.Recover();
+    report.recovery_times.push_back(clock.Now() - start);
+    if (!info.ok()) {
+      report.AddViolation(point, "recovery failed: " + info.status().ToString(),
+                          options.max_violation_details);
+      continue;
+    }
+    (info->used_scan ? report.scan_recoveries : report.park_recoveries) += 1;
+    report.checkpoint_recoveries += info->from_checkpoint ? 1 : 0;
+    report.rolled_back_recoveries += info->discarded_txn_sectors > 0 ? 1 : 0;
+
+    for (const std::string& path : all_paths_) {
+      if (inflight != nullptr && path == inflight->path) {
+        // The in-flight operation must be all-or-nothing at the file level.
+        const std::string as_old = check_path(fs, path, inflight->before);
+        if (!as_old.empty()) {
+          const std::string as_new = check_path(fs, path, inflight->after);
+          if (!as_new.empty()) {
+            report.AddViolation(
+                point, "in-flight op on '" + path + "' neither old nor new state (" + as_old +
+                           " / " + as_new + ")",
+                options.max_violation_details);
+          }
+        }
+        continue;
+      }
+      const auto it = committed.find(path);
+      const std::string err = check_path(
+          fs, path, it == committed.end() ? std::nullopt : std::optional<FileState>(it->second));
+      if (!err.empty()) {
+        report.AddViolation(point, err, options.max_violation_details);
+      }
+    }
+
+    if (options.probe_after_recovery) {
+      const std::string probe = "/crashsim-probe";
+      std::vector<std::byte> payload(1024, std::byte{0x5A});
+      std::vector<std::byte> back(payload.size());
+      common::Status st = fs.Create(probe);
+      if (st.ok()) {
+        st = fs.Write(probe, 0, payload, fs::WritePolicy::kSync);
+      }
+      if (st.ok()) {
+        auto read = fs.Read(probe, 0, back);
+        st = read.ok() ? common::OkStatus() : read.status();
+        if (st.ok() && (static_cast<size_t>(*read) != back.size() || back != payload)) {
+          st = common::Corruption("probe readback mismatch");
+        }
+      }
+      if (!st.ok()) {
+        report.AddViolation(point, "post-recovery probe failed: " + st.ToString(),
+                            options.max_violation_details);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vlog::crashsim

@@ -1,0 +1,132 @@
+// The crash-consistency harness: record a workload once, then sweep every enumerated crash
+// point — rebuild the media image, run recovery on a fresh instance, and check machine-readable
+// invariants against the shadow model.
+//
+// Invariants checked at every crash point (VLD level):
+//   1. Recovery succeeds (a crash must never make the device unrecoverable).
+//   2. Every acknowledged write is readable with its exact acknowledged contents; blocks the
+//      in-flight command touched read back either all-old or all-new (atomic commit).
+//   3. No two logical blocks map to the same physical block.
+//   4. Free-space accounting matches the recovered map: live blocks = mapped data blocks +
+//      live map-piece blocks + pinned map blocks.
+//   5. The recovered device still works: a probe write/read round-trips (allocator sanity).
+// At the VLFS level the shadow model is a path -> (type, contents) map and the same
+// all-or-nothing rule applies to the file-level operation in flight.
+#ifndef SRC_CRASHSIM_HARNESS_H_
+#define SRC_CRASHSIM_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/vld.h"
+#include "src/crashsim/crash_point.h"
+#include "src/crashsim/shadow_vld.h"
+#include "src/crashsim/write_trace.h"
+#include "src/simdisk/disk_params.h"
+#include "src/vlfs/vlfs.h"
+
+namespace vlog::crashsim {
+
+struct CrashSweepOptions {
+  EnumerateOptions enumerate;
+  // After each recovery, write/read one probe block through the recovered instance to
+  // smoke-test allocator and map consistency.
+  bool probe_after_recovery = true;
+  size_t max_violation_details = 8;
+};
+
+struct CrashSweepReport {
+  uint64_t points = 0;
+  uint64_t clean_points = 0;
+  uint64_t torn_points = 0;  // Torn prefix/suffix/random variants.
+  uint64_t corrupt_points = 0;
+
+  uint64_t violations = 0;
+  std::vector<std::string> violation_details;  // First few, for diagnosis.
+
+  uint64_t park_recoveries = 0;
+  uint64_t scan_recoveries = 0;
+  uint64_t checkpoint_recoveries = 0;   // Recoveries seeded (partly) from a checkpoint.
+  uint64_t rolled_back_recoveries = 0;  // Recoveries that discarded a torn transaction.
+  uint64_t repaired_pieces = 0;
+  std::vector<common::Duration> recovery_times;  // Simulated time, one entry per crash point.
+
+  bool ok() const { return violations == 0; }
+  void AddViolation(const CrashPoint& point, const std::string& what, size_t max_details);
+  // Human-readable one-paragraph summary (for test failure messages and the bench).
+  std::string Summary() const;
+};
+
+// Device-level harness: a workload drives a ShadowVld; the sweep replays its media history.
+class VldCrashSim {
+ public:
+  VldCrashSim(simdisk::DiskParams params, core::VldConfig config);
+
+  // Formats a fresh VLD, attaches the recorder, and runs `workload`. Call once.
+  common::Status Record(const std::function<common::Status(ShadowVld&)>& workload);
+
+  CrashSweepReport Sweep(const CrashSweepOptions& options) const;
+
+  const WriteTrace& trace() const { return trace_; }
+  const std::vector<ShadowVld::Op>& ops() const { return ops_; }
+
+ private:
+  simdisk::DiskParams params_;
+  core::VldConfig config_;
+  WriteTrace trace_;
+  std::vector<ShadowVld::Op> ops_;
+  uint32_t logical_blocks_ = 0;
+  uint32_t block_bytes_ = 0;
+};
+
+// One scripted VLFS operation. All mutating ops are synchronous, so each is committed (or not)
+// as a unit — which is exactly what the sweep's shadow model checks.
+struct VlfsOp {
+  enum class Kind { kCreate, kMkdir, kRemove, kWriteSync, kCheckpoint, kIdle, kPark };
+  Kind kind = Kind::kCreate;
+  std::string path;        // Target for kCreate/kMkdir/kRemove/kWriteSync.
+  uint64_t offset = 0;     // kWriteSync.
+  std::vector<std::byte> data;  // kWriteSync.
+  common::Duration idle_budget = 0;  // kIdle.
+};
+
+// File-system-level harness over Vlfs::Recover().
+class VlfsCrashSim {
+ public:
+  VlfsCrashSim(simdisk::DiskParams params, vlfs::VlfsConfig config);
+
+  common::Status Record(const std::vector<VlfsOp>& script);
+
+  CrashSweepReport Sweep(const CrashSweepOptions& options) const;
+
+  const WriteTrace& trace() const { return trace_; }
+
+ private:
+  struct FileState {
+    bool is_dir = false;
+    std::vector<std::byte> content;
+  };
+  // One committed namespace transition: `path` went from `before` to `after` (nullopt =
+  // absent) at trace position end_writes. Ops with no namespace effect have an empty path.
+  struct FsOpRecord {
+    uint64_t end_writes = 0;
+    std::string path;
+    std::optional<FileState> before;
+    std::optional<FileState> after;
+  };
+
+  simdisk::DiskParams params_;
+  vlfs::VlfsConfig config_;
+  WriteTrace trace_;
+  std::vector<FsOpRecord> ops_;
+  std::vector<std::string> all_paths_;  // Every path the script ever named (absence checks).
+};
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_HARNESS_H_

@@ -1,0 +1,188 @@
+#include "src/crashsim/scenarios.h"
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/simdisk/host_model.h"
+#include "src/ufs/ufs.h"
+
+namespace vlog::crashsim {
+namespace {
+
+constexpr uint32_t kBlockSectors = 8;
+constexpr size_t kBlockBytes = kBlockSectors * 512;
+
+// Deterministic, version-tagged block content so stale data is never mistaken for fresh.
+std::vector<std::byte> Pattern(uint32_t block, uint32_t version, size_t bytes = kBlockBytes) {
+  std::vector<std::byte> data(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>((block * 131u + version * 17u + i) & 0xFF);
+  }
+  return data;
+}
+
+common::Status UfsOnVldWorkload(ShadowVld& dev) {
+  simdisk::HostModel host(simdisk::ZeroCostHost(), dev.vld().disk().clock());
+  ufs::Ufs fs(&dev, &host, ufs::UfsConfig{.blocks_per_cg = 64, .cache_blocks = 32});
+  RETURN_IF_ERROR(fs.Format());
+  for (int f = 0; f < 6; ++f) {
+    const std::string path = "/f" + std::to_string(f);
+    RETURN_IF_ERROR(fs.Create(path));
+    RETURN_IF_ERROR(fs.Write(path, 0, Pattern(static_cast<uint32_t>(f), 1, 2 * kBlockBytes),
+                             fs::WritePolicy::kSync));
+  }
+  // Overwrites (update-in-place at the FS level, eager relocation at the VLD level).
+  RETURN_IF_ERROR(fs.Write("/f1", 0, Pattern(1, 2, kBlockBytes), fs::WritePolicy::kSync));
+  RETURN_IF_ERROR(
+      fs.Write("/f3", kBlockBytes, Pattern(3, 2, kBlockBytes), fs::WritePolicy::kSync));
+  RETURN_IF_ERROR(fs.Remove("/f0"));
+  RETURN_IF_ERROR(fs.Remove("/f4"));
+  RETURN_IF_ERROR(fs.Create("/g"));
+  RETURN_IF_ERROR(fs.Write("/g", 0, Pattern(40, 1, 3 * kBlockBytes), fs::WritePolicy::kSync));
+  RETURN_IF_ERROR(fs.Sync());
+  return dev.Park();
+}
+
+common::Status CompactorActiveWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  const uint32_t used = blocks * 2 / 5;
+  // Fill a contiguous region so trims punch holes the compactor wants to squeeze out.
+  for (uint32_t b = 0; b < used; ++b) {
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 1)));
+  }
+  RETURN_IF_ERROR(dev.Trim(0, static_cast<uint64_t>(used / 3) * kBlockSectors));
+  dev.RunIdle(common::Milliseconds(150));
+
+  // Multi-extent atomic writes over blocks interleaved with trimmed and live ranges.
+  common::Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    const uint32_t a = static_cast<uint32_t>(rng.Below(used));
+    const uint32_t b = static_cast<uint32_t>(rng.Below(used));
+    const uint32_t c = used + static_cast<uint32_t>(rng.Below(blocks - used));
+    const auto da = Pattern(a, 10 + static_cast<uint32_t>(round));
+    const auto db = Pattern(b, 20 + static_cast<uint32_t>(round));
+    const auto dc = Pattern(c, 30 + static_cast<uint32_t>(round));
+    const core::Vld::AtomicWrite writes[] = {
+        {static_cast<simdisk::Lba>(a) * kBlockSectors, da},
+        {static_cast<simdisk::Lba>(b) * kBlockSectors, db},
+        {static_cast<simdisk::Lba>(c) * kBlockSectors, dc},
+    };
+    RETURN_IF_ERROR(dev.WriteAtomic(writes));
+    // Interleave trims with the atomic traffic, sometimes hitting just-written blocks.
+    if (round % 2 == 0) {
+      RETURN_IF_ERROR(dev.Trim(static_cast<simdisk::Lba>(a) * kBlockSectors, kBlockSectors));
+    }
+  }
+  dev.RunIdle(common::Milliseconds(150));
+  for (uint32_t b = used / 3; b < used / 3 + 8; ++b) {
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 99)));
+  }
+  return common::OkStatus();  // No park: every recovery takes the scan path.
+}
+
+common::Status CheckpointInterruptedWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  uint32_t version = 1;
+  for (uint32_t b = 0; b < 30; ++b) {
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, version)));
+  }
+  RETURN_IF_ERROR(dev.Checkpoint());
+  ++version;
+  for (uint32_t b = 10; b < 25; ++b) {
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, version)));
+  }
+  RETURN_IF_ERROR(dev.Checkpoint());
+  RETURN_IF_ERROR(dev.Trim(0, static_cast<uint64_t>(8) * kBlockSectors));
+  RETURN_IF_ERROR(dev.Checkpoint());
+  ++version;
+  for (uint32_t b = blocks - 6; b < blocks; ++b) {
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, version)));
+  }
+  return dev.Park();
+}
+
+}  // namespace
+
+const char* VldScenarioName(VldScenario scenario) {
+  switch (scenario) {
+    case VldScenario::kUfsOnVld:
+      return "ufs-on-vld";
+    case VldScenario::kCompactorActive:
+      return "compactor-active";
+    case VldScenario::kCheckpointInterrupted:
+      return "checkpoint-interrupted";
+  }
+  return "?";
+}
+
+simdisk::DiskParams CrashSimDiskParams() {
+  return simdisk::Truncated(simdisk::Hp97560(), 3);
+}
+
+core::VldConfig CrashSimVldConfig() {
+  return core::VldConfig{.block_sectors = kBlockSectors};
+}
+
+vlfs::VlfsConfig CrashSimVlfsConfig() {
+  return vlfs::VlfsConfig{};
+}
+
+common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
+  switch (scenario) {
+    case VldScenario::kUfsOnVld:
+      return sim.Record(UfsOnVldWorkload);
+    case VldScenario::kCompactorActive:
+      return sim.Record(CompactorActiveWorkload);
+    case VldScenario::kCheckpointInterrupted:
+      return sim.Record(CheckpointInterruptedWorkload);
+  }
+  return common::InvalidArgument("unknown scenario");
+}
+
+std::vector<VlfsOp> VlfsScenarioScript() {
+  std::vector<VlfsOp> script;
+  auto op = [&](VlfsOp::Kind kind, std::string path = {}) {
+    VlfsOp o;
+    o.kind = kind;
+    o.path = std::move(path);
+    script.push_back(std::move(o));
+  };
+  auto write = [&](std::string path, uint64_t offset, uint32_t tag, size_t bytes) {
+    VlfsOp o;
+    o.kind = VlfsOp::Kind::kWriteSync;
+    o.path = std::move(path);
+    o.offset = offset;
+    o.data = Pattern(tag, static_cast<uint32_t>(offset / 512 + 1), bytes);
+    script.push_back(std::move(o));
+  };
+  op(VlfsOp::Kind::kMkdir, "/d");
+  op(VlfsOp::Kind::kCreate, "/a");
+  write("/a", 0, 1, 2 * kBlockBytes);
+  op(VlfsOp::Kind::kCreate, "/d/b");
+  write("/d/b", 0, 2, kBlockBytes);
+  op(VlfsOp::Kind::kCreate, "/c");
+  write("/c", 0, 3, 1536);  // Sub-block tail.
+  write("/a", kBlockBytes, 1, kBlockBytes);  // Overwrite the middle of /a.
+  op(VlfsOp::Kind::kRemove, "/c");
+  op(VlfsOp::Kind::kCheckpoint);
+  write("/d/b", kBlockBytes, 2, kBlockBytes);  // Extend after the checkpoint.
+  {
+    VlfsOp idle;
+    idle.kind = VlfsOp::Kind::kIdle;
+    idle.idle_budget = common::Milliseconds(100);
+    script.push_back(std::move(idle));
+  }
+  op(VlfsOp::Kind::kCreate, "/d/e");
+  write("/d/e", 0, 4, kBlockBytes);
+  op(VlfsOp::Kind::kRemove, "/d/b");
+  write("/a", 0, 5, kBlockBytes);  // Overwrite the head of /a once more.
+  op(VlfsOp::Kind::kPark);
+  return script;
+}
+
+}  // namespace vlog::crashsim

@@ -1,0 +1,40 @@
+// Canned crash-consistency workloads, shared by tests/crashsim_test.cc and
+// bench/bench_crashsim.cpp.
+//
+// All scenarios run on a small truncated HP 97560 so that full-disk scan recoveries (the
+// common case when the crash precedes any park) stay cheap enough to sweep hundreds of crash
+// points. Each scenario stresses a different recovery surface:
+//   kUfsOnVld:              an unmodified FFS-style file system generating real mixed traffic
+//                           (metadata, data, directory updates) through the device interface;
+//   kCompactorActive:       direct device traffic with trims, multi-extent atomic writes, and
+//                           idle-time compaction moving both data and map blocks;
+//   kCheckpointInterrupted: repeated checkpoints so crash points land inside the multi-sector
+//                           checkpoint-region writes themselves, plus a final park.
+// The VLFS scenario exercises file-level recovery: namespace ops, sync writes, checkpoint,
+// idle compaction, and park.
+#ifndef SRC_CRASHSIM_SCENARIOS_H_
+#define SRC_CRASHSIM_SCENARIOS_H_
+
+#include "src/crashsim/harness.h"
+#include "src/simdisk/disk_params.h"
+
+namespace vlog::crashsim {
+
+enum class VldScenario { kUfsOnVld, kCompactorActive, kCheckpointInterrupted };
+
+const char* VldScenarioName(VldScenario scenario);
+
+// The common small disk and device configs the scenarios run on.
+simdisk::DiskParams CrashSimDiskParams();
+core::VldConfig CrashSimVldConfig();
+vlfs::VlfsConfig CrashSimVlfsConfig();
+
+// Records the scenario's workload into `sim` (which must be freshly constructed).
+common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim);
+
+// The scripted VLFS workload.
+std::vector<VlfsOp> VlfsScenarioScript();
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_SCENARIOS_H_

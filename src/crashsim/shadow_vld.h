@@ -1,0 +1,78 @@
+// A BlockDevice wrapper over a Vld that maintains a logical shadow model.
+//
+// Every acknowledged command is recorded as an Op: the position in the media write trace at
+// which it was acknowledged, plus the before/after contents of every logical block it touched.
+// A sweep can then decide, for any crash point, which ops were fully persisted (their media
+// writes all lie before the cut) and which single op was in flight — and check that the
+// recovered device exposes exactly the committed contents, with the in-flight op either wholly
+// applied or wholly absent (the VLD commits every command with one atomic map-sector
+// transaction, so nothing in between is legal).
+//
+// Because ShadowVld is itself a BlockDevice, a whole file system (e.g. UFS) can be mounted on
+// top of it and its traffic invariant-checked at the device level.
+#ifndef SRC_CRASHSIM_SHADOW_VLD_H_
+#define SRC_CRASHSIM_SHADOW_VLD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/vld.h"
+#include "src/crashsim/write_trace.h"
+#include "src/simdisk/block_device.h"
+
+namespace vlog::crashsim {
+
+class ShadowVld : public simdisk::BlockDevice {
+ public:
+  struct Op {
+    uint64_t end_writes = 0;  // Trace length when the command was acknowledged.
+    // Touched logical blocks with their full before/after contents. An empty vector means the
+    // block is unmapped and reads back as zeros.
+    std::vector<uint32_t> blocks;
+    std::vector<std::vector<std::byte>> before;
+    std::vector<std::vector<std::byte>> after;
+  };
+
+  // `trace` must be the trace attached to the Vld's SimDisk write observer.
+  ShadowVld(core::Vld* vld, const WriteTrace* trace);
+
+  // BlockDevice. Reads are verified against the shadow (a mismatch during recording is itself
+  // a bug worth failing loudly on) and writes are recorded as ops.
+  common::Status Read(simdisk::Lba lba, std::span<std::byte> out) override;
+  common::Status Write(simdisk::Lba lba, std::span<const std::byte> in) override;
+  uint64_t SectorCount() const override { return vld_->SectorCount(); }
+  uint32_t SectorBytes() const override { return vld_->SectorBytes(); }
+
+  // VLD extensions, passed through with shadow bookkeeping. Trim drops whole covered blocks
+  // (mirroring Vld::Trim); Checkpoint/Park/RunIdle touch no logical blocks but still record op
+  // boundaries so their media writes are attributed to them rather than to the next command.
+  common::Status Trim(simdisk::Lba lba, uint64_t sectors);
+  common::Status WriteAtomic(std::span<const core::Vld::AtomicWrite> writes);
+  common::Status Checkpoint();
+  common::Status Park();
+  void RunIdle(common::Duration budget);
+
+  core::Vld& vld() { return *vld_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  std::vector<Op> TakeOps() { return std::move(ops_); }
+
+ private:
+  // Records an acknowledged op touching `blocks`, whose new contents are `after`, and folds it
+  // into the shadow.
+  void RecordOp(std::vector<uint32_t> blocks, std::vector<std::vector<std::byte>> after);
+  // Shadow contents of block `b` with sectors [first, first+count) replaced from `data`.
+  std::vector<std::byte> Overlay(uint32_t block, uint32_t first_sector, uint64_t sector_count,
+                                 std::span<const std::byte> data) const;
+
+  core::Vld* vld_;
+  const WriteTrace* trace_;
+  uint32_t block_bytes_;
+  std::vector<std::vector<std::byte>> shadow_;  // Per logical block; empty = zeros.
+  std::vector<Op> ops_;
+};
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_SHADOW_VLD_H_

@@ -1,0 +1,20 @@
+#include "src/crashsim/write_trace.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vlog::crashsim {
+
+std::vector<std::byte> SnapshotMedia(const simdisk::SimDisk& disk) {
+  std::vector<std::byte> image(disk.geometry().CapacityBytes());
+  disk.PeekMedia(0, image);
+  return image;
+}
+
+void ApplyWrite(std::vector<std::byte>& image, const WriteRecord& record, uint32_t sector_bytes) {
+  const size_t offset = record.lba * sector_bytes;
+  assert(offset + record.data.size() <= image.size());
+  std::memcpy(image.data() + offset, record.data.data(), record.data.size());
+}
+
+}  // namespace vlog::crashsim

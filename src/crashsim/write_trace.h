@@ -1,0 +1,54 @@
+// Media-write recording for crash-consistency sweeps.
+//
+// A WriteTrace captures the complete persistence history of one workload run: the media image
+// at the moment recording started, plus every subsequent successful write (host or internal)
+// in the order the SimDisk committed it. Any crash point's disk image can then be rebuilt
+// offline by replaying a prefix of the records over the base image — without re-executing the
+// workload — which is what makes sweeping hundreds of crash points cheap.
+#ifndef SRC_CRASHSIM_WRITE_TRACE_H_
+#define SRC_CRASHSIM_WRITE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::crashsim {
+
+// One successful media write, as observed at the SimDisk.
+struct WriteRecord {
+  simdisk::Lba lba = 0;
+  std::vector<std::byte> data;
+
+  uint64_t Sectors(uint32_t sector_bytes) const { return data.size() / sector_bytes; }
+};
+
+class WriteTrace {
+ public:
+  void set_base(std::vector<std::byte> image) { base_ = std::move(image); }
+  const std::vector<std::byte>& base() const { return base_; }
+
+  void Append(simdisk::Lba lba, std::span<const std::byte> data) {
+    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}});
+  }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const WriteRecord& operator[](size_t i) const { return records_[i]; }
+
+ private:
+  std::vector<std::byte> base_;
+  std::vector<WriteRecord> records_;
+};
+
+// Copies the disk's whole media into a byte vector (zero simulated cost).
+std::vector<std::byte> SnapshotMedia(const simdisk::SimDisk& disk);
+
+// Applies `record` fully to `image`.
+void ApplyWrite(std::vector<std::byte>& image, const WriteRecord& record, uint32_t sector_bytes);
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_WRITE_TRACE_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/rng.h"
+
 namespace vlog::simdisk {
 
 SimDisk::SimDisk(DiskParams params, common::Clock* clock)
@@ -167,17 +169,67 @@ common::Status SimDisk::Read(Lba lba, std::span<std::byte> out) {
   return common::OkStatus();
 }
 
+common::Status SimDisk::ApplyWriteFault(Lba lba, std::span<const std::byte> in) {
+  if (!write_fault_) {
+    return common::OkStatus();
+  }
+  if (write_fault_fired_) {
+    return common::IoError("injected write failure (simulated power cut)");
+  }
+  if (write_fault_->after_writes > 0) {
+    --write_fault_->after_writes;
+    return common::OkStatus();
+  }
+  write_fault_fired_ = true;
+  // The head is mid-operation when power drops: persist whatever the fault mode says survived.
+  const uint32_t sector_bytes = params_.geometry.sector_bytes;
+  const uint64_t sectors = in.size() / sector_bytes;
+  switch (write_fault_->mode) {
+    case WriteFaultMode::kFailStop:
+      break;
+    case WriteFaultMode::kTornPrefix: {
+      const uint64_t keep = std::min<uint64_t>(write_fault_->keep_sectors, sectors);
+      PokeMedia(lba, in.subspan(0, keep * sector_bytes));
+      break;
+    }
+    case WriteFaultMode::kTornSuffix: {
+      const uint64_t keep = std::min<uint64_t>(write_fault_->keep_sectors, sectors);
+      PokeMedia(lba + (sectors - keep), in.subspan((sectors - keep) * sector_bytes));
+      break;
+    }
+    case WriteFaultMode::kTornRandom: {
+      common::Rng rng(write_fault_->seed);
+      for (uint64_t s = 0; s < sectors; ++s) {
+        if (rng.Chance(0.5)) {
+          PokeMedia(lba + s, in.subspan(s * sector_bytes, sector_bytes));
+        }
+      }
+      break;
+    }
+    case WriteFaultMode::kCorruptTail: {
+      PokeMedia(lba, in);
+      std::vector<std::byte> tail(in.end() - sector_bytes, in.end());
+      common::Rng rng(write_fault_->seed);
+      const uint64_t flips = 1 + rng.Below(8);
+      for (uint64_t i = 0; i < flips; ++i) {
+        tail[rng.Below(sector_bytes)] ^= static_cast<std::byte>(1 + rng.Below(255));
+      }
+      PokeMedia(lba + sectors - 1, tail);
+      break;
+    }
+  }
+  return common::IoError("injected write failure (simulated power cut)");
+}
+
 common::Status SimDisk::Write(Lba lba, std::span<const std::byte> in) {
   RETURN_IF_ERROR(CheckRange(lba, in.size(), "Write"));
-  if (writes_until_failure_) {
-    if (*writes_until_failure_ == 0) {
-      return common::IoError("injected write failure (simulated power cut)");
-    }
-    --*writes_until_failure_;
-  }
+  RETURN_IF_ERROR(ApplyWriteFault(lba, in));
   Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
          /*host_command=*/true);
   PokeMedia(lba, in);
+  if (write_observer_) {
+    write_observer_(lba, in);
+  }
   return common::OkStatus();
 }
 
@@ -191,15 +243,13 @@ common::Status SimDisk::InternalRead(Lba lba, std::span<std::byte> out) {
 
 common::Status SimDisk::InternalWrite(Lba lba, std::span<const std::byte> in) {
   RETURN_IF_ERROR(CheckRange(lba, in.size(), "InternalWrite"));
-  if (writes_until_failure_) {
-    if (*writes_until_failure_ == 0) {
-      return common::IoError("injected write failure (simulated power cut)");
-    }
-    --*writes_until_failure_;
-  }
+  RETURN_IF_ERROR(ApplyWriteFault(lba, in));
   Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
          /*host_command=*/false);
   PokeMedia(lba, in);
+  if (write_observer_) {
+    write_observer_(lba, in);
+  }
   return common::OkStatus();
 }
 

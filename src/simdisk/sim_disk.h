@@ -13,6 +13,7 @@
 #define SRC_SIMDISK_SIM_DISK_H_
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -78,13 +79,57 @@ class SimDisk : public BlockDevice {
   void set_read_ahead_policy(ReadAheadPolicy policy) { read_ahead_policy_ = policy; }
   ReadAheadPolicy read_ahead_policy() const { return read_ahead_policy_; }
 
-  // Failure injection for crash-recovery tests: after `writes` more successful writes (host or
-  // internal), every subsequent write fails with kIoError and leaves the media untouched —
-  // simulating a power cut at an arbitrary point in a multi-write operation.
-  void SetWriteFailureAfter(std::optional<uint64_t> writes) { writes_until_failure_ = writes; }
+  // --- Failure injection for crash-recovery tests ---
+
+  // What happens to the first write issued once the armed fault fires. Every write after the
+  // faulted one fails with kIoError and leaves the media untouched (power is off).
+  enum class WriteFaultMode : uint8_t {
+    kFailStop,    // The faulted write persists nothing.
+    kTornPrefix,  // Only the first `keep_sectors` sectors of the faulted write persist.
+    kTornSuffix,  // Only the last `keep_sectors` sectors persist.
+    kTornRandom,  // A pseudo-random (seeded) subset of the faulted write's sectors persists.
+    kCorruptTail,  // All sectors persist, then seeded bit flips damage the final sector.
+  };
+
+  struct WriteFault {
+    WriteFaultMode mode = WriteFaultMode::kFailStop;
+    // How many more writes (host or internal) complete normally before the fault fires.
+    uint64_t after_writes = 0;
+    // kTornPrefix/kTornSuffix: sectors of the faulted write that persist (clamped to its size).
+    uint32_t keep_sectors = 0;
+    // kTornRandom/kCorruptTail: seed for the persisted-subset / bit-flip choice.
+    uint64_t seed = 1;
+  };
+
+  // Arms (or, with nullopt, disarms) the write fault. The faulted write and all later ones
+  // return kIoError; the media keeps whatever the fault mode persisted.
+  void SetWriteFault(std::optional<WriteFault> fault) {
+    write_fault_ = fault;
+    write_fault_fired_ = false;
+  }
+
+  // Legacy interface: after `writes` more successful writes, every subsequent write fails with
+  // kIoError and leaves the media untouched — a fail-stop power cut. Kept as a thin wrapper over
+  // SetWriteFault.
+  void SetWriteFailureAfter(std::optional<uint64_t> writes) {
+    if (writes.has_value()) {
+      SetWriteFault(WriteFault{.mode = WriteFaultMode::kFailStop, .after_writes = *writes});
+    } else {
+      SetWriteFault(std::nullopt);
+    }
+  }
+
+  // Observer invoked after every successful media write (host or internal) with the written
+  // range and payload. Faulted writes do not reach the observer, matching their kIoError result.
+  // Used by the crashsim recording shim; null disables.
+  using WriteObserver = std::function<void(Lba lba, std::span<const std::byte> data)>;
+  void set_write_observer(WriteObserver observer) { write_observer_ = std::move(observer); }
 
  private:
   common::Status CheckRange(Lba lba, size_t bytes, const char* op) const;
+  // Checks the armed write fault before a write touches media. Returns ok when the write should
+  // proceed normally; otherwise applies whatever the fault mode persists and returns kIoError.
+  common::Status ApplyWriteFault(Lba lba, std::span<const std::byte> in);
   // Performs the mechanical work of accessing [lba, lba+sectors), advancing the clock and
   // filling `last_request_`. `host_command` charges SCSI overhead.
   void Access(Lba lba, uint64_t sectors, bool is_write, bool host_command);
@@ -106,7 +151,9 @@ class SimDisk : public BlockDevice {
   Lba read_ahead_pos_ = 0;
   common::Time last_read_end_ = 0;
   uint64_t read_ahead_track_end_ = 0;  // Exclusive LBA bound of the read-ahead (track end).
-  std::optional<uint64_t> writes_until_failure_;
+  std::optional<WriteFault> write_fault_;
+  bool write_fault_fired_ = false;
+  WriteObserver write_observer_;
 };
 
 }  // namespace vlog::simdisk

@@ -67,7 +67,8 @@ Vlfs::Vlfs(simdisk::SimDisk* disk, simdisk::HostModel* host, VlfsConfig config)
   inode_map_.assign(config_.inode_blocks, core::kUnmappedBlock);
   owner_.assign(space_.total_blocks(), kOwnerNone);
   inode_used_.assign(InodeCount(), false);
-  const uint32_t system_sectors = 2 + PiecesFor(config_.inode_blocks);
+  const uint32_t system_sectors =
+      core::VirtualLog::ReservedSectors(PiecesFor(config_.inode_blocks));
   const uint32_t system_blocks =
       (system_sectors + config_.block_sectors - 1) / config_.block_sectors;
   for (uint32_t b = 0; b < system_blocks; ++b) {
@@ -695,6 +696,7 @@ common::StatusOr<VlfsRecoveryInfo> Vlfs::Recover() {
   info.used_scan = recovered.used_scan;
   info.from_checkpoint = recovered.from_checkpoint;
   info.log_sectors_read = recovered.sectors_read;
+  info.discarded_txn_sectors = recovered.discarded_txn_sectors;
   for (uint32_t piece = 0; piece < recovered.pieces.size(); ++piece) {
     const auto& entries = recovered.pieces[piece];
     for (uint32_t i = 0; i < entries.size(); ++i) {

@@ -61,6 +61,8 @@ struct VlfsRecoveryInfo {
   uint64_t log_sectors_read = 0;
   uint64_t inode_blocks_scanned = 0;
   uint64_t live_blocks = 0;
+  // Map sectors dropped as part of a trailing incomplete (torn) commit; see VldRecoveryInfo.
+  uint64_t discarded_txn_sectors = 0;
 };
 
 class Vlfs : public fs::FileSystem, public core::CompactionBackend {

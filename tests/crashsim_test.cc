@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/vld.h"
+#include "src/crashsim/crash_point.h"
+#include "src/crashsim/harness.h"
+#include "src/crashsim/scenarios.h"
+#include "src/crashsim/write_trace.h"
+#include "src/simdisk/disk_params.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::crashsim {
+namespace {
+
+constexpr uint32_t kSectorBytes = 512;
+constexpr uint32_t kBlockSectors = 8;
+constexpr size_t kBlockBytes = kBlockSectors * kSectorBytes;
+
+std::vector<std::byte> Pattern(uint32_t tag, size_t bytes = kBlockBytes) {
+  std::vector<std::byte> data(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>((tag * 131u + i * 7u) & 0xFF);
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point enumeration.
+// ---------------------------------------------------------------------------
+
+WriteTrace MakeTrace(const std::vector<uint32_t>& sectors_per_write) {
+  WriteTrace trace;
+  trace.set_base(std::vector<std::byte>(kSectorBytes * 64, std::byte{0}));
+  simdisk::Lba lba = 0;
+  uint32_t tag = 1;
+  for (uint32_t sectors : sectors_per_write) {
+    trace.Append(lba, Pattern(tag++, sectors * kSectorBytes));
+    lba += sectors;
+  }
+  return trace;
+}
+
+TEST(CrashPointTest, CoversEveryWriteBoundaryAndOnlyTearsMultiSectorWrites) {
+  const WriteTrace trace = MakeTrace({1, 4, 1, 8, 1});
+  const auto points = EnumerateCrashPoints(trace, kSectorBytes, EnumerateOptions{});
+
+  uint64_t clean = 0, torn = 0, corrupt = 0;
+  std::vector<bool> boundary_seen(trace.size() + 1, false);
+  uint64_t prev = 0;
+  for (const CrashPoint& p : points) {
+    EXPECT_GE(p.writes_applied, prev) << "points must be ordered for the rolling sweep";
+    prev = p.writes_applied;
+    ASSERT_LE(p.writes_applied, trace.size());
+    switch (p.kind) {
+      case CrashKind::kClean:
+        ++clean;
+        boundary_seen[p.writes_applied] = true;
+        break;
+      case CrashKind::kTornPrefix:
+      case CrashKind::kTornSuffix:
+      case CrashKind::kTornRandom: {
+        ++torn;
+        ASSERT_LT(p.writes_applied, trace.size());
+        const WriteRecord& rec = trace[p.writes_applied];
+        EXPECT_GT(rec.Sectors(kSectorBytes), 1u)
+            << "torn variants only make sense for multi-sector writes";
+        if (p.kind != CrashKind::kTornRandom) {
+          EXPECT_GT(p.keep_sectors, 0u);
+          EXPECT_LT(p.keep_sectors, rec.Sectors(kSectorBytes));
+        }
+        break;
+      }
+      case CrashKind::kCorruptTail:
+        ++corrupt;
+        break;
+    }
+  }
+  for (size_t i = 0; i <= trace.size(); ++i) {
+    EXPECT_TRUE(boundary_seen[i]) << "missing clean stop after write " << i;
+  }
+  EXPECT_GE(torn, 6u);  // Two multi-sector writes, >= 3 variants each.
+  EXPECT_GE(corrupt, 1u);
+}
+
+TEST(CrashPointTest, TornStrideZeroDisablesTornVariants) {
+  const WriteTrace trace = MakeTrace({4, 4, 4});
+  EnumerateOptions opts;
+  opts.torn_stride = 0;
+  opts.corrupt_stride = 0;
+  for (const CrashPoint& p : EnumerateCrashPoints(trace, kSectorBytes, opts)) {
+    EXPECT_EQ(p.kind, CrashKind::kClean);
+  }
+}
+
+TEST(CrashPointTest, ApplyTornPrefixKeepsLeadingSectorsOnly) {
+  const WriteTrace trace = MakeTrace({4});
+  std::vector<std::byte> image = trace.base();
+  CrashPoint point;
+  point.kind = CrashKind::kTornPrefix;
+  point.keep_sectors = 1;
+  ApplyCrashedWrite(image, trace[0], kSectorBytes, point);
+  EXPECT_EQ(std::memcmp(image.data(), trace[0].data.data(), kSectorBytes), 0);
+  for (size_t i = kSectorBytes; i < 4 * kSectorBytes; ++i) {
+    ASSERT_EQ(image[i], std::byte{0}) << "sector beyond the torn prefix persisted";
+  }
+}
+
+TEST(CrashPointTest, ApplyTornSuffixKeepsTrailingSectorsOnly) {
+  const WriteTrace trace = MakeTrace({4});
+  std::vector<std::byte> image = trace.base();
+  CrashPoint point;
+  point.kind = CrashKind::kTornSuffix;
+  point.keep_sectors = 1;
+  ApplyCrashedWrite(image, trace[0], kSectorBytes, point);
+  for (size_t i = 0; i < 3 * kSectorBytes; ++i) {
+    ASSERT_EQ(image[i], std::byte{0}) << "sector before the torn suffix persisted";
+  }
+  EXPECT_EQ(std::memcmp(image.data() + 3 * kSectorBytes,
+                        trace[0].data.data() + 3 * kSectorBytes, kSectorBytes),
+            0);
+}
+
+TEST(CrashPointTest, ApplyTornRandomIsDeterministicPerSeed) {
+  const WriteTrace trace = MakeTrace({8});
+  CrashPoint point;
+  point.kind = CrashKind::kTornRandom;
+  point.seed = 42;
+  std::vector<std::byte> a = trace.base();
+  std::vector<std::byte> b = trace.base();
+  ApplyCrashedWrite(a, trace[0], kSectorBytes, point);
+  ApplyCrashedWrite(b, trace[0], kSectorBytes, point);
+  EXPECT_EQ(a, b);
+  point.seed = 43;
+  std::vector<std::byte> c = trace.base();
+  ApplyCrashedWrite(c, trace[0], kSectorBytes, point);
+  EXPECT_NE(a, c);  // Overwhelmingly likely for an 8-sector write.
+}
+
+TEST(CrashPointTest, ApplyCorruptTailDamagesLastSectorOnly) {
+  const WriteTrace trace = MakeTrace({4});
+  std::vector<std::byte> image = trace.base();
+  CrashPoint point;
+  point.kind = CrashKind::kCorruptTail;
+  point.seed = 7;
+  ApplyCrashedWrite(image, trace[0], kSectorBytes, point);
+  EXPECT_EQ(std::memcmp(image.data(), trace[0].data.data(), 3 * kSectorBytes), 0);
+  EXPECT_NE(std::memcmp(image.data() + 3 * kSectorBytes, trace[0].data.data() + 3 * kSectorBytes,
+                        kSectorBytes),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario sweeps. Together the four scenarios must explore >= 500 distinct
+// crash points with >= 100 torn-write variants (per-test floors sum past that),
+// with zero invariant violations.
+// ---------------------------------------------------------------------------
+
+CrashSweepReport SweepVldScenario(VldScenario scenario) {
+  VldCrashSim sim(CrashSimDiskParams(), CrashSimVldConfig());
+  const common::Status recorded = RecordVldScenario(scenario, sim);
+  EXPECT_TRUE(recorded.ok()) << recorded.ToString();
+  return sim.Sweep(CrashSweepOptions{});
+}
+
+TEST(CrashSweepTest, UfsOnVldScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kUfsOnVld);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 150u) << report.Summary();
+  EXPECT_GE(report.torn_points, 30u) << report.Summary();
+  EXPECT_GT(report.park_recoveries, 0u) << report.Summary();
+  EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
+}
+
+TEST(CrashSweepTest, CompactorActiveScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kCompactorActive);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 150u) << report.Summary();
+  EXPECT_GE(report.torn_points, 30u) << report.Summary();
+  // The workload never parks, so every recovery takes the full-disk scan path.
+  EXPECT_EQ(report.park_recoveries, 0u) << report.Summary();
+  EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
+}
+
+TEST(CrashSweepTest, CheckpointInterruptedScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kCheckpointInterrupted);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 100u) << report.Summary();
+  EXPECT_GE(report.torn_points, 20u) << report.Summary();
+  EXPECT_GT(report.checkpoint_recoveries, 0u) << report.Summary();
+}
+
+TEST(CrashSweepTest, VlfsScenarioHasNoViolations) {
+  VlfsCrashSim sim(CrashSimDiskParams(), CrashSimVlfsConfig());
+  const common::Status recorded = sim.Record(VlfsScenarioScript());
+  ASSERT_TRUE(recorded.ok()) << recorded.ToString();
+  const CrashSweepReport report = sim.Sweep(CrashSweepOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 100u) << report.Summary();
+  EXPECT_GE(report.torn_points, 20u) << report.Summary();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault-injection recovery tests: Trim + WriteAtomic
+// interleavings, and torn checkpoints (the double-buffer regression).
+// ---------------------------------------------------------------------------
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  CrashRecoveryTest() { Reset(); }
+
+  void Reset() {
+    clock_ = common::Clock();
+    disk_ = std::make_unique<simdisk::SimDisk>(CrashSimDiskParams(), &clock_);
+    vld_ = std::make_unique<core::Vld>(disk_.get(), CrashSimVldConfig());
+    ASSERT_TRUE(vld_->Format().ok());
+  }
+
+  // Power-cycle: drop any armed fault and re-attach a fresh instance to the media.
+  core::VldRecoveryInfo Reopen() {
+    disk_->SetWriteFault(std::nullopt);
+    vld_ = std::make_unique<core::Vld>(disk_.get(), CrashSimVldConfig());
+    auto info = vld_->Recover();
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    return info.ok() ? info.value() : core::VldRecoveryInfo{};
+  }
+
+  std::vector<std::byte> ReadBlock(uint32_t block) {
+    std::vector<std::byte> out(kBlockBytes);
+    EXPECT_TRUE(vld_->Read(static_cast<simdisk::Lba>(block) * kBlockSectors, out).ok());
+    return out;
+  }
+
+  void WriteBlock(uint32_t block, uint32_t tag) {
+    ASSERT_TRUE(
+        vld_->Write(static_cast<simdisk::Lba>(block) * kBlockSectors, Pattern(tag)).ok());
+  }
+
+  common::Clock clock_;
+  std::unique_ptr<simdisk::SimDisk> disk_;
+  std::unique_ptr<core::Vld> vld_;
+};
+
+TEST_F(CrashRecoveryTest, TrimmedBlockDoesNotResurrectAcrossScanRecovery) {
+  WriteBlock(5, 1);
+  ASSERT_TRUE(vld_->Trim(5 * kBlockSectors, kBlockSectors).ok());
+  const auto info = Reopen();  // No park: recovery must take the scan path.
+  EXPECT_TRUE(info.used_scan);
+  EXPECT_EQ(ReadBlock(5), std::vector<std::byte>(kBlockBytes, std::byte{0}));
+}
+
+TEST_F(CrashRecoveryTest, TrimmedBlockDoesNotResurrectAcrossParkRecovery) {
+  WriteBlock(5, 1);
+  ASSERT_TRUE(vld_->Trim(5 * kBlockSectors, kBlockSectors).ok());
+  ASSERT_TRUE(vld_->Park().ok());
+  const auto info = Reopen();
+  EXPECT_FALSE(info.used_scan);
+  EXPECT_EQ(ReadBlock(5), std::vector<std::byte>(kBlockBytes, std::byte{0}));
+}
+
+// Crash a three-extent WriteAtomic after every possible number of completed media writes.
+// Every failing cut must leave all three extents at their pre-transaction contents; the first
+// non-failing cut means the transaction committed and all three must read the new contents.
+TEST_F(CrashRecoveryTest, InterruptedWriteAtomicIsAllOrNothing) {
+  constexpr uint32_t kBlocks[] = {1, 120, 300};  // Spread across map pieces.
+  bool committed = false;
+  uint64_t failing_cuts = 0;
+  for (uint64_t cut = 0; cut < 64 && !committed; ++cut) {
+    Reset();
+    for (uint32_t b : kBlocks) WriteBlock(b, 10 + b);
+    const auto d0 = Pattern(100), d1 = Pattern(101), d2 = Pattern(102);
+    const core::Vld::AtomicWrite writes[] = {
+        {kBlocks[0] * kBlockSectors, d0},
+        {kBlocks[1] * kBlockSectors, d1},
+        {kBlocks[2] * kBlockSectors, d2},
+    };
+    disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+        .mode = simdisk::SimDisk::WriteFaultMode::kFailStop, .after_writes = cut});
+    const common::Status status = vld_->WriteAtomic(writes);
+    Reopen();
+    if (status.ok()) {
+      committed = true;
+      EXPECT_EQ(ReadBlock(kBlocks[0]), d0);
+      EXPECT_EQ(ReadBlock(kBlocks[1]), d1);
+      EXPECT_EQ(ReadBlock(kBlocks[2]), d2);
+    } else {
+      ++failing_cuts;
+      for (uint32_t b : kBlocks) {
+        EXPECT_EQ(ReadBlock(b), Pattern(10 + b)) << "extent " << b << " not rolled back at cut "
+                                                 << cut;
+      }
+    }
+  }
+  EXPECT_TRUE(committed) << "WriteAtomic never ran to completion within 64 media writes";
+  EXPECT_GE(failing_cuts, 3u);  // At least the three data-block writes precede the commit.
+}
+
+TEST_F(CrashRecoveryTest, InterruptedAtomicOverTrimmedBlockStaysTrimmed) {
+  WriteBlock(7, 1);
+  ASSERT_TRUE(vld_->Trim(7 * kBlockSectors, kBlockSectors).ok());
+  WriteBlock(9, 2);
+  const auto d7 = Pattern(200), d9 = Pattern(201);
+  const core::Vld::AtomicWrite writes[] = {
+      {7 * kBlockSectors, d7},
+      {9 * kBlockSectors, d9},
+  };
+  // Fail-stop before the commit record: two data-block writes land, the map append does not.
+  disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+      .mode = simdisk::SimDisk::WriteFaultMode::kFailStop, .after_writes = 2});
+  EXPECT_FALSE(vld_->WriteAtomic(writes).ok());
+  Reopen();
+  // The trim must hold: neither the pre-trim contents nor the crashed write may surface.
+  EXPECT_EQ(ReadBlock(7), std::vector<std::byte>(kBlockBytes, std::byte{0}));
+  EXPECT_EQ(ReadBlock(9), Pattern(2));
+}
+
+TEST_F(CrashRecoveryTest, CorruptedCommitRecordRollsBackTransaction) {
+  WriteBlock(3, 1);
+  const auto d3 = Pattern(300);
+  const core::Vld::AtomicWrite writes[] = {{3 * kBlockSectors, d3}};
+  // Let the data block land, then corrupt whichever sector carries the commit record; the CRC
+  // must reject it during recovery.
+  disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+      .mode = simdisk::SimDisk::WriteFaultMode::kCorruptTail, .after_writes = 1, .seed = 9});
+  EXPECT_FALSE(vld_->WriteAtomic(writes).ok());
+  Reopen();
+  EXPECT_EQ(ReadBlock(3), Pattern(1));
+}
+
+// Regression for the double-buffered checkpoint: a crash anywhere inside Checkpoint() must
+// leave every acknowledged block readable, whatever mix of checkpoint sectors persisted.
+TEST_F(CrashRecoveryTest, CrashAnywhereInsideCheckpointPreservesData) {
+  constexpr uint32_t kPrimed = 20;
+  bool checkpoint_succeeded = false;
+  for (uint64_t cut = 0; cut < 32 && !checkpoint_succeeded; ++cut) {
+    Reset();
+    for (uint32_t b = 0; b < kPrimed; ++b) WriteBlock(b, b + 1);
+    disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+        .mode = simdisk::SimDisk::WriteFaultMode::kFailStop, .after_writes = cut});
+    checkpoint_succeeded = vld_->Checkpoint().ok();
+    Reopen();
+    for (uint32_t b = 0; b < kPrimed; ++b) {
+      EXPECT_EQ(ReadBlock(b), Pattern(b + 1)) << "block " << b << " lost at checkpoint cut "
+                                              << cut;
+    }
+    // The recovered instance must still accept writes.
+    WriteBlock(kPrimed + 1, 99);
+    EXPECT_EQ(ReadBlock(kPrimed + 1), Pattern(99));
+  }
+  EXPECT_TRUE(checkpoint_succeeded) << "Checkpoint never completed within 32 media writes";
+}
+
+// A torn *second* checkpoint must never damage the first one: the previous slot's state has to
+// survive, including updates that committed after it.
+TEST_F(CrashRecoveryTest, TornSecondCheckpointFallsBackToPreviousState) {
+  constexpr uint32_t kPrimed = 12;
+  for (uint64_t cut = 0; cut < 8; ++cut) {
+    Reset();
+    for (uint32_t b = 0; b < kPrimed; ++b) WriteBlock(b, b + 1);
+    ASSERT_TRUE(vld_->Checkpoint().ok());
+    for (uint32_t b = 0; b < 4; ++b) WriteBlock(b, 50 + b);  // Post-checkpoint updates.
+    disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+        .mode = simdisk::SimDisk::WriteFaultMode::kTornPrefix,
+        .after_writes = cut,
+        .keep_sectors = 2,
+        .seed = cut + 1});
+    const bool second_ok = vld_->Checkpoint().ok();
+    Reopen();
+    for (uint32_t b = 0; b < kPrimed; ++b) {
+      const uint32_t tag = b < 4 ? 50 + b : b + 1;
+      EXPECT_EQ(ReadBlock(b), Pattern(tag))
+          << "block " << b << " wrong after torn second checkpoint (cut " << cut
+          << ", second checkpoint " << (second_ok ? "acked" : "failed") << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlog::crashsim

@@ -218,6 +218,84 @@ TEST_F(SimDiskTest, InjectedWriteFailureLeavesMediaIntact) {
   EXPECT_TRUE(disk_.Write(24, Pattern(512, 3)).ok());
 }
 
+TEST_F(SimDiskTest, TornPrefixFaultPersistsLeadingSectorsOnly) {
+  const auto data = Pattern(4 * 512, 7);
+  disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kTornPrefix,
+                                          .keep_sectors = 2});
+  EXPECT_FALSE(disk_.Write(8, data).ok());
+  std::vector<std::byte> out(4 * 512);
+  disk_.PeekMedia(8, out);
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 2 * 512, data.begin()));
+  EXPECT_EQ(std::vector<std::byte>(out.begin() + 2 * 512, out.end()),
+            std::vector<std::byte>(2 * 512));  // Tail never reached the media.
+}
+
+TEST_F(SimDiskTest, TornSuffixFaultPersistsTrailingSectorsOnly) {
+  const auto data = Pattern(4 * 512, 8);
+  disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kTornSuffix,
+                                          .keep_sectors = 1});
+  EXPECT_FALSE(disk_.Write(8, data).ok());
+  std::vector<std::byte> out(4 * 512);
+  disk_.PeekMedia(8, out);
+  EXPECT_EQ(std::vector<std::byte>(out.begin(), out.begin() + 3 * 512),
+            std::vector<std::byte>(3 * 512));
+  EXPECT_TRUE(std::equal(out.begin() + 3 * 512, out.end(), data.begin() + 3 * 512));
+}
+
+TEST_F(SimDiskTest, TornRandomFaultIsDeterministicPerSeed) {
+  const auto data = Pattern(8 * 512, 9);
+  auto run = [&](uint64_t seed) {
+    Clock clock;
+    SimDisk disk(Truncated(Hp97560(), 36), &clock);
+    disk.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kTornRandom,
+                                           .seed = seed});
+    EXPECT_FALSE(disk.Write(8, data).ok());
+    std::vector<std::byte> out(8 * 512);
+    disk.PeekMedia(8, out);
+    return out;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // Overwhelmingly likely over eight sectors.
+}
+
+TEST_F(SimDiskTest, CorruptTailFaultDamagesOnlyTheLastSector) {
+  const auto data = Pattern(4 * 512, 10);
+  disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kCorruptTail,
+                                          .seed = 3});
+  EXPECT_FALSE(disk_.Write(8, data).ok());
+  std::vector<std::byte> out(4 * 512);
+  disk_.PeekMedia(8, out);
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 3 * 512, data.begin()));
+  EXPECT_NE(std::vector<std::byte>(out.begin() + 3 * 512, out.end()),
+            std::vector<std::byte>(data.begin() + 3 * 512, data.end()));
+}
+
+TEST_F(SimDiskTest, FaultKeepsFiringUntilCleared) {
+  disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kFailStop,
+                                          .after_writes = 1});
+  EXPECT_TRUE(disk_.Write(8, Pattern(512, 1)).ok());
+  EXPECT_FALSE(disk_.Write(16, Pattern(512, 2)).ok());
+  EXPECT_FALSE(disk_.InternalWrite(24, Pattern(512, 3)).ok());  // Power stays off.
+  std::vector<std::byte> out(512);
+  EXPECT_TRUE(disk_.Read(8, out).ok());  // Reads are unaffected by the write fault.
+  disk_.SetWriteFault(std::nullopt);
+  EXPECT_TRUE(disk_.Write(16, Pattern(512, 2)).ok());
+}
+
+TEST_F(SimDiskTest, WriteObserverSeesOnlyAcknowledgedWrites) {
+  std::vector<std::pair<Lba, size_t>> seen;
+  disk_.set_write_observer(
+      [&](Lba lba, std::span<const std::byte> in) { seen.emplace_back(lba, in.size()); });
+  ASSERT_TRUE(disk_.Write(8, Pattern(2 * 512, 1)).ok());
+  ASSERT_TRUE(disk_.InternalWrite(32, Pattern(512, 2)).ok());
+  disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kTornPrefix,
+                                          .keep_sectors = 1});
+  EXPECT_FALSE(disk_.Write(64, Pattern(2 * 512, 3)).ok());  // Torn: not acknowledged.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<Lba, size_t>{8, 2 * 512}));
+  EXPECT_EQ(seen[1], (std::pair<Lba, size_t>{32, 512}));
+}
+
 TEST(HostModel, ChargesAndAccounts) {
   Clock clock;
   HostModel host(SparcStation10(), &clock);

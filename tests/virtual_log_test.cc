@@ -24,8 +24,7 @@ class VirtualLogTest : public ::testing::Test {
     clock_ = common::Clock();
     disk_.emplace(simdisk::Truncated(simdisk::Hp97560(), 6), &clock_);
     space_.emplace(disk_->geometry(), kBlockSectors);
-    // System region: park sector + checkpoint (pieces+1 sectors) -> one 8-sector block.
-    space_->MarkSystem(0);
+    MarkSystemRegion();
     allocator_.emplace(&*disk_, &*space_, AllocatorConfig{});
     vlog_.emplace(&*disk_, &*allocator_,
                   VirtualLogConfig{.pieces = kPieces,
@@ -36,10 +35,18 @@ class VirtualLogTest : public ::testing::Test {
     ASSERT_TRUE(vlog_->Format().ok());
   }
 
+  // System region: park sector + the double-buffered checkpoint region (2*(pieces+1) sectors).
+  void MarkSystemRegion() {
+    const uint32_t sectors = VirtualLog::ReservedSectors(kPieces);
+    for (uint32_t b = 0; b < (sectors + kBlockSectors - 1) / kBlockSectors; ++b) {
+      space_->MarkSystem(b);
+    }
+  }
+
   // Simulates a restart: fresh in-memory state over the same media.
   void Reopen() {
     space_.emplace(disk_->geometry(), kBlockSectors);
-    space_->MarkSystem(0);
+    MarkSystemRegion();
     allocator_.emplace(&*disk_, &*space_, AllocatorConfig{});
     VirtualLogConfig cfg = vlog_->config();
     vlog_.emplace(&*disk_, &*allocator_, cfg);
