@@ -47,7 +47,8 @@ int main() {
 
   for (const auto scenario :
        {crashsim::VldScenario::kUfsOnVld, crashsim::VldScenario::kCompactorActive,
-        crashsim::VldScenario::kCheckpointInterrupted}) {
+        crashsim::VldScenario::kCheckpointInterrupted,
+        crashsim::VldScenario::kQueuedGroupCommit, crashsim::VldScenario::kLfsOnVld}) {
     Run(crashsim::VldScenarioName(scenario), [&] {
       crashsim::VldCrashSim sim(crashsim::CrashSimDiskParams(), crashsim::CrashSimVldConfig());
       bench::Check(crashsim::RecordVldScenario(scenario, sim), "record");

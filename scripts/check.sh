@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and run the full test suite under both presets (default and
+# asan-ubsan), mirroring .github/workflows/ci.yml. Usage: scripts/check.sh [preset ...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+for preset in "${presets[@]}"; do
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j"${jobs}"
+  ctest --preset "${preset}" -j"${jobs}"
+done

@@ -66,9 +66,14 @@ bool Compactor::CompactTrack(uint64_t track) {
     if (space.state(block) != BlockState::kLive) {
       continue;
     }
-    if (const auto piece = vlog_->PieceAtBlock(block)) {
-      ok = backend_->RewritePiece(*piece).ok();
-      if (ok) {
+    if (const auto pieces = vlog_->PiecesAtBlock(block); !pieces.empty()) {
+      // A packed block can hold several live map sectors; rewriting each piece obsoletes its
+      // sector, and the block frees once the last one leaves.
+      for (const uint32_t piece : pieces) {
+        ok = backend_->RewritePiece(piece).ok();
+        if (!ok) {
+          break;
+        }
         ++stats_.map_sectors_rewritten;
       }
     } else {

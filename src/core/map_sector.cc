@@ -24,9 +24,14 @@ constexpr size_t kOffCrc = kMapSectorBytes - 4;
 static_assert(kOffEntries + kEntriesPerSector * 4 <= kOffCrc,
               "map sector entries must fit before the CRC");
 
+// Folds the 64-bit format epoch into a CRC-32C seed.
+uint32_t EpochSeed(uint64_t epoch) {
+  return static_cast<uint32_t>(epoch) ^ static_cast<uint32_t>(epoch >> 32);
+}
+
 }  // namespace
 
-std::vector<std::byte> MapSector::Serialize() const {
+std::vector<std::byte> MapSector::Serialize(uint64_t epoch) const {
   std::vector<std::byte> raw(kMapSectorBytes);
   std::span<std::byte> out(raw);
   common::StoreLe<uint64_t>(out, kOffMagic, kMapSectorMagic);
@@ -43,12 +48,13 @@ std::vector<std::byte> MapSector::Serialize() const {
   for (size_t i = 0; i < entries.size() && i < kEntriesPerSector; ++i) {
     common::StoreLe<uint32_t>(out, kOffEntries + i * 4, entries[i]);
   }
-  const uint32_t crc = common::Crc32c(std::span<const std::byte>(raw).first(kOffCrc));
+  const uint32_t crc =
+      common::Crc32c(std::span<const std::byte>(raw).first(kOffCrc), EpochSeed(epoch));
   common::StoreLe<uint32_t>(out, kOffCrc, crc);
   return raw;
 }
 
-common::StatusOr<MapSector> MapSector::Parse(std::span<const std::byte> raw) {
+common::StatusOr<MapSector> MapSector::Parse(std::span<const std::byte> raw, uint64_t epoch) {
   if (raw.size() < kMapSectorBytes) {
     return common::InvalidArgument("map sector: short buffer");
   }
@@ -57,7 +63,7 @@ common::StatusOr<MapSector> MapSector::Parse(std::span<const std::byte> raw) {
     return common::Corruption("map sector: bad magic");
   }
   const uint32_t stored_crc = common::LoadLe<uint32_t>(raw, kOffCrc);
-  if (common::Crc32c(raw.first(kOffCrc)) != stored_crc) {
+  if (common::Crc32c(raw.first(kOffCrc), EpochSeed(epoch)) != stored_crc) {
     return common::Corruption("map sector: bad CRC");
   }
   MapSector s;

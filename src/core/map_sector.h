@@ -50,12 +50,15 @@ struct MapSector {
   // Physical block index for each logical block of the piece; kUnmappedBlock when unmapped.
   std::vector<uint32_t> entries;
 
-  // Serializes to exactly kMapSectorBytes bytes with a trailing CRC-32C.
-  std::vector<std::byte> Serialize() const;
+  // Serializes to exactly kMapSectorBytes bytes with a trailing CRC-32C. The CRC is seeded with
+  // `epoch` (the format generation): sectors signed under one generation fail the CRC under any
+  // other, so a post-reformat scan can never resurrect an old generation's map.
+  std::vector<std::byte> Serialize(uint64_t epoch = 0) const;
 
-  // Parses and validates magic + CRC. Returns kCorruption for anything that is not a well-formed
-  // map sector (e.g. a recycled sector now holding file data).
-  static common::StatusOr<MapSector> Parse(std::span<const std::byte> raw);
+  // Parses and validates magic + CRC (seeded with `epoch`; must match the serializing
+  // generation). Returns kCorruption for anything that is not a well-formed map sector of this
+  // generation (e.g. a recycled sector now holding file data, or a stale pre-format sector).
+  static common::StatusOr<MapSector> Parse(std::span<const std::byte> raw, uint64_t epoch = 0);
 };
 
 }  // namespace vlog::core

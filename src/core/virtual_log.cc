@@ -16,10 +16,16 @@ constexpr uint64_t kParkMagic = 0x564c4f475041524bULL;  // "VLOGPARK"
 constexpr uint64_t kCkptMagic = 0x564c4f47434b5054ULL;  // "VLOGCKPT"
 constexpr uint32_t kSectorBytes = kMapSectorBytes;
 
+// The park record and the checkpoint headers carry the format epoch in the clear (their own
+// CRCs use the default seed): they are how recovery learns which generation's map-sector CRC
+// seed to use. `parked` distinguishes a real power-down park (trust the tail) from a cleared
+// record (scan) — a cleared record still names the epoch, which a zeroed sector could not.
 struct ParkRecord {
   DiskPtr tail;
   uint64_t checkpoint_seq = 0;
   uint64_t next_seq = 1;
+  uint64_t epoch = 0;
+  bool parked = false;
 };
 
 std::vector<std::byte> SerializePark(const ParkRecord& rec) {
@@ -30,6 +36,8 @@ std::vector<std::byte> SerializePark(const ParkRecord& rec) {
   common::StoreLe<uint64_t>(out, 16, rec.tail.seq);
   common::StoreLe<uint64_t>(out, 24, rec.checkpoint_seq);
   common::StoreLe<uint64_t>(out, 32, rec.next_seq);
+  common::StoreLe<uint64_t>(out, 40, rec.epoch);
+  common::StoreLe<uint32_t>(out, 48, rec.parked ? 1 : 0);
   common::StoreLe<uint32_t>(
       out, kSectorBytes - 4,
       common::Crc32c(std::span<const std::byte>(raw).first(kSectorBytes - 4)));
@@ -49,15 +57,18 @@ std::optional<ParkRecord> ParsePark(std::span<const std::byte> raw) {
   rec.tail.seq = common::LoadLe<uint64_t>(raw, 16);
   rec.checkpoint_seq = common::LoadLe<uint64_t>(raw, 24);
   rec.next_seq = common::LoadLe<uint64_t>(raw, 32);
+  rec.epoch = common::LoadLe<uint64_t>(raw, 40);
+  rec.parked = common::LoadLe<uint32_t>(raw, 48) != 0;
   return rec;
 }
 
-std::vector<std::byte> SerializeCkptHeader(uint64_t seq, uint32_t pieces) {
+std::vector<std::byte> SerializeCkptHeader(uint64_t seq, uint32_t pieces, uint64_t epoch) {
   std::vector<std::byte> raw(kSectorBytes);
   std::span<std::byte> out(raw);
   common::StoreLe<uint64_t>(out, 0, kCkptMagic);
   common::StoreLe<uint64_t>(out, 8, seq);
   common::StoreLe<uint32_t>(out, 16, pieces);
+  common::StoreLe<uint64_t>(out, 20, epoch);
   common::StoreLe<uint32_t>(
       out, kSectorBytes - 4,
       common::Crc32c(std::span<const std::byte>(raw).first(kSectorBytes - 4)));
@@ -67,6 +78,7 @@ std::vector<std::byte> SerializeCkptHeader(uint64_t seq, uint32_t pieces) {
 struct CkptHeader {
   uint64_t seq = 0;
   uint32_t pieces = 0;
+  uint64_t epoch = 0;
 };
 
 std::optional<CkptHeader> ParseCkptHeader(std::span<const std::byte> raw) {
@@ -77,7 +89,8 @@ std::optional<CkptHeader> ParseCkptHeader(std::span<const std::byte> raw) {
       common::Crc32c(raw.first(kSectorBytes - 4))) {
     return std::nullopt;
   }
-  return CkptHeader{common::LoadLe<uint64_t>(raw, 8), common::LoadLe<uint32_t>(raw, 16)};
+  return CkptHeader{common::LoadLe<uint64_t>(raw, 8), common::LoadLe<uint32_t>(raw, 16),
+                    common::LoadLe<uint64_t>(raw, 20)};
 }
 
 }  // namespace
@@ -87,21 +100,50 @@ VirtualLog::VirtualLog(simdisk::SimDisk* disk, EagerAllocator* allocator, Virtua
   piece_state_.resize(config_.pieces);
 }
 
+common::StatusOr<uint64_t> VirtualLog::EpochFromCheckpointHeaders() {
+  uint64_t epoch = 0;
+  std::vector<std::byte> raw(kSectorBytes);
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    RETURN_IF_ERROR(disk_->InternalRead(CkptSlotLba(slot), raw));
+    if (const auto header = ParseCkptHeader(raw)) {
+      epoch = std::max(epoch, header->epoch);
+    }
+  }
+  return epoch;
+}
+
 common::Status VirtualLog::Format() {
+  // Bump the format epoch past any generation this media has seen: the park record is the
+  // primary carrier, the checkpoint headers the fallback (at most one of the three sectors can
+  // be lost to a single crashed write, so the previous epoch is always recoverable here).
+  uint64_t prev_epoch = 0;
+  {
+    std::vector<std::byte> raw(kSectorBytes);
+    RETURN_IF_ERROR(disk_->InternalRead(config_.park_lba, raw));
+    if (const auto park = ParsePark(raw)) {
+      prev_epoch = park->epoch;
+    } else {
+      ASSIGN_OR_RETURN(prev_epoch, EpochFromCheckpointHeaders());
+    }
+  }
+  epoch_ = prev_epoch + 1;
   next_seq_ = 1;
   checkpoint_seq_ = 0;
   next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
   chain_.clear();
-  piece_at_block_.clear();
+  block_sector_count_.clear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
-  // Invalidate any stale checkpoint headers from a previous life of the media; otherwise a
-  // later scan-based recovery would trust an old map over the new log.
-  const std::vector<std::byte> zero(kSectorBytes);
-  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(0), zero));
-  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(1), zero));
+  // Stamp both checkpoint slots with the new epoch and seq 0 ("no checkpoint"): this both
+  // invalidates any stale checkpoint from a previous life of the media (a scan would otherwise
+  // trust an old map over the new log) and makes the new epoch recoverable even if a later
+  // crash damages the park sector before the first checkpoint completes.
+  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(0),
+                                       SerializeCkptHeader(/*seq=*/0, config_.pieces, epoch_)));
+  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(1),
+                                       SerializeCkptHeader(/*seq=*/0, config_.pieces, epoch_)));
   return WritePark(/*clear=*/true);
 }
 
@@ -126,6 +168,18 @@ DiskPtr VirtualLog::ChainSuccessorOf(uint64_t seq) const {
 void VirtualLog::FreeLogBlock(uint32_t block) {
   allocator_->Free(block);
   ++stats_.recycled_blocks;
+}
+
+void VirtualLog::NoteSectorInBlock(uint32_t block) { ++block_sector_count_[block]; }
+
+void VirtualLog::ReleaseSectorInBlock(uint32_t block) {
+  const auto it = block_sector_count_.find(block);
+  assert(it != block_sector_count_.end() && it->second > 0);
+  if (--it->second > 0) {
+    return;  // A packed sibling (live or pinned) still occupies the block.
+  }
+  block_sector_count_.erase(it);
+  FreeLogBlock(block);
 }
 
 void VirtualLog::SetCover(uint64_t target_seq, uint64_t carrier_seq) {
@@ -157,21 +211,20 @@ void VirtualLog::DecrementLoad(uint64_t carrier_seq) {
     const uint32_t block = pin->second;
     pinned_.erase(pin);
     DropCover(carrier_seq);
-    FreeLogBlock(block);
+    ReleaseSectorInBlock(block);
   }
 }
 
 void VirtualLog::RemoveObsolete(uint32_t block, uint64_t seq) {
   chain_.erase(seq);
-  piece_at_block_.erase(block);
   if (carrier_load_.contains(seq)) {
     // Still the designated cover of a younger removal's bypass target: keep the sector readable
-    // until every dependent has been re-covered or removed.
+    // until every dependent has been re-covered or removed. Its block refcount is kept too.
     pinned_.emplace(seq, block);
     stats_.pinned_peak = std::max<uint64_t>(stats_.pinned_peak, pinned_.size());
   } else {
     DropCover(seq);
-    FreeLogBlock(block);
+    ReleaseSectorInBlock(block);
   }
 }
 
@@ -201,7 +254,7 @@ common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>
     return common::OutOfSpace("virtual log: no free block for map sector");
   }
   const simdisk::Lba lba = allocator_->space().BlockToLba(*block);
-  const auto raw = sector.Serialize();
+  const auto raw = sector.Serialize(epoch_);
   RETURN_IF_ERROR(disk_->InternalWrite(lba, raw));
 
   // Designated covers: the new sector's prev edge covers the old head (even when the head is
@@ -223,7 +276,7 @@ common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>
     }
   }
   chain_.emplace(sector.seq, ChainNode{piece, lba});
-  piece_at_block_[*block] = piece;
+  NoteSectorInBlock(*block);
   piece_state_[piece] = PieceState{DiskPtr{lba, sector.seq}, false};
   ++next_seq_;
   ++stats_.appends;
@@ -271,6 +324,100 @@ common::Status VirtualLog::AppendTransaction(const std::vector<PieceUpdate>& upd
   return common::OkStatus();
 }
 
+common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate>& updates) {
+  if (updates.empty()) {
+    return common::OkStatus();
+  }
+  if (updates.size() == 1) {
+    return AppendPiece(updates[0].piece, updates[0].entries);
+  }
+  {
+    std::unordered_set<uint32_t> seen;
+    for (const PieceUpdate& u : updates) {
+      if (u.piece >= config_.pieces) {
+        return common::InvalidArgument("AppendTransactionPacked: piece out of range");
+      }
+      if (!seen.insert(u.piece).second) {
+        return common::InvalidArgument(
+            "AppendTransactionPacked: duplicate piece (merge entries first)");
+      }
+    }
+  }
+  RETURN_IF_ERROR(MaybeAutoCheckpoint());
+
+  // Allocate every block up front so an out-of-space failure rolls back cleanly before any
+  // chain state has changed.
+  const uint32_t per_block = config_.block_sectors;
+  const size_t blocks_needed = (updates.size() + per_block - 1) / per_block;
+  std::vector<uint32_t> blocks;
+  blocks.reserve(blocks_needed);
+  for (size_t b = 0; b < blocks_needed; ++b) {
+    const auto block = allocator_->Allocate();
+    if (!block) {
+      for (const uint32_t rollback : blocks) {
+        allocator_->Free(rollback);
+      }
+      return common::OutOfSpace("virtual log: no free block for packed map sectors");
+    }
+    blocks.push_back(*block);
+  }
+
+  const uint64_t txn_id = next_seq_;
+  std::vector<DeferredFree> deferred;
+  std::vector<std::vector<std::byte>> buffers(
+      blocks_needed, std::vector<std::byte>(static_cast<size_t>(per_block) * kSectorBytes));
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const uint32_t piece = updates[i].piece;
+    MapSector sector;
+    sector.seq = next_seq_;
+    sector.piece = piece;
+    sector.entries = updates[i].entries;
+    sector.txn_id = txn_id;
+    sector.txn_index = static_cast<uint16_t>(i);
+    sector.txn_total = static_cast<uint16_t>(updates.size());
+    const DiskPtr head = ChainHead();
+    sector.prev = head;
+    const PieceState old = piece_state_[piece];
+    const bool old_live = !old.loc.IsNull() && !old.in_checkpoint;
+    if (old_live) {
+      sector.bypass = ChainSuccessorOf(old.loc.seq);
+    }
+    const uint32_t block = blocks[i / per_block];
+    const simdisk::Lba lba =
+        allocator_->space().BlockToLba(block) + static_cast<simdisk::Lba>(i % per_block);
+    const auto raw = sector.Serialize(epoch_);
+    std::copy(raw.begin(), raw.end(),
+              buffers[i / per_block].begin() + static_cast<size_t>(i % per_block) * kSectorBytes);
+    if (!head.IsNull()) {
+      SetCover(head.seq, sector.seq);
+    }
+    if (!sector.bypass.IsNull()) {
+      SetCover(sector.bypass.seq, sector.seq);
+    }
+    if (old_live) {
+      deferred.push_back(
+          DeferredFree{allocator_->space().LbaToBlock(old.loc.lba), old.loc.seq});
+    }
+    chain_.emplace(sector.seq, ChainNode{piece, lba});
+    NoteSectorInBlock(block);
+    piece_state_[piece] = PieceState{DiskPtr{lba, sector.seq}, false};
+    ++next_seq_;
+    ++stats_.appends;
+  }
+  // One media write per packed block. A crash tearing any of these leaves an incomplete
+  // transaction whose surviving sectors recovery discards wholesale (all-or-nothing).
+  for (size_t b = 0; b < blocks_needed; ++b) {
+    RETURN_IF_ERROR(disk_->InternalWrite(allocator_->space().BlockToLba(blocks[b]), buffers[b]));
+  }
+  // Commit point passed: recycle the obsoleted sectors.
+  for (const DeferredFree& d : deferred) {
+    RemoveObsolete(d.block, d.seq);
+  }
+  ++stats_.packed_transactions;
+  stats_.packed_sectors += updates.size();
+  return common::OkStatus();
+}
+
 common::Status VirtualLog::WriteCheckpoint(
     const std::vector<std::vector<uint32_t>>& entries_of_piece) {
   if (entries_of_piece.size() != config_.pieces) {
@@ -285,7 +432,7 @@ common::Status VirtualLog::WriteCheckpoint(
     sector.seq = seq;
     sector.piece = k;
     sector.entries = entries_of_piece[k];
-    const auto raw = sector.Serialize();
+    const auto raw = sector.Serialize(epoch_);
     body.insert(body.end(), raw.begin(), raw.end());
   }
   // Piece sectors first, CRC-signed header last: the header write is the commit point. A crash
@@ -293,18 +440,17 @@ common::Status VirtualLog::WriteCheckpoint(
   if (!body.empty()) {
     RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(slot) + 1, body));
   }
-  RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(slot), SerializeCkptHeader(seq, config_.pieces)));
+  RETURN_IF_ERROR(
+      disk_->InternalWrite(CkptSlotLba(slot), SerializeCkptHeader(seq, config_.pieces, epoch_)));
   next_ckpt_slot_ = 1 - slot;
 
-  // Every log sector — live or pinned — is now redundant: recycle all of them.
-  for (const auto& [node_seq, node] : chain_) {
-    FreeLogBlock(allocator_->space().LbaToBlock(node.lba));
-  }
-  for (const auto& [pin_seq, block] : pinned_) {
+  // Every log sector — live or pinned — is now redundant: recycle every block that holds one
+  // (each block exactly once, however many packed sectors it carries).
+  for (const auto& [block, count] : block_sector_count_) {
     FreeLogBlock(block);
   }
+  block_sector_count_.clear();
   chain_.clear();
-  piece_at_block_.clear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
@@ -317,11 +463,17 @@ common::Status VirtualLog::WriteCheckpoint(
 }
 
 common::Status VirtualLog::WritePark(bool clear) {
-  std::vector<std::byte> raw(kSectorBytes);
+  // A cleared record (parked=false) routes recovery to the scan path but still names the format
+  // epoch — a plain zeroed sector would lose it.
+  ParkRecord rec;
+  rec.epoch = epoch_;
+  rec.parked = !clear;
   if (!clear) {
-    raw = SerializePark(ParkRecord{ChainHead(), checkpoint_seq_, next_seq_});
+    rec.tail = ChainHead();
+    rec.checkpoint_seq = checkpoint_seq_;
+    rec.next_seq = next_seq_;
   }
-  return disk_->InternalWrite(config_.park_lba, raw);
+  return disk_->InternalWrite(config_.park_lba, SerializePark(rec));
 }
 
 common::Status VirtualLog::Park() { return WritePark(/*clear=*/false); }
@@ -331,7 +483,7 @@ common::StatusOr<RecoveryResult> VirtualLog::Recover() {
   next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
   chain_.clear();
-  piece_at_block_.clear();
+  block_sector_count_.clear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
@@ -340,10 +492,17 @@ common::StatusOr<RecoveryResult> VirtualLog::Recover() {
   RETURN_IF_ERROR(disk_->InternalRead(config_.park_lba, raw));
   const auto park = ParsePark(raw);
   if (!park) {
+    // The park sector itself was lost (e.g. a crash mid-park-write): the checkpoint headers are
+    // the redundant epoch carriers.
+    ASSIGN_OR_RETURN(epoch_, EpochFromCheckpointHeaders());
     return RecoverByScan();
   }
+  epoch_ = park->epoch;
   // Clear the park record so a stale tail is never trusted after a crash (§3.2).
   RETURN_IF_ERROR(WritePark(/*clear=*/true));
+  if (!park->parked) {
+    return RecoverByScan();
+  }
   next_seq_ = park->next_seq;
   const DiskPtr tail = park->tail;
   if (!tail.IsNull() && tail.lba >= disk_->SectorCount()) {
@@ -379,7 +538,7 @@ common::StatusOr<RecoveryResult> VirtualLog::RecoverFromTail(DiskPtr tail,
       continue;
     }
     ++sectors_read;
-    auto parsed = MapSector::Parse(raw);
+    auto parsed = MapSector::Parse(raw, epoch_);
     if (!parsed.ok() || parsed->seq != ptr.seq) {
       continue;  // Recycled: the block was reused; a bypass edge covers what lay beyond.
     }
@@ -399,7 +558,7 @@ common::StatusOr<RecoveryResult> VirtualLog::RecoverByScan() {
   for (uint32_t slot = 0; slot < 2; ++slot) {
     RETURN_IF_ERROR(disk_->InternalRead(CkptSlotLba(slot), raw));
     if (const auto header = ParseCkptHeader(raw);
-        header && header->pieces == config_.pieces) {
+        header && header->pieces == config_.pieces && header->epoch == epoch_) {
       checkpoint_seq = std::max(checkpoint_seq, header->seq);
     }
   }
@@ -422,8 +581,10 @@ common::StatusOr<RecoveryResult> VirtualLog::RecoverByScan() {
       if (lba == config_.park_lba || (lba >= ckpt_begin && lba < ckpt_end)) {
         continue;
       }
-      auto parsed = MapSector::Parse(std::span<const std::byte>(track).subspan(
-          static_cast<size_t>(s) * geom.sector_bytes, geom.sector_bytes));
+      auto parsed = MapSector::Parse(
+          std::span<const std::byte>(track).subspan(
+              static_cast<size_t>(s) * geom.sector_bytes, geom.sector_bytes),
+          epoch_);
       if (parsed.ok() && parsed->seq > checkpoint_seq) {
         collected.emplace_back(lba, std::move(*parsed));
       }
@@ -480,7 +641,7 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
     state.loc = DiskPtr{lba, sector.seq};
     result.pieces[sector.piece] = sector.entries;
     chain_.emplace(sector.seq, ChainNode{sector.piece, lba});
-    piece_at_block_[allocator_->space().LbaToBlock(lba)] = sector.piece;
+    NoteSectorInBlock(allocator_->space().LbaToBlock(lba));
     next_seq_ = std::max(next_seq_, sector.seq + 1);
   }
 
@@ -532,7 +693,9 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
       SetCover(target.seq, carrier->second.seq);
       if (!is_live(carrier->second.seq, carrier->first) &&
           !pinned_.contains(carrier->second.seq)) {
-        pinned_.emplace(carrier->second.seq, allocator_->space().LbaToBlock(carrier->first));
+        const uint32_t carrier_block = allocator_->space().LbaToBlock(carrier->first);
+        pinned_.emplace(carrier->second.seq, carrier_block);
+        NoteSectorInBlock(carrier_block);
         stats_.pinned_peak = std::max<uint64_t>(stats_.pinned_peak, pinned_.size());
         // A pinned carrier must itself stay reachable: cover it too.
         if (!queued.contains(carrier->second.seq)) {
@@ -588,15 +751,18 @@ common::StatusOr<std::vector<std::vector<uint32_t>>> VirtualLog::LoadCheckpoint(
   for (uint32_t slot = 0; slot < 2; ++slot) {
     RETURN_IF_ERROR(disk_->InternalRead(CkptSlotLba(slot), region));
     const auto header = ParseCkptHeader(std::span<const std::byte>(region).first(kSectorBytes));
-    if (!header || header->seq != checkpoint_seq || header->pieces != config_.pieces) {
+    if (!header || header->seq != checkpoint_seq || header->pieces != config_.pieces ||
+        header->epoch != epoch_) {
       continue;
     }
     // The header is the commit point and is written after the piece sectors, so a slot with a
     // matching header must have intact pieces; anything else is real media corruption.
     std::vector<std::vector<uint32_t>> pieces(config_.pieces);
     for (uint32_t k = 0; k < config_.pieces; ++k) {
-      auto parsed = MapSector::Parse(std::span<const std::byte>(region).subspan(
-          static_cast<size_t>(k + 1) * kSectorBytes, kSectorBytes));
+      auto parsed = MapSector::Parse(
+          std::span<const std::byte>(region).subspan(static_cast<size_t>(k + 1) * kSectorBytes,
+                                                     kSectorBytes),
+          epoch_);
       if (!parsed.ok() || parsed->seq != checkpoint_seq || parsed->piece != k) {
         return common::Corruption("checkpoint piece sector corrupt");
       }
@@ -616,12 +782,14 @@ std::optional<uint32_t> VirtualLog::LiveBlockOfPiece(uint32_t piece) const {
   return allocator_->space().LbaToBlock(state.loc.lba);
 }
 
-std::optional<uint32_t> VirtualLog::PieceAtBlock(uint32_t block) const {
-  const auto it = piece_at_block_.find(block);
-  if (it == piece_at_block_.end()) {
-    return std::nullopt;
+std::vector<uint32_t> VirtualLog::PiecesAtBlock(uint32_t block) const {
+  std::vector<uint32_t> pieces;
+  for (const auto& [seq, node] : chain_) {
+    if (allocator_->space().LbaToBlock(node.lba) == block) {
+      pieces.push_back(node.piece);
+    }
   }
-  return it->second;
+  return pieces;
 }
 
 std::vector<uint32_t> VirtualLog::PinnedBlocks() const {

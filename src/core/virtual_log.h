@@ -26,6 +26,20 @@
 // last, so the header write is the commit point; a crash anywhere in the middle leaves the
 // previous checkpoint (in the other slot) intact. Recovery trusts the newest slot whose header
 // parses.
+//
+// Format epoch. Every map sector's CRC is seeded with the log's format epoch, a counter bumped
+// by each Format() over the same media. A scan recovery therefore only accepts sectors signed
+// under the current generation — sequence numbers restarting at 1 after a reformat can never
+// collide with an old generation's surviving sectors. The epoch lives redundantly in the park
+// record and in both checkpoint-slot headers (Format stamps both), so it survives any single
+// damaged sector; a cleared park record still carries it (with `parked` false, which routes
+// recovery to the scan path exactly like the old zeroed-sector clearing did).
+//
+// Group commit. AppendTransactionPacked() is the queued-write commit path: the transaction's
+// sectors are packed contiguously into whole physical blocks (block_sectors map sectors per
+// block) and written with one media write per block, so a queue's worth of eager writes costs
+// one or two log writes instead of one per request. Packing means a log block can hold several
+// live (or pinned) sectors; a block is recycled only when its last live/pinned sector leaves.
 #ifndef SRC_CORE_VIRTUAL_LOG_H_
 #define SRC_CORE_VIRTUAL_LOG_H_
 
@@ -69,6 +83,8 @@ struct VirtualLogStats {
   uint64_t pinned_peak = 0;      // High-water mark of simultaneously pinned sectors.
   uint64_t checkpoints = 0;
   uint64_t auto_checkpoints = 0;  // Checkpoints forced by the pinned-sector valve.
+  uint64_t packed_transactions = 0;  // Group commits that packed sectors into shared blocks.
+  uint64_t packed_sectors = 0;       // Map sectors written through the packed path.
 };
 
 class VirtualLog {
@@ -97,6 +113,12 @@ class VirtualLog {
   // after the last sector of the transaction is on disk.
   common::Status AppendTransaction(const std::vector<PieceUpdate>& updates);
 
+  // Group commit (queued writes): same atomicity contract as AppendTransaction, but the
+  // transaction's sectors are packed contiguously into whole blocks and written with one media
+  // write per block — ceil(N / block_sectors) writes instead of N. A single update degenerates
+  // to AppendPiece so depth-1 behaviour is identical to the standalone path.
+  common::Status AppendTransactionPacked(const std::vector<PieceUpdate>& updates);
+
   // Writes the whole map contiguously to the checkpoint region, frees all log blocks (live and
   // pinned), and resets the chain. `entries_of_piece[k]` must be the current entries of piece k.
   common::Status WriteCheckpoint(const std::vector<std::vector<uint32_t>>& entries_of_piece);
@@ -113,14 +135,18 @@ class VirtualLog {
   // The physical block currently holding `piece`'s live map sector (nullopt when the piece has
   // never been written or lives in the checkpoint region).
   std::optional<uint32_t> LiveBlockOfPiece(uint32_t piece) const;
-  // The piece whose live map sector occupies `block`, if any. Used by the compactor.
-  std::optional<uint32_t> PieceAtBlock(uint32_t block) const;
+  // All pieces whose live map sectors occupy `block` (several when a packed transaction shared
+  // the block). Empty when the block holds no live map sector. Used by the compactor.
+  std::vector<uint32_t> PiecesAtBlock(uint32_t block) const;
   // Blocks held only because an obsolete sector in them still covers live sectors.
   std::vector<uint32_t> PinnedBlocks() const;
   bool IsPinnedBlock(uint32_t block) const;
 
   uint64_t NextSeq() const { return next_seq_; }
   uint64_t CheckpointSeq() const { return checkpoint_seq_; }
+  // The format generation; bumped by every Format() over the same media and mixed into every
+  // map sector's CRC seed.
+  uint64_t Epoch() const { return epoch_; }
   size_t PinnedCount() const { return pinned_.size(); }
   const VirtualLogStats& stats() const { return stats_; }
   const VirtualLogConfig& config() const { return config_; }
@@ -149,6 +175,15 @@ class VirtualLog {
   DiskPtr ChainHead() const;
   // Chain successor (next older live sector) of the live sector with sequence `seq`.
   DiskPtr ChainSuccessorOf(uint64_t seq) const;
+
+  // --- Per-block sector refcounts (packed transactions share blocks) ---
+  void NoteSectorInBlock(uint32_t block);
+  // Releases one live/pinned sector from `block`, recycling the block when it was the last.
+  void ReleaseSectorInBlock(uint32_t block);
+
+  // The newest epoch recorded in a valid checkpoint-slot header (0 when neither parses). The
+  // fallback epoch source when the park record is unreadable.
+  common::StatusOr<uint64_t> EpochFromCheckpointHeaders();
 
   // --- Designated-cover bookkeeping ---
   void SetCover(uint64_t target_seq, uint64_t carrier_seq);
@@ -182,11 +217,14 @@ class VirtualLog {
   VirtualLogConfig config_;
   uint64_t next_seq_ = 1;
   uint64_t checkpoint_seq_ = 0;  // 0 = no checkpoint taken.
+  uint64_t epoch_ = 0;           // Format generation (CRC seed); 0 = never formatted.
   uint32_t next_ckpt_slot_ = 0;  // Slot the next checkpoint writes to (alternates).
   std::vector<PieceState> piece_state_;
   // Live map sectors ordered by sequence (ascending).
   std::map<uint64_t, ChainNode> chain_;
-  std::unordered_map<uint32_t, uint32_t> piece_at_block_;
+  // Physical block -> number of live or pinned map sectors it holds (absent = none). A block is
+  // returned to the free pool only when its count reaches zero.
+  std::unordered_map<uint32_t, uint32_t> block_sector_count_;
   // Designated covers: target sector -> the newer sector whose on-disk pointer keeps it
   // reachable. Every live or pinned sector except the tail has exactly one entry.
   std::unordered_map<uint64_t, uint64_t> cover_of_;

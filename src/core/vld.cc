@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <set>
 
 namespace vlog::core {
 
@@ -129,12 +130,18 @@ common::StatusOr<VldRecoveryInfo> Vld::Recover() {
       ++info.mapped_blocks;
     }
   }
+  // A packed group commit can leave several live (or pinned) map sectors in one physical
+  // block: collect the blocks first so each is marked live exactly once.
+  std::set<uint32_t> map_blocks;
   for (uint32_t k = 0; k < vlog_.config().pieces; ++k) {
     if (const auto block = vlog_.LiveBlockOfPiece(k)) {
-      space_.MarkLive(*block);
+      map_blocks.insert(*block);
     }
   }
   for (const uint32_t block : vlog_.PinnedBlocks()) {
+    map_blocks.insert(block);
+  }
+  for (const uint32_t block : map_blocks) {
     space_.MarkLive(block);
   }
   // Re-append pieces whose on-disk reachability could not be re-established (scan path only).
@@ -205,7 +212,7 @@ common::Status Vld::StageBlockWrite(uint32_t logical_block, std::span<const std:
   return common::OkStatus();
 }
 
-common::Status Vld::CommitStaged(const std::vector<StagedWrite>& staged) {
+common::Status Vld::CommitStaged(const std::vector<StagedWrite>& staged, bool packed) {
   if (staged.empty()) {
     return common::OkStatus();
   }
@@ -225,7 +232,8 @@ common::Status Vld::CommitStaged(const std::vector<StagedWrite>& staged) {
   for (const uint32_t piece : affected_pieces) {
     updates.push_back(VirtualLog::PieceUpdate{piece, PieceEntries(piece)});
   }
-  RETURN_IF_ERROR(vlog_.AppendTransaction(updates));
+  RETURN_IF_ERROR(packed ? vlog_.AppendTransactionPacked(updates)
+                         : vlog_.AppendTransaction(updates));
   if (updates.size() > 1) {
     ++stats_.atomic_commits;
   }
@@ -240,18 +248,11 @@ common::Status Vld::CommitStaged(const std::vector<StagedWrite>& staged) {
   return common::OkStatus();
 }
 
-common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
+common::Status Vld::StageHostWrite(simdisk::Lba lba, std::span<const std::byte> in,
+                                   std::vector<StagedWrite>* staged) {
   const uint32_t sector_bytes = disk_->SectorBytes();
-  if (in.empty() || in.size() % sector_bytes != 0 ||
-      lba + in.size() / sector_bytes > SectorCount()) {
-    return common::InvalidArgument("Vld::Write: bad range");
-  }
-  disk_->ChargeHostCommand();
-  ++stats_.host_writes;
-
   const uint32_t bs = config_.block_sectors;
   const size_t block_bytes = static_cast<size_t>(bs) * sector_bytes;
-  std::vector<StagedWrite> staged;
   std::vector<std::byte> merged(block_bytes);
   uint64_t i = 0;
   const uint64_t sectors = in.size() / sector_bytes;
@@ -261,23 +262,91 @@ common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
     const uint32_t offset = static_cast<uint32_t>(logical_sector % bs);
     const uint64_t in_block = std::min<uint64_t>(bs - offset, sectors - i);
     if (offset == 0 && in_block == bs) {
-      RETURN_IF_ERROR(StageBlockWrite(lblock, in.subspan(i * sector_bytes, block_bytes), &staged));
+      RETURN_IF_ERROR(StageBlockWrite(lblock, in.subspan(i * sector_bytes, block_bytes), staged));
     } else {
       // Sub-block write: read-modify-write the physical block (internal fragmentation biases
       // against the VLD exactly as §4.2 notes).
       ++stats_.read_modify_writes;
-      if (map_[lblock] != kUnmappedBlock) {
-        RETURN_IF_ERROR(disk_->InternalRead(space_.BlockToLba(map_[lblock]), merged));
+      uint32_t source = map_[lblock];
+      for (const StagedWrite& s : *staged) {
+        if (s.logical_block == lblock) {
+          source = s.new_phys;  // Merge over an earlier staged write to the same block.
+        }
+      }
+      if (source != kUnmappedBlock) {
+        RETURN_IF_ERROR(disk_->InternalRead(space_.BlockToLba(source), merged));
       } else {
         std::fill(merged.begin(), merged.end(), std::byte{0});
       }
       std::memcpy(merged.data() + static_cast<size_t>(offset) * sector_bytes,
                   in.data() + i * sector_bytes, in_block * sector_bytes);
-      RETURN_IF_ERROR(StageBlockWrite(lblock, merged, &staged));
+      RETURN_IF_ERROR(StageBlockWrite(lblock, merged, staged));
     }
     i += in_block;
   }
+  return common::OkStatus();
+}
+
+common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  if (in.empty() || in.size() % sector_bytes != 0 ||
+      lba + in.size() / sector_bytes > SectorCount()) {
+    return common::InvalidArgument("Vld::Write: bad range");
+  }
+  disk_->ChargeHostCommand();
+  ++stats_.host_writes;
+  std::vector<StagedWrite> staged;
+  RETURN_IF_ERROR(StageHostWrite(lba, in, &staged));
   return CommitStaged(staged);
+}
+
+common::StatusOr<uint64_t> Vld::SubmitWrite(simdisk::Lba lba, std::span<const std::byte> in) {
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  if (in.empty() || in.size() % sector_bytes != 0 ||
+      lba + in.size() / sector_bytes > SectorCount()) {
+    return common::InvalidArgument("Vld::SubmitWrite: bad range");
+  }
+  if (queue_.size() >= config_.queue_depth) {
+    return common::FailedPrecondition("Vld::SubmitWrite: queue full");
+  }
+  QueuedWrite req;
+  req.id = next_queued_id_++;
+  req.lba = lba;
+  req.data.assign(in.begin(), in.end());
+  req.submit_time = disk_->clock()->Now();
+  queue_.push_back(std::move(req));
+  ++stats_.queued_writes;
+  return queue_.back().id;
+}
+
+common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
+  std::vector<QueuedCompletion> completions;
+  if (queue_.empty()) {
+    return completions;
+  }
+  std::vector<QueuedWrite> batch;
+  batch.swap(queue_);
+  // Phase 1: each request's controller overhead (pipelined against earlier media work) and its
+  // eager data-block writes, in submission order.
+  std::vector<StagedWrite> staged;
+  for (const QueuedWrite& req : batch) {
+    ctrl_free_ = disk_->ChargeQueuedCommand(ctrl_free_, req.submit_time);
+    ++stats_.host_writes;
+    RETURN_IF_ERROR(StageHostWrite(req.lba, req.data, &staged));
+  }
+  // Phase 2: one packed group commit covers every request's map entries. Only after it reaches
+  // the media are the requests acknowledged — the commit is the atomicity and durability point
+  // for the whole batch.
+  RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
+  if (batch.size() > 1) {
+    ++stats_.group_commits;
+  }
+  const common::Time done = disk_->clock()->Now();
+  completions.reserve(batch.size());
+  for (const QueuedWrite& req : batch) {
+    completions.push_back(QueuedCompletion{req.id, req.submit_time, done});
+  }
+  return completions;
 }
 
 common::Status Vld::WriteAtomic(std::span<const AtomicWrite> writes) {

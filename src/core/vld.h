@@ -35,6 +35,7 @@ struct VldConfig {
   uint32_t target_empty_tracks = 4;
   uint32_t slack_blocks = 16;  // Physical blocks withheld from the logical size so eager
                                // writing always has somewhere to go.
+  uint32_t queue_depth = 8;    // Maximum outstanding queued writes (SubmitWrite/FlushQueue).
   uint64_t seed = 1;
 };
 
@@ -47,6 +48,8 @@ struct VldStats {
   uint64_t relocations = 0;         // Data blocks moved by the compactor.
   uint64_t trims = 0;
   uint64_t atomic_commits = 0;
+  uint64_t queued_writes = 0;   // Host writes accepted through SubmitWrite.
+  uint64_t group_commits = 0;   // FlushQueue calls that committed >1 request in one transaction.
 };
 
 struct VldRecoveryInfo {
@@ -88,6 +91,29 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   };
   // All-or-nothing multi-extent write (one command, one transaction in the virtual log).
   common::Status WriteAtomic(std::span<const AtomicWrite> writes);
+
+  // --- Queued writes (§4.2: one map sector holds many entries, so a queue's worth of eager
+  // writes can share a single virtual-log commit) ---
+
+  // Per-request acknowledgement from FlushQueue, timestamped on the virtual clock.
+  struct QueuedCompletion {
+    uint64_t id = 0;
+    common::Time submit_time = 0;    // When SubmitWrite accepted the request.
+    common::Time complete_time = 0;  // When its group's map commit reached the media.
+    common::Duration Latency() const { return complete_time - submit_time; }
+  };
+  // Enqueues a host write without any media work (the payload is copied); returns a completion
+  // id. Fails with kFailedPrecondition when `queue_depth` requests are already outstanding.
+  common::StatusOr<uint64_t> SubmitWrite(simdisk::Lba lba, std::span<const std::byte> in);
+  // Services every queued write: each request's data blocks go down eagerly in submission order
+  // (controller overhead pipelined with the media), then ALL of their map entries commit in one
+  // packed group transaction — one or two log writes instead of one per request. A request is
+  // acknowledged (complete_time stamped) only once that commit is on the media, so each
+  // acknowledged request is individually all-or-nothing across a crash. With a single queued
+  // request this is clock-identical to Write().
+  common::StatusOr<std::vector<QueuedCompletion>> FlushQueue();
+  size_t QueuedWrites() const { return queue_.size(); }
+  uint32_t queue_depth() const { return config_.queue_depth; }
   // Explicitly frees whole logical blocks covered by [lba, lba+sectors) — the delete hint the
   // paper notes is missing from the unmodified interface.
   common::Status Trim(simdisk::Lba lba, uint64_t sectors);
@@ -134,9 +160,13 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   };
   common::Status StageBlockWrite(uint32_t logical_block, std::span<const std::byte> data,
                                  std::vector<StagedWrite>* staged);
-  // Commits staged writes: appends the affected map pieces (transactionally when more than one)
-  // then frees the obsoleted data blocks.
-  common::Status CommitStaged(const std::vector<StagedWrite>& staged);
+  // Splits one host-write extent into block-granularity staged writes (read-modify-write for
+  // sub-block edges). Shared by Write and FlushQueue.
+  common::Status StageHostWrite(simdisk::Lba lba, std::span<const std::byte> in,
+                                std::vector<StagedWrite>* staged);
+  // Commits staged writes: appends the affected map pieces (transactionally when more than one;
+  // `packed` selects the group-commit packed encoding) then frees the obsoleted data blocks.
+  common::Status CommitStaged(const std::vector<StagedWrite>& staged, bool packed = false);
 
   simdisk::SimDisk* disk_;
   VldConfig config_;
@@ -148,6 +178,16 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   std::unique_ptr<Compactor> compactor_;
   std::vector<uint32_t> map_;      // logical block -> physical block (kUnmappedBlock if none).
   std::vector<uint32_t> reverse_;  // physical block -> logical block (data blocks only).
+  // Outstanding queued writes, in submission order.
+  struct QueuedWrite {
+    uint64_t id;
+    simdisk::Lba lba;
+    std::vector<std::byte> data;
+    common::Time submit_time;
+  };
+  std::vector<QueuedWrite> queue_;
+  uint64_t next_queued_id_ = 1;
+  common::Time ctrl_free_ = 0;  // Controller pipeline state for queued commands.
   VldStats stats_;
 };
 

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/bytes.h"
 #include "src/simdisk/host_model.h"
+#include "src/ufs/layout.h"
 
 namespace vlog::crashsim {
 namespace {
@@ -445,6 +447,82 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
           fs, path, it == committed.end() ? std::nullopt : std::optional<FileState>(it->second));
       if (!err.empty()) {
         report.AddViolation(point, err, options.max_violation_details);
+      }
+    }
+
+    // Invariant 4 (mirrors VldCrashSim): the recovered allocator must agree with a free-space
+    // shadow rebuilt independently from the recovered metadata — live inode-map blocks, the
+    // virtual log's live/pinned map blocks, and every data/indirect block reachable from a
+    // live inode read straight off the crashed media image.
+    {
+      const uint32_t block_sectors = fs.block_sectors();
+      const size_t block_bytes = static_cast<size_t>(block_sectors) * sector_bytes;
+      std::unordered_set<uint32_t> shadow;
+      const std::vector<uint32_t>& imap = fs.inode_map();
+      for (const uint32_t phys : imap) {
+        if (phys != core::kUnmappedBlock) {
+          shadow.insert(phys);
+        }
+      }
+      for (uint32_t k = 0; k < fs.vlog().config().pieces; ++k) {
+        if (const auto block = fs.vlog().LiveBlockOfPiece(k)) {
+          shadow.insert(*block);
+        }
+      }
+      for (const uint32_t block : fs.vlog().PinnedBlocks()) {
+        shadow.insert(block);
+      }
+      std::vector<std::byte> iraw(block_bytes);
+      std::vector<std::byte> table(block_bytes);
+      for (const uint32_t iphys : imap) {
+        if (iphys == core::kUnmappedBlock) {
+          continue;
+        }
+        disk.PeekMedia(static_cast<simdisk::Lba>(iphys) * block_sectors, iraw);
+        for (uint32_t i = 0; i < ufs::kInodesPerBlock; ++i) {
+          const ufs::Inode inode = ufs::Inode::Decode(
+              std::span<const std::byte>(iraw).subspan(i * ufs::kInodeBytes));
+          if (inode.IsFree()) {
+            continue;
+          }
+          const uint64_t blocks = (inode.size + block_bytes - 1) / block_bytes;
+          for (uint64_t fbi = 0; fbi < std::min<uint64_t>(blocks, ufs::kDirectPtrs); ++fbi) {
+            if (inode.direct[fbi] != ufs::kNoAddr) {
+              shadow.insert(inode.direct[fbi]);
+            }
+          }
+          if (inode.indirect != ufs::kNoAddr) {
+            shadow.insert(inode.indirect);
+            disk.PeekMedia(static_cast<simdisk::Lba>(inode.indirect) * block_sectors, table);
+            const uint64_t limit =
+                std::min<uint64_t>(blocks, ufs::kDirectPtrs + ufs::kPtrsPerBlock);
+            for (uint64_t fbi = ufs::kDirectPtrs; fbi < limit; ++fbi) {
+              const uint32_t phys =
+                  common::LoadLe<uint32_t>(table, (fbi - ufs::kDirectPtrs) * 4);
+              if (phys != ufs::kNoAddr) {
+                shadow.insert(phys);
+              }
+            }
+          }
+        }
+      }
+      bool shadow_ok = true;
+      for (const uint32_t block : shadow) {
+        if (fs.space().state(block) != core::BlockState::kLive) {
+          report.AddViolation(point,
+                              "allocator disagrees with shadow: block " +
+                                  std::to_string(block) + " reachable but not live",
+                              options.max_violation_details);
+          shadow_ok = false;
+          break;
+        }
+      }
+      if (shadow_ok && fs.space().live_blocks() != shadow.size()) {
+        report.AddViolation(point,
+                            "allocator live-block count " +
+                                std::to_string(fs.space().live_blocks()) +
+                                " != shadow reachable count " + std::to_string(shadow.size()),
+                            options.max_violation_details);
       }
     }
 

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/lfs/log_disk.h"
+#include "src/lfs/simple_fs.h"
 #include "src/simdisk/host_model.h"
 #include "src/ufs/ufs.h"
 
@@ -106,6 +108,85 @@ common::Status CheckpointInterruptedWorkload(ShadowVld& dev) {
   return dev.Park();
 }
 
+common::Status QueuedGroupCommitWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  // Base content so the queued updates overwrite live blocks (the recovery-relevant case:
+  // all-old must expose the previous version, not zeros).
+  for (uint32_t b = 0; b < 24; ++b) {
+    RETURN_IF_ERROR(dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 1)));
+  }
+  // Batches of random-update queued writes at varying depths: each batch's map entries commit
+  // in one packed multi-sector transaction, so crash points land inside packed map writes.
+  common::Rng rng(11);
+  uint32_t version = 2;
+  for (int round = 0; round < 6; ++round) {
+    const size_t depth = 1 + rng.Below(8);
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(depth);
+    std::vector<core::Vld::AtomicWrite> writes;
+    writes.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+      // Random updates over the whole logical space so one batch's map entries usually span
+      // several pieces — that is what makes the packed commit a multi-sector (tearable) write.
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+    }
+    RETURN_IF_ERROR(dev.WriteQueuedBatch(writes));
+    ++version;
+  }
+  // A trim and one more deep batch, then park so the sweep also covers tail recoveries over
+  // packed blocks.
+  RETURN_IF_ERROR(dev.Trim(0, static_cast<uint64_t>(4) * kBlockSectors));
+  {
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<core::Vld::AtomicWrite> writes;
+    for (uint32_t i = 0; i < 12; ++i) {
+      // Stride the deep batch across the logical space: 12 updates in 12 different pieces,
+      // guaranteeing the packed commit spans multiple physical blocks.
+      const uint32_t b = (i * (blocks / 12)) % blocks;
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+    }
+    RETURN_IF_ERROR(dev.WriteQueuedBatch(writes));
+  }
+  return dev.Park();
+}
+
+common::Status LfsOnVldWorkload(ShadowVld& dev) {
+  simdisk::HostModel host(simdisk::ZeroCostHost(), dev.vld().disk().clock());
+  // Small segments and caches so the truncated disk sees several sealed-segment writes plus
+  // cleaning — every one a multi-block device write the VLD must keep atomic.
+  lfs::LogStructuredDisk lld(&dev, lfs::LldConfig{.segment_blocks = 16,
+                                                  .reserve_segments = 2,
+                                                  .min_free_segments = 1,
+                                                  .idle_clean_target = 3});
+  RETURN_IF_ERROR(lld.Format());
+  lfs::SimpleFs fs(&lld, &host,
+                   lfs::SimpleFsConfig{.cache_blocks = 16, .cache_is_nvram = false,
+                                       .inode_blocks = 4});
+  RETURN_IF_ERROR(fs.Format());
+  for (int f = 0; f < 4; ++f) {
+    const std::string path = "/lfs" + std::to_string(f);
+    RETURN_IF_ERROR(fs.Create(path));
+    RETURN_IF_ERROR(fs.Write(path, 0, Pattern(static_cast<uint32_t>(f), 1, 2 * kBlockBytes),
+                             fs::WritePolicy::kAsync));
+  }
+  RETURN_IF_ERROR(fs.Sync());
+  // Overwrites and a remove churn the log so the cleaner has work.
+  RETURN_IF_ERROR(fs.Write("/lfs1", 0, Pattern(1, 2, kBlockBytes), fs::WritePolicy::kSync));
+  RETURN_IF_ERROR(fs.Remove("/lfs0"));
+  RETURN_IF_ERROR(fs.Sync());
+  common::Clock* clock = dev.vld().disk().clock();
+  RETURN_IF_ERROR(lld.CleanDuringIdle(clock->Now() + common::Milliseconds(80), clock));
+  RETURN_IF_ERROR(fs.Write("/lfs2", kBlockBytes, Pattern(2, 3, kBlockBytes),
+                           fs::WritePolicy::kSync));
+  RETURN_IF_ERROR(fs.Sync());
+  return dev.Park();
+}
+
 }  // namespace
 
 const char* VldScenarioName(VldScenario scenario) {
@@ -116,6 +197,10 @@ const char* VldScenarioName(VldScenario scenario) {
       return "compactor-active";
     case VldScenario::kCheckpointInterrupted:
       return "checkpoint-interrupted";
+    case VldScenario::kQueuedGroupCommit:
+      return "queued-group-commit";
+    case VldScenario::kLfsOnVld:
+      return "lfs-on-vld";
   }
   return "?";
 }
@@ -125,7 +210,8 @@ simdisk::DiskParams CrashSimDiskParams() {
 }
 
 core::VldConfig CrashSimVldConfig() {
-  return core::VldConfig{.block_sectors = kBlockSectors};
+  // queue_depth 16 lets the queued scenario record batches deeper than the default 8.
+  return core::VldConfig{.block_sectors = kBlockSectors, .queue_depth = 16};
 }
 
 vlfs::VlfsConfig CrashSimVlfsConfig() {
@@ -140,6 +226,10 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
       return sim.Record(CompactorActiveWorkload);
     case VldScenario::kCheckpointInterrupted:
       return sim.Record(CheckpointInterruptedWorkload);
+    case VldScenario::kQueuedGroupCommit:
+      return sim.Record(QueuedGroupCommitWorkload);
+    case VldScenario::kLfsOnVld:
+      return sim.Record(LfsOnVldWorkload);
   }
   return common::InvalidArgument("unknown scenario");
 }

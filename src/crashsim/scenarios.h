@@ -10,6 +10,12 @@
 //                           idle-time compaction moving both data and map blocks;
 //   kCheckpointInterrupted: repeated checkpoints so crash points land inside the multi-sector
 //                           checkpoint-region writes themselves, plus a final park.
+//   kQueuedGroupCommit:     batches of queued writes whose map entries land in single packed
+//                           group-commit transactions, so crash points tear multi-sector map
+//                           writes; each batch must recover all-old-or-all-new;
+//   kLfsOnVld:              the §4.4 LFS stack (log-structured logical disk + MinixUFS-style
+//                           fs) mounted on the VLD, so multi-block segment writes are the
+//                           device traffic being crash-swept.
 // The VLFS scenario exercises file-level recovery: namespace ops, sync writes, checkpoint,
 // idle compaction, and park.
 #ifndef SRC_CRASHSIM_SCENARIOS_H_
@@ -20,7 +26,13 @@
 
 namespace vlog::crashsim {
 
-enum class VldScenario { kUfsOnVld, kCompactorActive, kCheckpointInterrupted };
+enum class VldScenario {
+  kUfsOnVld,
+  kCompactorActive,
+  kCheckpointInterrupted,
+  kQueuedGroupCommit,
+  kLfsOnVld,
+};
 
 const char* VldScenarioName(VldScenario scenario);
 

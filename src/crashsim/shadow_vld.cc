@@ -123,6 +123,24 @@ common::Status ShadowVld::WriteAtomic(std::span<const core::Vld::AtomicWrite> wr
   return common::OkStatus();
 }
 
+common::Status ShadowVld::WriteQueuedBatch(std::span<const core::Vld::AtomicWrite> writes) {
+  for (const core::Vld::AtomicWrite& w : writes) {
+    RETURN_IF_ERROR(vld_->SubmitWrite(w.lba, w.data).status());
+  }
+  RETURN_IF_ERROR(vld_->FlushQueue().status());
+  const uint32_t bs = vld_->block_sectors();
+  std::vector<uint32_t> blocks;
+  std::vector<std::vector<std::byte>> after;
+  for (const core::Vld::AtomicWrite& w : writes) {
+    for (size_t off = 0; off < w.data.size(); off += block_bytes_) {
+      blocks.push_back(static_cast<uint32_t>(w.lba / bs + off / block_bytes_));
+      after.emplace_back(w.data.begin() + off, w.data.begin() + off + block_bytes_);
+    }
+  }
+  RecordOp(std::move(blocks), std::move(after));
+  return common::OkStatus();
+}
+
 common::Status ShadowVld::Checkpoint() {
   RETURN_IF_ERROR(vld_->Checkpoint());
   RecordOp({}, {});

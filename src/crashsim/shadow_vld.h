@@ -50,6 +50,11 @@ class ShadowVld : public simdisk::BlockDevice {
   // boundaries so their media writes are attributed to them rather than to the next command.
   common::Status Trim(simdisk::Lba lba, uint64_t sectors);
   common::Status WriteAtomic(std::span<const core::Vld::AtomicWrite> writes);
+  // Queued-write path: submits every extent through SubmitWrite, then FlushQueue group-commits
+  // all of their map entries in one packed transaction. The batch shares a single commit point,
+  // so across a crash it is all-old-or-all-new; it is recorded as ONE op and the sweep verifies
+  // exactly that. Extents must be whole aligned blocks (like WriteAtomic).
+  common::Status WriteQueuedBatch(std::span<const core::Vld::AtomicWrite> writes);
   common::Status Checkpoint();
   common::Status Park();
   void RunIdle(common::Duration budget);

@@ -1,0 +1,95 @@
+// A queued-command layer over SimDisk.
+//
+// Models a disk (or VLD firmware) that accepts up to `depth` outstanding commands and services
+// them one at a time with the controller pipelined against the media: command i's controller
+// work starts when the controller is free and the command has been submitted, and costs the
+// SCSI overhead once — so with a full queue the per-command overhead hides behind the previous
+// command's media time. Scheduling is pluggable:
+//   kFcfs — service in submission order;
+//   kSptf — shortest positioning time first, reusing the mechanical model's seek + rotation
+//           estimate from the current arm position and clock (the classic queued-disk policy).
+// With depth 1 both policies degenerate to the synchronous path and charge identical time.
+//
+// All submitted payloads are copied; completions carry per-request submit/dispatch/complete
+// timestamps on the shared virtual clock (read completions also carry the data).
+#ifndef SRC_SIMDISK_REQUEST_QUEUE_H_
+#define SRC_SIMDISK_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace vlog::simdisk {
+
+enum class SchedulerPolicy : uint8_t {
+  kFcfs,
+  kSptf,
+};
+
+struct RequestQueueConfig {
+  uint32_t depth = 8;  // Maximum outstanding requests.
+  SchedulerPolicy policy = SchedulerPolicy::kFcfs;
+};
+
+struct IoCompletion {
+  uint64_t id = 0;
+  bool is_write = false;
+  Lba lba = 0;
+  common::Status status;
+  common::Time submit_time = 0;    // When the request entered the queue.
+  common::Time dispatch_time = 0;  // When its controller work finished and media work began.
+  common::Time complete_time = 0;  // When its media work finished.
+  std::vector<std::byte> data;     // Read payload (empty for writes).
+
+  common::Duration Latency() const { return complete_time - submit_time; }
+};
+
+class RequestQueue {
+ public:
+  RequestQueue(SimDisk* disk, RequestQueueConfig config) : disk_(disk), config_(config) {}
+
+  uint32_t depth() const { return config_.depth; }
+  SchedulerPolicy policy() const { return config_.policy; }
+  size_t Pending() const { return pending_.size(); }
+  bool CanSubmit() const { return pending_.size() < config_.depth; }
+
+  // Enqueue a request without performing any media work; returns its completion id. Fails with
+  // kFailedPrecondition when `depth` requests are already outstanding.
+  common::StatusOr<uint64_t> SubmitRead(Lba lba, uint64_t sectors);
+  common::StatusOr<uint64_t> SubmitWrite(Lba lba, std::span<const std::byte> data);
+
+  // Services the next request chosen by the scheduling policy. The returned completion's status
+  // carries any media error; ServiceOne itself only fails when the queue is empty.
+  common::StatusOr<IoCompletion> ServiceOne();
+
+  // Services every outstanding request; completions in service order.
+  common::StatusOr<std::vector<IoCompletion>> Drain();
+
+ private:
+  struct Request {
+    uint64_t id;
+    bool is_write;
+    Lba lba;
+    uint64_t sectors;
+    common::Time submit_time;
+    std::vector<std::byte> data;  // Write payload.
+  };
+
+  common::StatusOr<uint64_t> Enqueue(Request req);
+  // Index into pending_ of the request the policy services next.
+  size_t PickNext() const;
+
+  SimDisk* disk_;
+  RequestQueueConfig config_;
+  std::vector<Request> pending_;  // Submission order.
+  uint64_t next_id_ = 1;
+  common::Time ctrl_free_ = 0;  // When the controller finishes its current command's overhead.
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_REQUEST_QUEUE_H_

@@ -258,6 +258,14 @@ void SimDisk::ChargeHostCommand() {
   stats_.breakdown.scsi_overhead += params_.scsi_overhead;
 }
 
+common::Time SimDisk::ChargeQueuedCommand(common::Time ctrl_free, common::Time submitted) {
+  const common::Time start = std::max(ctrl_free, submitted);
+  const common::Time done = start + params_.scsi_overhead;
+  stats_.breakdown.scsi_overhead += params_.scsi_overhead;
+  clock_->AdvanceTo(done);
+  return done;
+}
+
 void SimDisk::PeekMedia(Lba lba, std::span<std::byte> out) const {
   const size_t offset = lba * params_.geometry.sector_bytes;
   assert(offset + out.size() <= media_.size());

@@ -45,6 +45,14 @@ class SimDisk : public BlockDevice {
   // before issuing however many internal operations the command expands to.
   void ChargeHostCommand();
 
+  // Queued-command variant: the controller processes one command header at a time, pipelined
+  // with the media. The command's controller work starts when both the controller is free
+  // (`ctrl_free`, the previous command's return value) and the command has been submitted
+  // (`submitted`); it finishes scsi_overhead later. Advances the clock only if that finish time
+  // is in the future, so controller work fully overlapped with earlier media work costs nothing
+  // extra. With one outstanding command this degenerates exactly to ChargeHostCommand.
+  common::Time ChargeQueuedCommand(common::Time ctrl_free, common::Time submitted);
+
   // Zero-cost media access, for test setup and for modeling in-memory behaviour.
   void PeekMedia(Lba lba, std::span<std::byte> out) const;
   void PokeMedia(Lba lba, std::span<const std::byte> in);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "src/common/bytes.h"
 
@@ -709,12 +710,18 @@ common::StatusOr<VlfsRecoveryInfo> Vlfs::Recover() {
       owner_[entries[i]] = kOwnerInodeBlock | iblock;
     }
   }
+  // A packed group commit can leave several live (or pinned) map sectors in one physical
+  // block: collect the blocks first so each is marked live exactly once.
+  std::set<uint32_t> map_blocks;
   for (uint32_t k = 0; k < vlog_.config().pieces; ++k) {
     if (const auto block = vlog_.LiveBlockOfPiece(k)) {
-      space_.MarkLive(*block);
+      map_blocks.insert(*block);
     }
   }
   for (const uint32_t block : vlog_.PinnedBlocks()) {
+    map_blocks.insert(block);
+  }
+  for (const uint32_t block : map_blocks) {
     space_.MarkLive(block);
   }
 

@@ -97,6 +97,11 @@ class Vlfs : public fs::FileSystem, public core::CompactionBackend {
   const VlfsStats& stats() const { return stats_; }
   const core::VirtualLog& vlog() const { return vlog_; }
   const core::Compactor& compactor() const { return *compactor_; }
+  // Read-only introspection for invariant checkers (crashsim): the recovered allocator state
+  // and the inode map (inode-block index -> physical block, kUnmappedBlock when absent).
+  const core::FreeSpaceMap& space() const { return space_; }
+  const std::vector<uint32_t>& inode_map() const { return inode_map_; }
+  uint32_t block_sectors() const { return config_.block_sectors; }
 
  private:
   struct Buffer {

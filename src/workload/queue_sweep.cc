@@ -1,0 +1,82 @@
+#include "src/workload/queue_sweep.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace vlog::workload {
+
+namespace {
+constexpr size_t kUpdateBytes = 4096;
+}  // namespace
+
+common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32_t depth,
+                                                          int updates, int warmup,
+                                                          uint64_t seed) {
+  if (depth == 0 || depth > vld.queue_depth()) {
+    return common::InvalidArgument("queue sweep: depth out of range");
+  }
+  common::Rng rng(seed);
+  const uint32_t block_sectors = kUpdateBytes / vld.SectorBytes();
+  const uint32_t blocks = vld.logical_blocks() / 2;
+  std::vector<std::byte> payload(kUpdateBytes);
+
+  // One closed-loop round: every stream submits its next update (all streams became ready at
+  // the previous group commit, i.e. "now"), then the queue drains through one group commit.
+  auto run_round = [&](int n,
+                       std::vector<common::Duration>* latencies) -> common::Status {
+    for (int i = 0; i < n; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<std::byte>((b * 131u + j * 7u) & 0xFF);
+      }
+      RETURN_IF_ERROR(
+          vld.SubmitWrite(static_cast<simdisk::Lba>(b) * block_sectors, payload).status());
+    }
+    ASSIGN_OR_RETURN(std::vector<core::Vld::QueuedCompletion> done, vld.FlushQueue());
+    if (latencies != nullptr) {
+      for (const core::Vld::QueuedCompletion& c : done) {
+        latencies->push_back(c.Latency());
+      }
+    }
+    return common::OkStatus();
+  };
+
+  for (int remaining = warmup; remaining > 0;) {
+    const int n = std::min<int>(remaining, static_cast<int>(depth));
+    RETURN_IF_ERROR(run_round(n, nullptr));
+    remaining -= n;
+  }
+
+  std::vector<common::Duration> latencies;
+  latencies.reserve(static_cast<size_t>(updates));
+  const common::Time start = vld.disk().clock()->Now();
+  for (int remaining = updates; remaining > 0;) {
+    const int n = std::min<int>(remaining, static_cast<int>(depth));
+    RETURN_IF_ERROR(run_round(n, &latencies));
+    remaining -= n;
+  }
+  const common::Duration elapsed = vld.disk().clock()->Now() - start;
+
+  QueueDepthResult result;
+  result.depth = depth;
+  result.updates = latencies.size();
+  result.iops =
+      elapsed > 0 ? static_cast<double>(latencies.size()) / common::ToSeconds(elapsed) : 0;
+  common::Duration total = 0;
+  for (const common::Duration lat : latencies) {
+    total += lat;
+  }
+  result.mean_latency =
+      latencies.empty() ? 0 : total / static_cast<common::Duration>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const size_t idx = std::min(latencies.size() - 1, latencies.size() * 99 / 100);
+    result.p99_latency = latencies[idx];
+  }
+  return result;
+}
+
+}  // namespace vlog::workload

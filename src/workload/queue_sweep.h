@@ -1,0 +1,37 @@
+// Closed-loop multi-stream random-update driver for the queued VLD write engine.
+//
+// Models `depth` independent streams, each keeping exactly one 4 KB random update
+// outstanding: the device accepts a queue's worth of requests, services them with the
+// controller pipelined against the media, and acknowledges the whole group when its single
+// packed map commit is durable — at which point every stream immediately submits its next
+// update (closed loop). Per-request latency is measured submit -> group-commit on the virtual
+// clock; IOPS over the measured interval. Depth 1 degenerates to the synchronous Write path.
+#ifndef SRC_WORKLOAD_QUEUE_SWEEP_H_
+#define SRC_WORKLOAD_QUEUE_SWEEP_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/vld.h"
+
+namespace vlog::workload {
+
+struct QueueDepthResult {
+  uint32_t depth = 0;
+  uint64_t updates = 0;           // Measured requests (excludes warmup).
+  double iops = 0;                // Measured requests per simulated second.
+  common::Duration mean_latency = 0;
+  common::Duration p99_latency = 0;
+};
+
+// Runs `warmup` unmeasured then `updates` measured random 4 KB updates over the first half of
+// the device's logical space, `depth` streams closed-loop. The Vld must be freshly formatted
+// with queue_depth >= depth.
+common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32_t depth,
+                                                          int updates, int warmup,
+                                                          uint64_t seed = 2);
+
+}  // namespace vlog::workload
+
+#endif  // SRC_WORKLOAD_QUEUE_SWEEP_H_

@@ -195,6 +195,27 @@ TEST(CrashSweepTest, CheckpointInterruptedScenarioHasNoViolations) {
   EXPECT_GT(report.checkpoint_recoveries, 0u) << report.Summary();
 }
 
+// Tentpole acceptance: batches of queued writes committing through packed group transactions
+// stay all-old-or-all-new per acknowledged batch across every crash point, including tears
+// inside the multi-sector packed map write itself.
+TEST(CrashSweepTest, QueuedGroupCommitScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kQueuedGroupCommit);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 150u) << report.Summary();
+  EXPECT_GE(report.torn_points, 30u) << report.Summary();
+  EXPECT_GT(report.park_recoveries, 0u) << report.Summary();
+  EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
+}
+
+// Satellite (b): the §4.4 LFS stack (log-structured logical disk + fs) running on the VLD, so
+// the swept traffic is multi-block segment writes.
+TEST(CrashSweepTest, LfsOnVldScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kLfsOnVld);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 100u) << report.Summary();
+  EXPECT_GE(report.torn_points, 20u) << report.Summary();
+}
+
 TEST(CrashSweepTest, VlfsScenarioHasNoViolations) {
   VlfsCrashSim sim(CrashSimDiskParams(), CrashSimVlfsConfig());
   const common::Status recorded = sim.Record(VlfsScenarioScript());

@@ -78,6 +78,20 @@ TEST(MapSector, RejectsCorruptedByte) {
   }
 }
 
+// The format epoch seeds the CRC: a sector written under one epoch must not parse under any
+// other, which is what keeps stale-generation sectors out of a post-reformat scan.
+TEST(MapSector, EpochSeedsCrc) {
+  const MapSector s = Sample();
+  const auto gen1 = s.Serialize(/*epoch=*/1);
+  ASSERT_TRUE(MapSector::Parse(gen1, /*epoch=*/1).ok());
+  EXPECT_FALSE(MapSector::Parse(gen1, /*epoch=*/2).ok());
+  EXPECT_FALSE(MapSector::Parse(gen1, /*epoch=*/0).ok());
+  // Epochs wider than 32 bits still change the seed (the fold keeps the high half).
+  const auto high = s.Serialize(/*epoch=*/1ULL << 40);
+  EXPECT_FALSE(MapSector::Parse(high, /*epoch=*/1).ok());
+  ASSERT_TRUE(MapSector::Parse(high, /*epoch=*/1ULL << 40).ok());
+}
+
 TEST(MapSector, RejectsArbitraryData) {
   std::vector<std::byte> junk(kMapSectorBytes);
   for (size_t i = 0; i < junk.size(); ++i) {

@@ -383,5 +383,129 @@ TEST_F(VirtualLogTest, AppendRejectsOutOfRangePiece) {
   EXPECT_FALSE(vlog_->AppendPiece(kPieces, Entries(0)).ok());
 }
 
+// Satellite (a) regression: map sectors from a previous format generation must not be
+// resurrected by a crash scan after reformat, even though they are internally consistent.
+TEST_F(VirtualLogTest, ReformatRejectsStaleGenerationSectorsInScan) {
+  EXPECT_EQ(vlog_->Epoch(), 1u);
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(10)).ok());
+  ASSERT_TRUE(vlog_->AppendPiece(4, Entries(11)).ok());
+  // Sanity: a crash scan in the same generation finds them.
+  Reopen();
+  {
+    auto result = vlog_->Recover();
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->used_scan);
+    EXPECT_EQ(result->pieces[0], Entries(10));
+  }
+  // Reformat over the same media. The generation-1 map sectors still sit in the data region.
+  Reopen();
+  ASSERT_TRUE(vlog_->Format().ok());
+  EXPECT_EQ(vlog_->Epoch(), 2u);
+  // Crash immediately (no park, no appends): the scan walks the whole disk past the stale
+  // generation-1 sectors and must reject every one of them.
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  EXPECT_EQ(vlog_->Epoch(), 2u);
+  for (const auto& piece : result->pieces) {
+    EXPECT_TRUE(piece.empty());
+  }
+}
+
+TEST_F(VirtualLogTest, EpochSurvivesParkAndCrashRecovery) {
+  Reopen();
+  ASSERT_TRUE(vlog_->Format().ok());
+  Reopen();
+  ASSERT_TRUE(vlog_->Format().ok());
+  EXPECT_EQ(vlog_->Epoch(), 3u);
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(5)).ok());
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  ASSERT_TRUE(vlog_->Recover().ok());
+  EXPECT_EQ(vlog_->Epoch(), 3u);
+  RemarkLiveBlocks();
+  // New appends in epoch 3 are found by a crash scan after a restart without park.
+  ASSERT_TRUE(vlog_->AppendPiece(1, Entries(6)).ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  EXPECT_EQ(result->pieces[1], Entries(6));
+}
+
+// --- Packed group-commit transactions ---
+
+TEST_F(VirtualLogTest, PackedTransactionUsesOneWritePerBlock) {
+  std::vector<VirtualLog::PieceUpdate> updates;
+  for (uint32_t k = 0; k < 5; ++k) {
+    updates.push_back({.piece = k, .entries = Entries(30 + k)});
+  }
+  const uint64_t writes_before = disk_->stats().write_requests;
+  ASSERT_TRUE(vlog_->AppendTransactionPacked(updates).ok());
+  // Five sectors fit one 8-sector block: a single media write, versus five for the unpacked
+  // transaction path.
+  EXPECT_EQ(disk_->stats().write_requests - writes_before, 1u);
+  EXPECT_EQ(vlog_->stats().packed_transactions, 1u);
+  EXPECT_EQ(vlog_->stats().packed_sectors, 5u);
+
+  ASSERT_TRUE(vlog_->Park().ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  for (uint32_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(result->pieces[k], Entries(30 + k));
+  }
+}
+
+TEST_F(VirtualLogTest, PackedTransactionSurvivesCrashScan) {
+  ASSERT_TRUE(vlog_->AppendPiece(0, Entries(1)).ok());
+  std::vector<VirtualLog::PieceUpdate> updates;
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    updates.push_back({.piece = k, .entries = Entries(50 + k)});
+  }
+  ASSERT_TRUE(vlog_->AppendTransactionPacked(updates).ok());
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_scan);
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    EXPECT_EQ(result->pieces[k], Entries(50 + k));
+  }
+}
+
+TEST_F(VirtualLogTest, TornPackedTransactionRollsBackEveryPiece) {
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    ASSERT_TRUE(vlog_->AppendPiece(k, Entries(k)).ok());
+  }
+  std::vector<VirtualLog::PieceUpdate> updates;
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    updates.push_back({.piece = k, .entries = Entries(70 + k)});
+  }
+  // All six sectors pack into one 8-sector block write; tear it so only the first three
+  // sectors persist.
+  disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+      .mode = simdisk::SimDisk::WriteFaultMode::kTornPrefix,
+      .after_writes = 0,
+      .keep_sectors = 3});
+  EXPECT_FALSE(vlog_->AppendTransactionPacked(updates).ok());
+  disk_->SetWriteFault(std::nullopt);
+  Reopen();
+  auto result = vlog_->Recover();
+  ASSERT_TRUE(result.ok());
+  // The trailing incomplete transaction is discarded: every piece rolls back to its
+  // pre-transaction version.
+  for (uint32_t k = 0; k < kPieces; ++k) {
+    EXPECT_EQ(result->pieces[k], Entries(k)) << "piece " << k;
+  }
+}
+
+TEST_F(VirtualLogTest, PackedTransactionRejectsDuplicatePieces) {
+  std::vector<VirtualLog::PieceUpdate> updates;
+  updates.push_back({.piece = 1, .entries = Entries(1)});
+  updates.push_back({.piece = 1, .entries = Entries(2)});
+  EXPECT_FALSE(vlog_->AppendTransactionPacked(updates).ok());
+}
+
 }  // namespace
 }  // namespace vlog::core

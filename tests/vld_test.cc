@@ -346,5 +346,151 @@ TEST_F(VldTest, RandomizedWorkloadWithCrashesMatchesShadow) {
   }
 }
 
+// --- Queued write engine (SubmitWrite / FlushQueue) ---
+
+// A single queued write must cost exactly what the synchronous path costs: same clock advance,
+// same readback. This is the depth-1 identity the tier-1 numbers rely on.
+TEST_F(VldTest, QueuedDepthOneLatencyMatchesSyncWrite) {
+  const auto data = Pattern(kBlockBytes, 42);
+
+  ASSERT_TRUE(vld_->Write(640, Pattern(kBlockBytes, 1)).ok());
+  const common::Time sync_start = clock_.Now();
+  ASSERT_TRUE(vld_->Write(800, data).ok());
+  const common::Duration sync_cost = clock_.Now() - sync_start;
+
+  // Re-run on a fresh device with the same warm-up so the arm starts identically.
+  Reset(config_);
+  ASSERT_TRUE(vld_->Write(640, Pattern(kBlockBytes, 1)).ok());
+  const common::Time q_start = clock_.Now();
+  ASSERT_TRUE(vld_->SubmitWrite(800, data).ok());
+  auto done = vld_->FlushQueue();
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 1u);
+  EXPECT_EQ(clock_.Now() - q_start, sync_cost);
+  EXPECT_EQ((*done)[0].Latency(), sync_cost);
+
+  std::vector<std::byte> out(kBlockBytes);
+  ASSERT_TRUE(vld_->Read(800, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+// A full queue's map entries commit in one packed transaction: 8 requests cost 8 data-block
+// writes plus a single one-block log write, versus 16 media writes synchronously.
+TEST_F(VldTest, GroupCommitUsesFewerLogWrites) {
+  const uint64_t before_sync = disk_->stats().write_requests;
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->Write(i * 8, Pattern(kBlockBytes, i)).ok());
+  }
+  const uint64_t sync_writes = disk_->stats().write_requests - before_sync;
+
+  Reset(config_);
+  const uint64_t before_q = disk_->stats().write_requests;
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->SubmitWrite(i * 8, Pattern(kBlockBytes, i)).ok());
+  }
+  auto done = vld_->FlushQueue();
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 8u);
+  const uint64_t queued_writes = disk_->stats().write_requests - before_q;
+
+  EXPECT_EQ(sync_writes, 16u);   // Per request: data block + map sector.
+  EXPECT_EQ(queued_writes, 9u);  // 8 data blocks + one packed log block.
+  EXPECT_EQ(vld_->stats().group_commits, 1u);
+  EXPECT_EQ(vld_->stats().queued_writes, 8u);
+  EXPECT_EQ(vld_->stats().host_writes, 8u);
+
+  std::vector<std::byte> out(kBlockBytes);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->Read(i * 8, out).ok());
+    EXPECT_EQ(out, Pattern(kBlockBytes, i));
+  }
+}
+
+TEST_F(VldTest, SubmitWriteRejectsWhenQueueFull) {
+  for (uint32_t i = 0; i < vld_->queue_depth(); ++i) {
+    ASSERT_TRUE(vld_->SubmitWrite(i * 8, Pattern(kBlockBytes, i)).ok());
+  }
+  auto overflow = vld_->SubmitWrite(512, Pattern(kBlockBytes, 99));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), common::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(vld_->FlushQueue().ok());
+  EXPECT_EQ(vld_->QueuedWrites(), 0u);
+  EXPECT_TRUE(vld_->SubmitWrite(512, Pattern(kBlockBytes, 99)).ok());
+}
+
+TEST_F(VldTest, FlushEmptyQueueIsFreeNoOp) {
+  const common::Time before = clock_.Now();
+  auto done = vld_->FlushQueue();
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done->empty());
+  EXPECT_EQ(clock_.Now(), before);
+}
+
+TEST_F(VldTest, QueuedCompletionsShareGroupCommitTimestamp) {
+  const common::Time base = clock_.Now();
+  for (uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(vld_->SubmitWrite(i * 8, Pattern(kBlockBytes, i)).ok());
+    clock_.Advance(common::Milliseconds(1));  // Stagger the arrivals.
+  }
+  auto done = vld_->FlushQueue();
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 6u);
+  for (size_t i = 0; i < done->size(); ++i) {
+    // Every request is acknowledged only when the shared map commit is durable.
+    EXPECT_EQ((*done)[i].complete_time, (*done)[0].complete_time);
+    EXPECT_EQ((*done)[i].submit_time, base + common::Milliseconds(1) * static_cast<int64_t>(i));
+    EXPECT_GT((*done)[i].Latency(), 0);
+  }
+}
+
+TEST_F(VldTest, QueuedBatchSurvivesCrashScan) {
+  ASSERT_TRUE(vld_->Write(0, Pattern(kBlockBytes, 1)).ok());
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->SubmitWrite(64 + i * 8, Pattern(kBlockBytes, 20 + i)).ok());
+  }
+  ASSERT_TRUE(vld_->FlushQueue().ok());
+  Reopen();  // Crash: no park.
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->used_scan);
+  std::vector<std::byte> out(kBlockBytes);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->Read(64 + i * 8, out).ok());
+    EXPECT_EQ(out, Pattern(kBlockBytes, 20 + i)) << "queued write " << i;
+  }
+}
+
+// Tear the packed map-block write: none of the batch's requests may be half-visible — the
+// whole group rolls back (it was never acknowledged). The batch's blocks are spaced one map
+// piece apart (kEntriesPerSector blocks) so its 8 map sectors genuinely pack into one
+// multi-sector (tearable) block write.
+TEST_F(VldTest, TornGroupCommitRollsBackWholeBatch) {
+  auto lba_of = [](uint32_t i) {
+    return static_cast<simdisk::Lba>(i) * (kEntriesPerSector + 6) * 8;
+  };
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->Write(lba_of(i), Pattern(kBlockBytes, i)).ok());
+  }
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->SubmitWrite(lba_of(i), Pattern(kBlockBytes, 40 + i)).ok());
+  }
+  // 8 data-block writes succeed, then the single packed log write tears mid-block.
+  disk_->SetWriteFault(simdisk::SimDisk::WriteFault{
+      .mode = simdisk::SimDisk::WriteFaultMode::kTornPrefix,
+      .after_writes = 8,
+      .keep_sectors = 3});
+  EXPECT_FALSE(vld_->FlushQueue().ok());
+  disk_->SetWriteFault(std::nullopt);
+  Reopen();
+  auto info = vld_->Recover();
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->discarded_txn_sectors, 1u);
+  std::vector<std::byte> out(kBlockBytes);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vld_->Read(lba_of(i), out).ok());
+    EXPECT_EQ(out, Pattern(kBlockBytes, i)) << "block " << i << " must keep its old version";
+  }
+}
+
 }  // namespace
 }  // namespace vlog::core
