@@ -3,16 +3,22 @@
 // normalized to UFS on the regular disk, as in the paper. Expected shape: the VLD speeds up
 // the UFS create/delete phases dramatically (synchronous metadata becomes eager writes), reads
 // are slightly worse on the VLD, and LFS (fully buffered) improves modestly on the VLD.
+//
+// Each configuration runs with a TraceRecorder attached, so the unified JSON report adds
+// per-operation latency percentiles and the seek/rotation/transfer/host time decomposition on
+// top of the paper's phase totals.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/workload/benchmarks.h"
 #include "src/workload/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vlog;
   using workload::DiskKind;
   using workload::FsKind;
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const int files = flags.smoke ? 300 : 1500;
   bench::Header("Figure 6: small-file performance (1500 x 1 KB create/read/delete)");
 
   struct Config {
@@ -27,6 +33,7 @@ int main() {
       {"LFS/VLD", FsKind::kLfs, DiskKind::kVld},
   };
 
+  bench::MetricsReport report("fig6_smallfile");
   workload::SmallFileResult results[4];
   for (int i = 0; i < 4; ++i) {
     workload::PlatformConfig config;
@@ -34,7 +41,18 @@ int main() {
     config.disk_kind = configs[i].disk;
     workload::Platform platform(config);
     bench::Check(platform.Format(), "format");
-    results[i] = bench::CheckOk(workload::RunSmallFile(platform), configs[i].label);
+    obs::TraceRecorder tracer(&platform.clock());
+    platform.AttachTracer(&tracer);
+    results[i] = bench::CheckOk(workload::RunSmallFile(platform, files), configs[i].label);
+    platform.AttachTracer(nullptr);
+    const common::Duration total = results[i].create + results[i].read + results[i].remove;
+    const double ops_per_s =
+        total > 0 ? static_cast<double>(tracer.completed_spans()) / common::ToSeconds(total)
+                  : 0;
+    report.AddRow(configs[i].label, ops_per_s, tracer.latency_hist(), tracer.totals(),
+                  {{"create_ms", bench::Ms(results[i].create)},
+                   {"read_ms", bench::Ms(results[i].read)},
+                   {"remove_ms", bench::Ms(results[i].remove)}});
   }
 
   const workload::SmallFileResult& base = results[0];
@@ -49,5 +67,6 @@ int main() {
                 static_cast<double>(base.remove) / results[i].remove);
   }
   bench::Note("\n(x columns are speedups normalized to UFS/regular, the paper's unit bar.)");
+  report.MaybeWrite(flags);
   return 0;
 }

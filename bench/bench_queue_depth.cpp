@@ -2,7 +2,8 @@
 // HP97560, sweeping queue depth 1 -> 32. Each depth-N run keeps N streams with one outstanding
 // update each; the device pipelines controller overhead, eager-writes the data blocks, and
 // group-commits the whole queue's map entries in one packed virtual-log transaction. Reports
-// IOPS and mean/p99 per-request latency, plus the synchronous baseline the depth-1 row must
+// IOPS and mean/p50/p90/p99 per-request latency with the queueing/controller/seek/rotation/
+// transfer breakdown from the trace layer, plus the synchronous baseline the depth-1 row must
 // match exactly, and a raw-disk FCFS vs SPTF comparison for the positional scheduler.
 #include <cstdio>
 #include <vector>
@@ -19,12 +20,10 @@ namespace {
 
 using namespace vlog;
 
-constexpr int kUpdates = 2000;
-constexpr int kWarmup = 256;
 constexpr uint64_t kSeed = 2;
 
 // The synchronous baseline: the same random-update sequence through Vld::Write.
-double SyncBaselineMs(double* iops_out) {
+double SyncBaselineMs(int updates, int warmup, double* iops_out) {
   common::Clock clock;
   simdisk::SimDisk disk(simdisk::Truncated(simdisk::Hp97560(), 36), &clock);
   core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
@@ -32,23 +31,23 @@ double SyncBaselineMs(double* iops_out) {
   common::Rng rng(kSeed);
   const uint32_t blocks = vld.logical_blocks() / 2;
   std::vector<std::byte> payload(4096);
-  for (int i = 0; i < kWarmup; ++i) {
+  for (int i = 0; i < warmup; ++i) {
     bench::Check(vld.Write(static_cast<simdisk::Lba>(rng.Below(blocks)) * 8, payload),
                  "warmup write");
   }
   const common::Time start = clock.Now();
-  for (int i = 0; i < kUpdates; ++i) {
+  for (int i = 0; i < updates; ++i) {
     bench::Check(vld.Write(static_cast<simdisk::Lba>(rng.Below(blocks)) * 8, payload),
                  "sync write");
   }
   const common::Duration elapsed = clock.Now() - start;
   if (iops_out != nullptr) {
-    *iops_out = static_cast<double>(kUpdates) / common::ToSeconds(elapsed);
+    *iops_out = static_cast<double>(updates) / common::ToSeconds(elapsed);
   }
-  return bench::Ms(elapsed / kUpdates);
+  return bench::Ms(elapsed / updates);
 }
 
-void SchedulerComparison() {
+void SchedulerComparison(int rounds) {
   bench::Note("\nPositional scheduling (raw disk, 16 queued random block writes per round):");
   std::printf("%8s %14s %14s %9s\n", "depth", "FCFS ms/req", "SPTF ms/req", "gain");
   for (uint32_t depth : {4u, 8u, 16u}) {
@@ -63,7 +62,7 @@ void SchedulerComparison() {
       std::vector<std::byte> block(4096, std::byte{0x5A});
       const uint64_t block_count = disk.SectorCount() / 8;
       int requests = 0;
-      for (int round = 0; round < 40; ++round) {
+      for (int round = 0; round < rounds; ++round) {
         for (uint32_t i = 0; i < depth; ++i) {
           bench::CheckOk(queue.SubmitWrite(rng.Below(block_count) * 8, block), "submit");
           ++requests;
@@ -78,27 +77,48 @@ void SchedulerComparison() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const int updates = flags.smoke ? 400 : 2000;
+  const int warmup = flags.smoke ? 64 : 256;
   bench::Header("Queue-depth sweep: closed-loop random 4 KB updates, VLD on HP97560");
 
   double sync_iops = 0;
-  const double sync_ms = SyncBaselineMs(&sync_iops);
+  const double sync_ms = SyncBaselineMs(updates, warmup, &sync_iops);
   std::printf("sync baseline (Vld::Write): %.3f ms/update, %.0f IOPS\n\n", sync_ms, sync_iops);
 
-  std::printf("%8s %10s %12s %12s %10s\n", "depth", "IOPS", "mean ms", "p99 ms", "speedup");
+  bench::MetricsReport report("queue_depth");
+  bench::PrintPercentileHeader();
   double iops_depth1 = 0, iops_depth16 = 0, prev_iops = 0;
   double mean_ms_depth1 = 0;
   bool monotonic = true;
+  bool breakdown_sums = true;
   for (uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
     common::Clock clock;
     simdisk::SimDisk disk(simdisk::Truncated(simdisk::Hp97560(), 36), &clock);
     core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
     bench::Check(vld.Format(), "format");
+    obs::TraceRecorder tracer(&clock);
+    disk.set_tracer(&tracer);
     const workload::QueueDepthResult r = bench::CheckOk(
-        workload::RunQueuedRandomUpdates(vld, depth, kUpdates, kWarmup, kSeed), "sweep");
-    std::printf("%8u %10.0f %12.3f %12.3f %9.2fx\n", r.depth, r.iops,
-                bench::Ms(r.mean_latency), bench::Ms(r.p99_latency),
-                iops_depth1 > 0 ? r.iops / iops_depth1 : 1.0);
+        workload::RunQueuedRandomUpdates(vld, depth, updates, warmup, kSeed), "sweep");
+    char label[32];
+    std::snprintf(label, sizeof(label), "depth=%u", depth);
+    bench::PrintPercentileRow(label, r.iops, r.latency_hist);
+    std::printf("%-16s queueing %.3f ms/req, controller %.3f, seek %.3f, rotation %.3f, "
+                "transfer %.3f\n",
+                "", bench::Ms(r.breakdown.queueing / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.controller / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.seek / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.rotation / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.transfer / static_cast<common::Duration>(r.updates)));
+    report.AddRow(label, r.iops, r.latency_hist, r.breakdown,
+                  {{"depth", static_cast<double>(depth)},
+                   {"mean_queue_delay_us", static_cast<double>(r.mean_queue_delay) / 1000.0}});
+    // The trace identity: per-request components (incl. the queueing residual) sum to exactly
+    // the summed request latency.
+    breakdown_sums &=
+        r.breakdown.Total() == static_cast<common::Duration>(r.latency_hist.Sum());
     monotonic &= r.iops + 1e-9 >= prev_iops;
     prev_iops = r.iops;
     if (depth == 1) {
@@ -111,8 +131,9 @@ int main() {
   }
 
   bench::Note("");
-  // Acceptance gates: depth-1 latency identical to the sync path, IOPS monotonically
-  // non-decreasing in depth, and >= 2x throughput at depth 16.
+  // Acceptance gates: depth-1 latency identical to the sync path (tracing attached — it must
+  // not move the clock), IOPS monotonically non-decreasing in depth, >= 2x throughput at
+  // depth 16, and the traced breakdown summing exactly to the measured latency.
   const bool depth1_matches = mean_ms_depth1 == sync_ms;
   const bool doubled = iops_depth16 >= 2.0 * iops_depth1;
   std::printf("depth-1 latency == sync path: %s (%.3f vs %.3f ms)\n",
@@ -120,14 +141,16 @@ int main() {
   std::printf("IOPS monotonically non-decreasing: %s\n", monotonic ? "yes" : "NO");
   std::printf("depth-16 speedup >= 2x: %s (%.2fx)\n", doubled ? "yes" : "NO",
               iops_depth1 > 0 ? iops_depth16 / iops_depth1 : 0.0);
-  if (!depth1_matches || !monotonic || !doubled) {
+  std::printf("breakdown components sum to latency: %s\n", breakdown_sums ? "yes" : "NO");
+  if (!depth1_matches || !monotonic || !doubled || !breakdown_sums) {
     std::fprintf(stderr, "FATAL: queue-depth acceptance gates failed\n");
     return 1;
   }
 
-  SchedulerComparison();
+  SchedulerComparison(flags.smoke ? 10 : 40);
   bench::Note("\nGroup commit turns N map-sector appends into ceil(N/8) packed log writes and");
   bench::Note("hides per-command controller overhead behind media time; SPTF additionally cuts");
   bench::Note("positioning on a deep queue (Section 4.2's 'many entries share one sector').");
+  report.MaybeWrite(flags);
   return 0;
 }

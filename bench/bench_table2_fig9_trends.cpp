@@ -7,6 +7,10 @@
 // into SCSI overhead / locate / transfer / other (host). Expected shape: update-in-place grows
 // increasingly dominated by mechanical "locate" time while virtual logging stays balanced, so
 // the gap widens as disk and host improve.
+//
+// A TraceRecorder is attached for the measured window, so alongside the paper's mean-based
+// breakdown the unified JSON report carries per-update latency percentiles and the exact
+// seek/rotation/transfer/queueing decomposition.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -19,10 +23,14 @@ using namespace vlog;
 
 struct Measured {
   common::Duration avg_latency = 0;
-  simdisk::LatencyBreakdown per_op;
+  simdisk::LatencyBreakdown per_op;      // The paper's 4-way split (Figure 9).
+  obs::LatencyHistogram latency_ns;      // Per-update latency over the measured window.
+  obs::TimeBreakdown breakdown;          // Exact component sums over the measured window.
+  double iops = 0;
 };
 
-Measured RunConfig(workload::DiskModel disk, workload::HostKind host, workload::DiskKind kind) {
+Measured RunConfig(workload::DiskModel disk, workload::HostKind host, workload::DiskKind kind,
+                   int updates) {
   workload::PlatformConfig config;
   config.fs_kind = workload::FsKind::kUfs;
   config.disk_model = disk;
@@ -51,22 +59,29 @@ Measured RunConfig(workload::DiskModel disk, workload::HostKind host, workload::
   }
   platform.RunIdle(common::Seconds(60));
 
+  // Trace only the measured updates: one span per synchronous write.
+  obs::TraceRecorder tracer(&platform.clock());
+  platform.AttachTracer(&tracer);
+  bench::StatWindow<simdisk::DiskStats> disk_window(platform.raw_disk().stats());
   const common::Time t0 = platform.clock().Now();
-  const auto disk0 = platform.DiskBreakdown();
-  constexpr int kUpdates = 150;
-  for (int i = 0; i < kUpdates; ++i) {
+  for (int i = 0; i < updates; ++i) {
     bench::Check(platform.fs().Write("/bench_data", rng.Below(blocks) * 4096, block,
                                      fs::WritePolicy::kSync),
                  "update");
   }
-  Measured m;
   const common::Duration elapsed = platform.clock().Now() - t0;
-  const auto disk1 = platform.DiskBreakdown();
-  m.avg_latency = elapsed / kUpdates;
-  m.per_op.scsi_overhead = (disk1.scsi_overhead - disk0.scsi_overhead) / kUpdates;
-  m.per_op.locate = (disk1.locate - disk0.locate) / kUpdates;
-  m.per_op.transfer = (disk1.transfer - disk0.transfer) / kUpdates;
+  platform.AttachTracer(nullptr);
+
+  Measured m;
+  const simdisk::DiskStats delta = disk_window.Delta();
+  m.avg_latency = elapsed / updates;
+  m.per_op.scsi_overhead = delta.breakdown.scsi_overhead / updates;
+  m.per_op.locate = delta.breakdown.locate / updates;
+  m.per_op.transfer = delta.breakdown.transfer / updates;
   m.per_op.other = m.avg_latency - m.per_op.scsi_overhead - m.per_op.locate - m.per_op.transfer;
+  m.latency_ns = tracer.latency_hist();
+  m.breakdown = tracer.totals();
+  m.iops = elapsed > 0 ? static_cast<double>(updates) / common::ToSeconds(elapsed) : 0;
   return m;
 }
 
@@ -80,10 +95,12 @@ void PrintBreakdown(const char* label, const Measured& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using workload::DiskKind;
   using workload::DiskModel;
   using workload::HostKind;
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const int updates = flags.smoke ? 40 : 150;
   bench::Header("Table 2 + Figure 9: technology trends (UFS random sync updates, 80% util)");
 
   struct PlatformCase {
@@ -98,16 +115,21 @@ int main() {
       {"ST19101 + Ultra-170", DiskModel::kSt19101, HostKind::kUltra170, 9.9},
   };
 
+  bench::MetricsReport report("table2_fig9_trends");
   std::printf("\nTable 2 (speed-up of UFS/VLD over UFS/regular):\n");
   std::printf("%-24s %14s %14s %10s %12s\n", "platform", "regular ms", "VLD ms", "speedup",
               "paper");
   Measured breakdown_rows[3][2];
   int row = 0;
   for (const PlatformCase& c : cases) {
-    const Measured regular = RunConfig(c.disk, c.host, DiskKind::kRegular);
-    const Measured vld = RunConfig(c.disk, c.host, DiskKind::kVld);
+    const Measured regular = RunConfig(c.disk, c.host, DiskKind::kRegular, updates);
+    const Measured vld = RunConfig(c.disk, c.host, DiskKind::kVld, updates);
     breakdown_rows[row][0] = regular;
     breakdown_rows[row][1] = vld;
+    report.AddRow(std::string(c.label) + " regular", regular.iops, regular.latency_ns,
+                  regular.breakdown);
+    report.AddRow(std::string(c.label) + " VLD", vld.iops, vld.latency_ns, vld.breakdown,
+                  {{"paper_speedup", c.paper_speedup}});
     std::printf("%-24s %14.2f %14.2f %9.1fx %11.1fx\n", c.label, bench::Ms(regular.avg_latency),
                 bench::Ms(vld.avg_latency),
                 static_cast<double>(regular.avg_latency) / vld.avg_latency, c.paper_speedup);
@@ -122,5 +144,6 @@ int main() {
   }
   bench::Note("\nShape check: update-in-place becomes locate-dominated as disks improve; the");
   bench::Note("virtual log stays balanced between host and disk, so the gap keeps widening.");
+  report.MaybeWrite(flags);
   return 0;
 }

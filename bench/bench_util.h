@@ -1,13 +1,22 @@
-// Small table-printing helpers shared by the figure/table reproduction binaries.
+// Shared helpers for the figure/table reproduction binaries: table printing, flag parsing,
+// stat-window diffing, and the unified JSON metrics report every bench emits.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/obs/histogram.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace vlog::bench {
 
@@ -42,6 +51,174 @@ inline double Mbps(uint64_t bytes, common::Duration elapsed) {
     return 0;
   }
   return static_cast<double>(bytes) / 1e6 / common::ToSeconds(elapsed);
+}
+
+// --- Common bench flags ---
+//
+//   --smoke        shrink iteration counts for CI (each bench defines what that means)
+//   --json=PATH    write the unified metrics report to PATH
+struct BenchFlags {
+  bool smoke = false;
+  std::string json_path;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        flags.smoke = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        flags.json_path = argv[i] + 7;
+      } else {
+        std::fprintf(stderr, "unknown flag %s (known: --smoke --json=PATH)\n", argv[i]);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+};
+
+// Measurement window over any stats struct with operator- (DiskStats, VldStats,
+// VirtualLogStats, ...): snapshot at construction, Delta() subtracts it from the live value.
+template <typename Stats>
+class StatWindow {
+ public:
+  explicit StatWindow(const Stats& live) : live_(&live), start_(live) {}
+  Stats Delta() const { return *live_ - start_; }
+  void Restart() { start_ = *live_; }
+
+ private:
+  const Stats* live_;
+  Stats start_;
+};
+
+// The unified per-bench metrics report ("vlog-bench/1"): one row per configuration with IOPS,
+// a latency percentile summary, and the per-request time breakdown — every bench emits the
+// same schema so downstream tooling can diff runs without per-bench parsers.
+class MetricsReport {
+ public:
+  explicit MetricsReport(std::string bench) : bench_(std::move(bench)) {}
+
+  // `latency_ns`: per-request latencies over the measured window. `breakdown_total_ns`: sum of
+  // the same requests' component times (so component/count = mean per request); its components
+  // including queueing sum to the window's total simulated request time. Pass a default
+  // TimeBreakdown when the bench measured no per-request breakdown.
+  void AddRow(const std::string& label, double iops, const obs::LatencyHistogram& latency_ns,
+              const obs::TimeBreakdown& breakdown_total_ns,
+              const std::map<std::string, double>& extra = {}) {
+    rows_.push_back(Row{label, iops, latency_ns, breakdown_total_ns, extra});
+  }
+
+  std::string Json() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema");
+    w.String("vlog-bench/1");
+    w.Key("bench");
+    w.String(bench_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(row.label);
+      w.Key("iops");
+      w.Double(row.iops);
+      w.Key("latency_us");
+      w.BeginObject();
+      w.Key("count");
+      w.UInt(row.latency_ns.Count());
+      w.Key("mean");
+      w.Double(row.latency_ns.Mean() / 1000.0);
+      w.Key("p50");
+      w.Double(row.latency_ns.Percentile(50) / 1000.0);
+      w.Key("p90");
+      w.Double(row.latency_ns.Percentile(90) / 1000.0);
+      w.Key("p99");
+      w.Double(row.latency_ns.Percentile(99) / 1000.0);
+      w.Key("max");
+      w.Double(static_cast<double>(row.latency_ns.Max()) / 1000.0);
+      w.EndObject();
+      w.Key("breakdown_us");
+      w.BeginObject();
+      const double n = row.latency_ns.Count() > 0
+                           ? static_cast<double>(row.latency_ns.Count())
+                           : 1.0;
+      const auto mean_us = [&](common::Duration total) {
+        return static_cast<double>(total) / n / 1000.0;
+      };
+      w.Key("queueing");
+      w.Double(mean_us(row.breakdown.queueing));
+      w.Key("controller");
+      w.Double(mean_us(row.breakdown.controller));
+      w.Key("seek");
+      w.Double(mean_us(row.breakdown.seek));
+      w.Key("head_switch");
+      w.Double(mean_us(row.breakdown.head_switch));
+      w.Key("rotation");
+      w.Double(mean_us(row.breakdown.rotation));
+      w.Key("transfer");
+      w.Double(mean_us(row.breakdown.transfer));
+      w.Key("host_cpu");
+      w.Double(mean_us(row.breakdown.host_cpu));
+      w.Key("total");
+      w.Double(mean_us(row.breakdown.Total()));
+      w.EndObject();
+      w.Key("extra");
+      w.BeginObject();
+      for (const auto& [key, value] : row.extra) {
+        w.Key(key);
+        w.Double(value);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+
+  // Writes the report when --json was given; silently does nothing otherwise.
+  void MaybeWrite(const BenchFlags& flags) const {
+    if (flags.json_path.empty()) {
+      return;
+    }
+    std::FILE* f = std::fopen(flags.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", flags.json_path.c_str());
+      std::exit(1);
+    }
+    const std::string json = Json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("metrics written to %s\n", flags.json_path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    double iops = 0;
+    obs::LatencyHistogram latency_ns;
+    obs::TimeBreakdown breakdown;
+    std::map<std::string, double> extra;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+// Prints one aligned percentile table line for a row (values in ms), matching the JSON schema.
+inline void PrintPercentileRow(const std::string& label, double iops,
+                               const obs::LatencyHistogram& latency_ns) {
+  std::printf("%-16s %10.0f %10.3f %10.3f %10.3f %10.3f %10.3f\n", label.c_str(), iops,
+              latency_ns.Mean() / 1e6, latency_ns.Percentile(50) / 1e6,
+              latency_ns.Percentile(90) / 1e6, latency_ns.Percentile(99) / 1e6,
+              static_cast<double>(latency_ns.Max()) / 1e6);
+}
+
+inline void PrintPercentileHeader() {
+  std::printf("%-16s %10s %10s %10s %10s %10s %10s\n", "label", "IOPS", "mean ms", "p50 ms",
+              "p90 ms", "p99 ms", "max ms");
 }
 
 }  // namespace vlog::bench

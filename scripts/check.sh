@@ -16,3 +16,11 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j"${jobs}"
   ctest --preset "${preset}" -j"${jobs}"
 done
+
+# Bench smoke: a short queue-depth sweep whose acceptance gates (depth-1 == sync, monotone
+# IOPS, >= 2x at depth 16, breakdown sums to latency) act as an end-to-end regression check,
+# emitting the unified vlog-bench/1 JSON alongside.
+if [ -x build/bench/bench_queue_depth ]; then
+  echo "=== bench smoke: queue_depth ==="
+  ./build/bench/bench_queue_depth --smoke --json=BENCH_queue_depth.json
+fi

@@ -107,7 +107,16 @@ uint32_t Compactor::RunUntil(common::Time deadline) {
     if (!victim) {
       break;
     }
-    if (CompactTrack(*victim)) {
+    obs::TraceRecorder* tracer = disk_->tracer();
+    if (tracer != nullptr) {
+      tracer->Annotate(obs::EventType::kCompactStart, obs::Layer::kVld, *victim);
+    }
+    const bool compacted = CompactTrack(*victim);
+    if (tracer != nullptr) {
+      tracer->Annotate(obs::EventType::kCompactEnd, obs::Layer::kVld, *victim,
+                       compacted ? 1 : 0);
+    }
+    if (compacted) {
       ++stats_.tracks_compacted;
       ++emptied;
       failures = 0;

@@ -256,6 +256,9 @@ common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>
   const simdisk::Lba lba = allocator_->space().BlockToLba(*block);
   const auto raw = sector.Serialize(epoch_);
   RETURN_IF_ERROR(disk_->InternalWrite(lba, raw));
+  if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
+    tracer->Annotate(obs::EventType::kMapAppend, obs::Layer::kVlog, piece, lba);
+  }
 
   // Designated covers: the new sector's prev edge covers the old head (even when the head is
   // the sector being obsoleted — if it ends up pinned, this edge is what keeps it reachable)
@@ -407,7 +410,13 @@ common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate
   // One media write per packed block. A crash tearing any of these leaves an incomplete
   // transaction whose surviving sectors recovery discards wholesale (all-or-nothing).
   for (size_t b = 0; b < blocks_needed; ++b) {
-    RETURN_IF_ERROR(disk_->InternalWrite(allocator_->space().BlockToLba(blocks[b]), buffers[b]));
+    const simdisk::Lba block_lba = allocator_->space().BlockToLba(blocks[b]);
+    RETURN_IF_ERROR(disk_->InternalWrite(block_lba, buffers[b]));
+    if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
+      const size_t in_block =
+          std::min<size_t>(per_block, updates.size() - b * static_cast<size_t>(per_block));
+      tracer->Annotate(obs::EventType::kMapAppend, obs::Layer::kVlog, in_block, block_lba);
+    }
   }
   // Commit point passed: recycle the obsoleted sectors.
   for (const DeferredFree& d : deferred) {
@@ -443,6 +452,9 @@ common::Status VirtualLog::WriteCheckpoint(
   RETURN_IF_ERROR(
       disk_->InternalWrite(CkptSlotLba(slot), SerializeCkptHeader(seq, config_.pieces, epoch_)));
   next_ckpt_slot_ = 1 - slot;
+  if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
+    tracer->Annotate(obs::EventType::kCheckpoint, obs::Layer::kVlog, seq, config_.pieces);
+  }
 
   // Every log sector — live or pinned — is now redundant: recycle every block that holds one
   // (each block exactly once, however many packed sectors it carries).

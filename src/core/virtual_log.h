@@ -85,6 +85,20 @@ struct VirtualLogStats {
   uint64_t auto_checkpoints = 0;  // Checkpoints forced by the pinned-sector valve.
   uint64_t packed_transactions = 0;  // Group commits that packed sectors into shared blocks.
   uint64_t packed_sectors = 0;       // Map sectors written through the packed path.
+
+  // Snapshot/diff: stats are plain values, so a measurement window is a copy + subtraction.
+  VirtualLogStats operator-(const VirtualLogStats& rhs) const {
+    VirtualLogStats d;
+    d.appends = appends - rhs.appends;
+    d.recycled_blocks = recycled_blocks - rhs.recycled_blocks;
+    // High-water marks do not difference meaningfully; keep the window-end value.
+    d.pinned_peak = pinned_peak;
+    d.checkpoints = checkpoints - rhs.checkpoints;
+    d.auto_checkpoints = auto_checkpoints - rhs.auto_checkpoints;
+    d.packed_transactions = packed_transactions - rhs.packed_transactions;
+    d.packed_sectors = packed_sectors - rhs.packed_sectors;
+    return d;
+  }
 };
 
 class VirtualLog {

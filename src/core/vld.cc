@@ -158,6 +158,7 @@ common::Status Vld::Read(simdisk::Lba lba, std::span<std::byte> out) {
       lba + out.size() / sector_bytes > SectorCount()) {
     return common::InvalidArgument("Vld::Read: bad range");
   }
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, out.size() / sector_bytes);
   disk_->ChargeHostCommand();
   ++stats_.host_reads;
 
@@ -293,6 +294,7 @@ common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
       lba + in.size() / sector_bytes > SectorCount()) {
     return common::InvalidArgument("Vld::Write: bad range");
   }
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, in.size() / sector_bytes);
   disk_->ChargeHostCommand();
   ++stats_.host_writes;
   std::vector<StagedWrite> staged;
@@ -314,6 +316,12 @@ common::StatusOr<uint64_t> Vld::SubmitWrite(simdisk::Lba lba, std::span<const st
   req.lba = lba;
   req.data.assign(in.begin(), in.end());
   req.submit_time = disk_->clock()->Now();
+  if (obs::TraceRecorder* tracer = disk_->tracer();
+      tracer != nullptr && tracer->current_span() == 0) {
+    // One span per submitted write, opened here and closed when FlushQueue acknowledges it.
+    // (When an upper layer's span is current we leave span 0: ownership stays above.)
+    req.span = tracer->BeginSpanDetached(obs::Layer::kVld, lba, in.size() / sector_bytes);
+  }
   queue_.push_back(std::move(req));
   ++stats_.queued_writes;
   return queue_.back().id;
@@ -326,30 +334,55 @@ common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
   }
   std::vector<QueuedWrite> batch;
   batch.swap(queue_);
+  obs::TraceRecorder* tracer = disk_->tracer();
   // Phase 1: each request's controller overhead (pipelined against earlier media work) and its
-  // eager data-block writes, in submission order.
+  // eager data-block writes, in submission order. Disk events land on the request's own span.
   std::vector<StagedWrite> staged;
-  for (const QueuedWrite& req : batch) {
+  std::vector<common::Time> dispatch(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const QueuedWrite& req = batch[i];
+    obs::SpanScope span(req.span != 0 ? tracer : nullptr, req.span);
     ctrl_free_ = disk_->ChargeQueuedCommand(ctrl_free_, req.submit_time);
+    dispatch[i] = disk_->clock()->Now();
     ++stats_.host_writes;
     RETURN_IF_ERROR(StageHostWrite(req.lba, req.data, &staged));
   }
   // Phase 2: one packed group commit covers every request's map entries. Only after it reaches
   // the media are the requests acknowledged — the commit is the atomicity and durability point
-  // for the whole batch.
-  RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
-  if (batch.size() > 1) {
+  // for the whole batch. A single-request batch's commit is that request's own work (its span
+  // shows zero queueing, matching the sync path); a shared commit belongs to no single request,
+  // so its time shows up as queueing on every member and one kGroupCommit marker records it.
+  if (batch.size() == 1) {
+    obs::SpanScope span(batch[0].span != 0 ? tracer : nullptr, batch[0].span);
+    RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
+  } else {
+    RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
     ++stats_.group_commits;
+    if (tracer != nullptr) {
+      tracer->Annotate(obs::EventType::kGroupCommit, obs::Layer::kVld, batch.size(),
+                       staged.size());
+    }
   }
   const common::Time done = disk_->clock()->Now();
   completions.reserve(batch.size());
-  for (const QueuedWrite& req : batch) {
-    completions.push_back(QueuedCompletion{req.id, req.submit_time, done});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const QueuedWrite& req = batch[i];
+    QueuedCompletion c;
+    c.id = req.id;
+    c.submit_time = req.submit_time;
+    c.complete_time = done;
+    c.dispatch_time = dispatch[i];
+    c.span_id = req.span;
+    completions.push_back(c);
+    if (tracer != nullptr && req.span != 0) {
+      tracer->EndSpan(req.span);
+    }
   }
   return completions;
 }
 
 common::Status Vld::WriteAtomic(std::span<const AtomicWrite> writes) {
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, writes.size());
   disk_->ChargeHostCommand();
   ++stats_.host_writes;
   const uint32_t sector_bytes = disk_->SectorBytes();
@@ -373,6 +406,7 @@ common::Status Vld::Trim(simdisk::Lba lba, uint64_t sectors) {
   if (lba + sectors > SectorCount()) {
     return common::InvalidArgument("Trim: bad range");
   }
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, sectors);
   disk_->ChargeHostCommand();
   const uint32_t bs = config_.block_sectors;
   // Only whole blocks are dropped; partial edges are ignored.

@@ -50,6 +50,22 @@ struct VldStats {
   uint64_t atomic_commits = 0;
   uint64_t queued_writes = 0;   // Host writes accepted through SubmitWrite.
   uint64_t group_commits = 0;   // FlushQueue calls that committed >1 request in one transaction.
+
+  // Snapshot/diff: stats are plain values, so a measurement window is a copy + subtraction.
+  VldStats operator-(const VldStats& rhs) const {
+    VldStats d;
+    d.host_reads = host_reads - rhs.host_reads;
+    d.host_writes = host_writes - rhs.host_writes;
+    d.blocks_written = blocks_written - rhs.blocks_written;
+    d.read_modify_writes = read_modify_writes - rhs.read_modify_writes;
+    d.unmapped_reads = unmapped_reads - rhs.unmapped_reads;
+    d.relocations = relocations - rhs.relocations;
+    d.trims = trims - rhs.trims;
+    d.atomic_commits = atomic_commits - rhs.atomic_commits;
+    d.queued_writes = queued_writes - rhs.queued_writes;
+    d.group_commits = group_commits - rhs.group_commits;
+    return d;
+  }
 };
 
 struct VldRecoveryInfo {
@@ -100,7 +116,12 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
     uint64_t id = 0;
     common::Time submit_time = 0;    // When SubmitWrite accepted the request.
     common::Time complete_time = 0;  // When its group's map commit reached the media.
+    common::Time dispatch_time = 0;  // When its controller work finished and media work began.
+    uint64_t span_id = 0;            // Trace span (0 when the disk has no tracer attached).
     common::Duration Latency() const { return complete_time - submit_time; }
+    // FlushQueue services in FIFO order (data placement is eager, so write order cannot change
+    // where blocks land); this is the time the request spent behind earlier queue entries.
+    common::Duration QueueDelay() const { return dispatch_time - submit_time; }
   };
   // Enqueues a host write without any media work (the payload is copied); returns a completion
   // id. Fails with kFailedPrecondition when `queue_depth` requests are already outstanding.
@@ -180,10 +201,11 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   std::vector<uint32_t> reverse_;  // physical block -> logical block (data blocks only).
   // Outstanding queued writes, in submission order.
   struct QueuedWrite {
-    uint64_t id;
-    simdisk::Lba lba;
+    uint64_t id = 0;
+    simdisk::Lba lba = 0;
     std::vector<std::byte> data;
-    common::Time submit_time;
+    common::Time submit_time = 0;
+    uint64_t span = 0;  // Trace span opened at submission (0 = tracing off).
   };
   std::vector<QueuedWrite> queue_;
   uint64_t next_queued_id_ = 1;

@@ -400,6 +400,7 @@ common::Status SimpleFs::DirRemove(const Inode& dir, const std::string& name, bo
 }
 
 common::Status SimpleFs::CreateNode(const std::string& path, InodeType type) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   std::string leaf;
   ASSIGN_OR_RETURN(const uint32_t parent_ino, ResolveParent(path, &leaf));
@@ -433,6 +434,7 @@ common::Status SimpleFs::Mkdir(const std::string& path) {
 }
 
 common::Status SimpleFs::Remove(const std::string& path) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   std::string leaf;
   ASSIGN_OR_RETURN(const uint32_t parent_ino, ResolveParent(path, &leaf));
@@ -458,6 +460,7 @@ common::Status SimpleFs::Remove(const std::string& path) {
 
 common::Status SimpleFs::Write(const std::string& path, uint64_t offset,
                                std::span<const std::byte> data, fs::WritePolicy policy) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, data.size());
   host_->ChargeSyscall();
   host_->ChargeCopy(data.size());
   ASSIGN_OR_RETURN(const uint32_t ino, LookupPath(path));
@@ -505,6 +508,7 @@ common::Status SimpleFs::Write(const std::string& path, uint64_t offset,
 
 common::StatusOr<uint64_t> SimpleFs::Read(const std::string& path, uint64_t offset,
                                           std::span<std::byte> out) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, out.size());
   host_->ChargeSyscall();
   ASSIGN_OR_RETURN(const uint32_t ino, LookupPath(path));
   ASSIGN_OR_RETURN(const Inode inode, ReadInode(ino));
@@ -564,6 +568,7 @@ common::StatusOr<std::vector<std::string>> SimpleFs::List(const std::string& dir
 }
 
 common::Status SimpleFs::Sync() {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   // Deterministic flush order (ascending logical block) so segments pack consistently.
   std::vector<uint32_t> dirty;

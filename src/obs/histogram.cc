@@ -1,0 +1,97 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace vlog::obs {
+
+uint32_t LatencyHistogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<uint32_t>(v);
+  }
+  const uint32_t octave = static_cast<uint32_t>(std::bit_width(v)) - 1;  // 2^octave <= v.
+  const uint32_t sub = static_cast<uint32_t>((v - (uint64_t{1} << octave)) >>
+                                             (octave - kFirstOctave));
+  return kSubBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
+}
+
+int64_t LatencyHistogram::BucketLower(uint32_t index) {
+  // The first two octaves' sub-buckets all have width 1, so indices below 2*kSubBuckets are
+  // their own lower bound.
+  if (index < 2 * kSubBuckets) {
+    return index;
+  }
+  const uint32_t octave = kFirstOctave + (index - kSubBuckets) / kSubBuckets;
+  const uint32_t sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<int64_t>((uint64_t{1} << octave) +
+                              (static_cast<uint64_t>(sub) << (octave - kFirstOctave)));
+}
+
+int64_t LatencyHistogram::BucketUpper(uint32_t index) {
+  if (index + 1 >= kNumBuckets) {
+    return INT64_MAX;
+  }
+  return BucketLower(index + 1);
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double pos = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i];
+    if (c == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + c) >= pos) {
+      const double frac = (pos - static_cast<double>(cumulative)) / static_cast<double>(c);
+      const double lower = static_cast<double>(BucketLower(i));
+      const double upper = static_cast<double>(BucketUpper(i));
+      const double value = lower + frac * (upper - lower);
+      return std::clamp(value, static_cast<double>(min_), static_cast<double>(max_));
+    }
+    cumulative += c;
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace vlog::obs

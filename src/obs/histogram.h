@@ -1,0 +1,63 @@
+// Log-scale latency histogram.
+//
+// Values (integral nanoseconds, matching common::Duration) are binned into power-of-two
+// octaves split into 16 linear sub-buckets each, giving a worst-case relative bucket width of
+// 1/16 (~6%) at any magnitude — the classic HdrHistogram compromise between resolution and
+// footprint. Values below 2^5 get exact width-1 buckets. Two histograms with the same layout
+// merge by bucket-wise addition, which is exact and associative, so per-run or per-shard
+// histograms can be combined without re-recording — the property distribution-valued
+// benchmarks need (a mean hides the multi-modality of synchronous-write latency).
+//
+// Percentiles interpolate linearly inside the covering bucket and are clamped to the exact
+// observed [min, max], so Percentile(0)/Percentile(100) are exact.
+#ifndef SRC_OBS_HISTOGRAM_H_
+#define SRC_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vlog::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBuckets = 16;  // Linear sub-buckets per octave.
+  static constexpr uint32_t kFirstOctave = 4;  // Values < 2^(kFirstOctave+1) are exact.
+  static constexpr uint32_t kMaxOctave = 62;   // Last octave covering int64 values.
+  static constexpr uint32_t kNumBuckets =
+      kSubBuckets + (kMaxOctave - kFirstOctave + 1) * kSubBuckets;
+
+  LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+  // Records one value. Negative values clamp to 0 (durations are never negative when observed).
+  void Record(int64_t value);
+
+  // Bucket-wise sum: exact, commutative, and associative.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t Count() const { return count_; }
+  int64_t Min() const { return count_ ? min_ : 0; }
+  int64_t Max() const { return count_ ? max_ : 0; }
+  int64_t Sum() const { return sum_; }
+  double Mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+  // The value at percentile `p` in [0, 100], linearly interpolated within the covering bucket
+  // and clamped to the observed range. 0 when empty.
+  double Percentile(double p) const;
+
+  // Bucket layout, exposed for tests and serialization.
+  static uint32_t BucketIndex(int64_t value);
+  static int64_t BucketLower(uint32_t index);   // Inclusive.
+  static int64_t BucketUpper(uint32_t index);   // Exclusive.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace vlog::obs
+
+#endif  // SRC_OBS_HISTOGRAM_H_

@@ -1,0 +1,125 @@
+// A minimal streaming JSON writer.
+//
+// Deterministic by construction: integers print exactly, doubles print with fixed precision
+// ("%.3f"), and object keys are emitted in whatever order the caller chooses — callers that
+// need byte-identical output across runs (the trace determinism guarantee) iterate ordered
+// containers. No external dependency; the repo only ever *emits* JSON, it never parses it.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vlog::obs {
+
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Comma();
+    out_.push_back('{');
+    first_.push_back(true);
+  }
+  void EndObject() {
+    out_.push_back('}');
+    first_.pop_back();
+  }
+  void BeginArray() {
+    Comma();
+    out_.push_back('[');
+    first_.push_back(true);
+  }
+  void EndArray() {
+    out_.push_back(']');
+    first_.pop_back();
+  }
+  void Key(std::string_view k) {
+    Comma();
+    Escaped(k);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+  void String(std::string_view v) {
+    Comma();
+    Escaped(v);
+  }
+  void Int(int64_t v) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void UInt(uint64_t v) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void Double(double v) {
+    Comma();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out_ += buf;
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Inserts the separating comma before any value or key that is not the first in its
+  // container. A value directly following its key never takes one.
+  void Comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (first_.empty()) {
+      return;
+    }
+    if (!first_.back()) {
+      out_.push_back(',');
+    }
+    first_.back() = false;
+  }
+  void Escaped(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace vlog::obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,54 @@
+#include "src/obs/metrics.h"
+
+#include "src/obs/json.h"
+
+namespace vlog::obs {
+
+void WriteHistogramSummary(JsonWriter& w, const LatencyHistogram& h) {
+  w.BeginObject();
+  w.Key("count");
+  w.UInt(h.Count());
+  w.Key("mean");
+  w.Double(h.Mean());
+  w.Key("p50");
+  w.Double(h.Percentile(50));
+  w.Key("p90");
+  w.Double(h.Percentile(90));
+  w.Key("p99");
+  w.Double(h.Percentile(99));
+  w.Key("max");
+  w.Int(h.Max());
+  w.EndObject();
+}
+
+std::string MetricsRegistry::Json() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("vlog-metrics/1");
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w.Key(name);
+    w.UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, fn] : gauges_) {
+    w.Key(name);
+    w.UInt(fn());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    w.Key(name);
+    WriteHistogramSummary(w, hist);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace vlog::obs

@@ -1,0 +1,58 @@
+// Named metrics registry: counters, gauges, and log-scale latency histograms in one place.
+//
+// The per-layer Stats structs (DiskStats, VldStats, VirtualLogStats, CompactorStats,
+// VlfsStats, ...) keep their cheap plain-field accounting, but instead of every bench
+// inventing its own export, each layer registers *gauges* here — named closures that read the
+// live struct on demand — and every distribution-valued metric goes into a LatencyHistogram.
+// Json() renders the whole registry in one deterministic schema (keys sorted by name), which
+// is what the bench_* binaries emit.
+//
+// Lifetime: gauges capture pointers into the registering layer, so the registry must not be
+// read after that layer is destroyed. Registries are cheap; benches build one per run.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/obs/histogram.h"
+
+namespace vlog::obs {
+
+class MetricsRegistry {
+ public:
+  // Monotonic counter, created on first use.
+  uint64_t& Counter(const std::string& name) { return counters_[name]; }
+
+  // Log-scale histogram, created on first use.
+  LatencyHistogram& Histogram(const std::string& name) { return histograms_[name]; }
+
+  // Registers a named read-on-demand gauge (replaces any previous gauge of the same name).
+  void RegisterGauge(const std::string& name, std::function<uint64_t()> fn) {
+    gauges_[name] = std::move(fn);
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,p90,p99,max}}}
+  // with each section's keys in sorted order.
+  std::string Json() const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const { return histograms_; }
+  const std::map<std::string, std::function<uint64_t()>>& gauges() const { return gauges_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, std::function<uint64_t()>> gauges_;
+};
+
+// Renders one histogram summary object: {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,
+// "max":..} (values in the histogram's own unit, nanoseconds for latency histograms).
+class JsonWriter;
+void WriteHistogramSummary(JsonWriter& w, const LatencyHistogram& h);
+
+}  // namespace vlog::obs
+
+#endif  // SRC_OBS_METRICS_H_

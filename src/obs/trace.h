@@ -1,0 +1,239 @@
+// Cross-layer request tracing on the virtual clock.
+//
+// The whole repository is single-threaded over one simulated clock, so every clock advance
+// belongs to exactly one activity. The TraceRecorder exploits that: each layer emits typed
+// events (kSubmit, kSeek, kMediaXfer, kMapAppend, kGroupCommit, ...) stamped with the current
+// sim-time and the *current span* — a per-request id propagated implicitly down the call tree
+// (VLFS -> VLD -> VirtualLog -> RequestQueue -> SimDisk) by SpanScope guards. One host write
+// is therefore followable end to end, and its latency decomposes exactly:
+//
+//   latency = host_cpu + controller + seek + head_switch + rotation + transfer + queueing
+//
+// where the first six are the durations of the span's own charged events and `queueing` is the
+// residual — time the request spent waiting on work not its own (other requests' media time,
+// a shared group commit, a busy controller). For a synchronous request the residual is zero by
+// construction; the identity is asserted in tests.
+//
+// Overhead when disabled: layers hold a `TraceRecorder*` that is null by default, and every
+// instrumentation site is guarded by that null check (SpanScope no-ops on a null recorder).
+// Tracing never advances the clock, so enabling it cannot change simulated time either.
+//
+// Determinism: events carry only integers derived from the simulation (times, ids, LBAs), the
+// ring buffer is drained in chronological order, and spans are kept in an ordered map — two
+// runs of the same seed produce byte-identical TraceJson() output.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/obs/histogram.h"
+
+namespace vlog::obs {
+
+class MetricsRegistry;
+
+// Which layer of the stack emitted an event.
+enum class Layer : uint8_t { kHost, kFs, kVld, kVlog, kQueue, kDisk };
+
+enum class EventType : uint8_t {
+  // Span lifecycle (markers).
+  kSubmit,    // A request entered the stack: the root of a span.
+  kEnter,     // The span's request crossed into a lower layer.
+  kComplete,  // The request was acknowledged.
+  // Charged time (dur = the virtual-clock advance the activity caused).
+  kHostCpu,     // Host OS / file system CPU.
+  kController,  // Per-command SCSI controller overhead (queued: only the un-overlapped part).
+  kSeek,        // Arm movement.
+  kHeadSwitch,  // Head-switch settle in excess of the concurrent seek.
+  kRotation,    // Rotational delay.
+  kMediaXfer,   // Media transfer.
+  kBusXfer,     // Bus transfer out of the track buffer.
+  // Markers (dur == 0).
+  kMapAppend,     // Map sector(s) joined the virtual log (a=piece, or packed count; b=lba).
+  kGroupCommit,   // A packed group commit covering a whole queue (a=requests, b=staged blocks).
+  kCheckpoint,    // A full-map checkpoint (a=sequence number).
+  kCompactStart,  // Idle-time compaction began (a=victim track).
+  kCompactEnd,    // Idle-time compaction finished (a=victim track, b=emptied).
+};
+
+const char* LayerName(Layer layer);
+const char* EventTypeName(EventType type);
+
+struct TraceEvent {
+  common::Time at = 0;
+  common::Duration dur = 0;
+  uint64_t span_id = 0;  // 0 = not tied to a single request.
+  EventType type = EventType::kSubmit;
+  Layer layer = Layer::kHost;
+  uint64_t a = 0;  // Type-specific (usually an LBA, piece, or count).
+  uint64_t b = 0;
+};
+
+// Where one request's simulated service time went. All fields are exact integral nanoseconds;
+// Accounted() + queueing == the span's latency (asserted in tests).
+struct TimeBreakdown {
+  common::Duration host_cpu = 0;
+  common::Duration controller = 0;
+  common::Duration seek = 0;
+  common::Duration head_switch = 0;
+  common::Duration rotation = 0;
+  common::Duration transfer = 0;
+  common::Duration queueing = 0;
+
+  common::Duration Accounted() const {
+    return host_cpu + controller + seek + head_switch + rotation + transfer;
+  }
+  common::Duration Total() const { return Accounted() + queueing; }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& rhs);
+  TimeBreakdown operator-(const TimeBreakdown& rhs) const;
+};
+
+class TraceRecorder {
+ public:
+  struct Span {
+    common::Time submit = 0;
+    common::Time complete = 0;
+    Layer layer = Layer::kHost;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    bool open = true;
+    TimeBreakdown breakdown;  // queueing is filled in by EndSpan.
+    common::Duration Latency() const { return complete - submit; }
+  };
+
+  explicit TraceRecorder(const common::Clock* clock, size_t event_capacity = 1 << 16);
+
+  // --- Span lifecycle ---
+
+  // Opens a span and makes it current (records kSubmit). Returns its id.
+  uint64_t BeginSpan(Layer layer, uint64_t a = 0, uint64_t b = 0);
+  // Opens a span without touching the current span — for requests that are queued now and
+  // serviced later (SpanScope re-enters them at service time).
+  uint64_t BeginSpanDetached(Layer layer, uint64_t a = 0, uint64_t b = 0);
+  // Closes a span at the current sim-time: records kComplete, derives the queueing residual,
+  // and feeds the per-component histograms and totals.
+  void EndSpan(uint64_t id);
+
+  uint64_t current_span() const { return current_; }
+  void SetCurrentSpan(uint64_t id) { current_ = id; }
+
+  // --- Event emission (all attributed to the current span) ---
+
+  // A charged event: `dur` nanoseconds of the virtual clock spent on `type`.
+  void Charge(EventType type, Layer layer, common::Duration dur, uint64_t a = 0, uint64_t b = 0);
+  // A zero-duration marker.
+  void Annotate(EventType type, Layer layer, uint64_t a = 0, uint64_t b = 0);
+
+  // --- Introspection ---
+
+  const Span* span(uint64_t id) const;
+  const std::map<uint64_t, Span>& spans() const { return spans_; }
+  uint64_t completed_spans() const { return completed_spans_; }
+  // Sum of all completed spans' breakdowns (including queueing).
+  const TimeBreakdown& totals() const { return totals_; }
+
+  // Per-component histograms over completed spans (values in nanoseconds).
+  const LatencyHistogram& latency_hist() const { return latency_hist_; }
+  const LatencyHistogram& queueing_hist() const { return queueing_hist_; }
+  const LatencyHistogram& seek_hist() const { return seek_hist_; }
+  const LatencyHistogram& rotation_hist() const { return rotation_hist_; }
+  const LatencyHistogram& transfer_hist() const { return transfer_hist_; }
+
+  // Buffered events in chronological order (the ring keeps the newest `event_capacity`).
+  std::vector<TraceEvent> Events() const;
+  size_t event_count() const { return ring_.size(); }
+  uint64_t dropped_events() const { return dropped_; }
+
+  // --- Export ---
+
+  // {"schema":"vlog-trace/1","dropped":N,"spans":[...],"events":[...]} — integers only, spans
+  // in id order, events in chronological order; byte-identical across same-seed runs.
+  std::string TraceJson() const;
+  // Copies the recorder's histograms and span totals into `registry` under `prefix`
+  // ("<prefix>.latency", "<prefix>.queueing", ...).
+  void PublishTo(MetricsRegistry& registry, const std::string& prefix = "span") const;
+
+ private:
+  void Push(const TraceEvent& event);
+
+  const common::Clock* clock_;
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  // Next overwrite position once the ring is full.
+  uint64_t dropped_ = 0;
+  uint64_t next_span_ = 1;
+  uint64_t current_ = 0;
+  std::map<uint64_t, Span> spans_;
+  uint64_t completed_spans_ = 0;
+  TimeBreakdown totals_;
+  LatencyHistogram latency_hist_;
+  LatencyHistogram queueing_hist_;
+  LatencyHistogram seek_hist_;
+  LatencyHistogram rotation_hist_;
+  LatencyHistogram transfer_hist_;
+};
+
+// RAII guard that makes a span current for the duration of a call tree.
+//
+//   SpanScope span(tracer, Layer::kVld, lba, sectors);   // root-or-inherit
+//     - tracer null: no-op.
+//     - no current span: begins a new root span, ends it on destruction.
+//     - a span is already current (an upper layer began it): records a kEnter marker and
+//       inherits — the upper layer owns the lifecycle.
+//
+//   SpanScope span(tracer, id);                          // re-enter a detached span
+//     - makes `id` current without owning it (the caller calls EndSpan explicitly).
+class SpanScope {
+ public:
+  SpanScope(TraceRecorder* tracer, Layer layer, uint64_t a = 0, uint64_t b = 0)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    prev_ = tracer_->current_span();
+    if (prev_ == 0) {
+      id_ = tracer_->BeginSpan(layer, a, b);
+      owns_ = true;
+    } else {
+      id_ = prev_;
+      tracer_->Annotate(EventType::kEnter, layer, a, b);
+    }
+  }
+  SpanScope(TraceRecorder* tracer, uint64_t span_id) : tracer_(tracer) {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    prev_ = tracer_->current_span();
+    id_ = span_id;
+    tracer_->SetCurrentSpan(span_id);
+  }
+  ~SpanScope() {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    if (owns_) {
+      tracer_->EndSpan(id_);
+    }
+    tracer_->SetCurrentSpan(prev_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  TraceRecorder* tracer_;
+  uint64_t prev_ = 0;
+  uint64_t id_ = 0;
+  bool owns_ = false;
+};
+
+}  // namespace vlog::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/common/time.h"
+#include "src/obs/trace.h"
 
 namespace vlog::simdisk {
 
@@ -59,6 +60,9 @@ class HostModel {
     Charge(params_.per_kb_copy * static_cast<common::Duration>(bytes) / 1024);
   }
   void Charge(common::Duration d) {
+    if (d > 0 && tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kHostCpu, obs::Layer::kHost, d);
+    }
     clock_->Advance(d);
     total_charged_ += d > 0 ? d : 0;
   }
@@ -67,10 +71,16 @@ class HostModel {
   const HostParams& params() const { return params_; }
   common::Clock* clock() { return clock_; }
 
+  // The HostModel sits above any BlockDevice (not necessarily a SimDisk), so it carries its
+  // own recorder pointer; Platform::AttachTracer wires it to the same recorder as the disk.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
  private:
   HostParams params_;
   common::Clock* clock_;
   common::Duration total_charged_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace vlog::simdisk

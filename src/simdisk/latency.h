@@ -24,6 +24,15 @@ struct LatencyBreakdown {
     other += rhs.other;
     return *this;
   }
+
+  LatencyBreakdown operator-(const LatencyBreakdown& rhs) const {
+    LatencyBreakdown d;
+    d.scsi_overhead = scsi_overhead - rhs.scsi_overhead;
+    d.locate = locate - rhs.locate;
+    d.transfer = transfer - rhs.transfer;
+    d.other = other - rhs.other;
+    return d;
+  }
 };
 
 struct DiskStats {
@@ -36,6 +45,20 @@ struct DiskStats {
   LatencyBreakdown breakdown;
 
   void Reset() { *this = DiskStats{}; }
+
+  // Stats structs are plain values, so a snapshot is a copy and a measurement window is a
+  // subtraction: `auto before = disk.stats(); ...; auto delta = disk.stats() - before;`.
+  DiskStats operator-(const DiskStats& rhs) const {
+    DiskStats d;
+    d.read_requests = read_requests - rhs.read_requests;
+    d.write_requests = write_requests - rhs.write_requests;
+    d.sectors_read = sectors_read - rhs.sectors_read;
+    d.sectors_written = sectors_written - rhs.sectors_written;
+    d.buffer_hits = buffer_hits - rhs.buffer_hits;
+    d.seeks = seeks - rhs.seeks;
+    d.breakdown = breakdown - rhs.breakdown;
+    return d;
+  }
 };
 
 }  // namespace vlog::simdisk

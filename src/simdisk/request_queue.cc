@@ -11,6 +11,14 @@ common::StatusOr<uint64_t> RequestQueue::Enqueue(Request req) {
   const uint64_t id = next_id_++;
   req.id = id;
   req.submit_time = disk_->clock()->Now();
+  if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
+    // If an upper layer already opened a span for this request (e.g. a file system issuing a
+    // queued read), inherit it; otherwise the queue is the root and opens a detached span that
+    // ServiceOne re-enters and closes at completion time.
+    req.span = tracer->current_span() != 0
+                   ? tracer->current_span()
+                   : tracer->BeginSpanDetached(obs::Layer::kQueue, req.lba, req.sectors);
+  }
   pending_.push_back(std::move(req));
   return id;
 }
@@ -64,8 +72,10 @@ common::StatusOr<IoCompletion> RequestQueue::ServiceOne() {
   done.is_write = req.is_write;
   done.lba = req.lba;
   done.submit_time = req.submit_time;
+  done.span_id = req.span;
   // Controller overhead, pipelined with earlier media work; then the media access itself
-  // (internal = no second SCSI charge).
+  // (internal = no second SCSI charge). All disk events land on the request's own span.
+  obs::SpanScope span(req.span != 0 ? disk_->tracer() : nullptr, req.span);
   ctrl_free_ = disk_->ChargeQueuedCommand(ctrl_free_, req.submit_time);
   done.dispatch_time = disk_->clock()->Now();
   if (req.is_write) {
@@ -75,6 +85,12 @@ common::StatusOr<IoCompletion> RequestQueue::ServiceOne() {
     done.status = disk_->InternalRead(req.lba, done.data);
   }
   done.complete_time = disk_->clock()->Now();
+  if (obs::TraceRecorder* tracer = disk_->tracer();
+      tracer != nullptr && req.span != 0 && tracer->span(req.span) != nullptr &&
+      tracer->span(req.span)->open && tracer->span(req.span)->layer == obs::Layer::kQueue) {
+    // Close queue-rooted spans here; spans opened by upper layers are closed by their owners.
+    tracer->EndSpan(req.span);
+  }
   return done;
 }
 

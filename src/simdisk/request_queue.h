@@ -43,9 +43,11 @@ struct IoCompletion {
   common::Time submit_time = 0;    // When the request entered the queue.
   common::Time dispatch_time = 0;  // When its controller work finished and media work began.
   common::Time complete_time = 0;  // When its media work finished.
+  uint64_t span_id = 0;            // Trace span (0 when the disk has no tracer attached).
   std::vector<std::byte> data;     // Read payload (empty for writes).
 
   common::Duration Latency() const { return complete_time - submit_time; }
+  common::Duration QueueDelay() const { return dispatch_time - submit_time; }
 };
 
 class RequestQueue {
@@ -71,11 +73,12 @@ class RequestQueue {
 
  private:
   struct Request {
-    uint64_t id;
-    bool is_write;
-    Lba lba;
-    uint64_t sectors;
-    common::Time submit_time;
+    uint64_t id = 0;
+    bool is_write = false;
+    Lba lba = 0;
+    uint64_t sectors = 0;
+    common::Time submit_time = 0;
+    uint64_t span = 0;            // Trace span opened at submission (0 = tracing off).
     std::vector<std::byte> data;  // Write payload.
   };
 

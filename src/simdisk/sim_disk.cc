@@ -66,13 +66,30 @@ common::Duration SimDisk::EstimatePosition(Lba lba, common::Time at) const {
 
 void SimDisk::Position(Lba lba, bool sequential) {
   const PhysAddr target = params_.geometry.ToPhys(lba);
-  const common::Duration move = ArmMoveCost(lba);
+  const uint32_t dist = target.cylinder > arm_.cylinder ? target.cylinder - arm_.cylinder
+                                                        : arm_.cylinder - target.cylinder;
+  const common::Duration seek = params_.seek.SeekTime(dist);
+  const common::Duration move = std::max(
+      seek, target.head != arm_.head ? params_.head_switch : common::Duration{0});
   if (move > 0) {
     ++stats_.seeks;
   }
   common::Duration wait = 0;
   if (!sequential) {
     wait = RotationalWait(target.sector, clock_->Now() + move);
+  }
+  if (tracer_ != nullptr) {
+    // Head selection overlaps the seek, so only the settle in excess of the seek is charged as
+    // head-switch time — the three events sum to exactly this Position call's clock advance.
+    if (seek > 0) {
+      tracer_->Charge(obs::EventType::kSeek, obs::Layer::kDisk, seek, lba);
+    }
+    if (move > seek) {
+      tracer_->Charge(obs::EventType::kHeadSwitch, obs::Layer::kDisk, move - seek, lba);
+    }
+    if (wait > 0) {
+      tracer_->Charge(obs::EventType::kRotation, obs::Layer::kDisk, wait, lba);
+    }
   }
   clock_->Advance(move + wait);
   last_request_.locate += move + wait;
@@ -98,6 +115,10 @@ void SimDisk::CatchUpReadAhead() {
 void SimDisk::Access(Lba lba, uint64_t sectors, bool is_write, bool host_command) {
   last_request_ = LatencyBreakdown{};
   if (host_command) {
+    if (tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kController, obs::Layer::kDisk, params_.scsi_overhead,
+                      lba, sectors);
+    }
     clock_->Advance(params_.scsi_overhead);
     last_request_.scsi_overhead = params_.scsi_overhead;
   }
@@ -114,6 +135,9 @@ void SimDisk::Access(Lba lba, uint64_t sectors, bool is_write, bool host_command
       // Served from the track buffer: bus transfer only.
       const common::Duration bus =
           params_.BusTransferTime(sectors * params_.geometry.sector_bytes);
+      if (tracer_ != nullptr) {
+        tracer_->Charge(obs::EventType::kBusXfer, obs::Layer::kDisk, bus, lba, sectors);
+      }
       clock_->Advance(bus);
       last_request_.transfer = bus;
       ++stats_.buffer_hits;
@@ -136,6 +160,9 @@ void SimDisk::Access(Lba lba, uint64_t sectors, bool is_write, bool host_command
     const uint64_t run = std::min<uint64_t>(remaining, track_end - pos);
     Position(pos, /*sequential=*/!first);
     const common::Duration xfer = params_.SectorTime() * static_cast<common::Duration>(run);
+    if (tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kMediaXfer, obs::Layer::kDisk, xfer, pos, run);
+    }
     clock_->Advance(xfer);
     last_request_.transfer += xfer;
     pos += run;
@@ -254,6 +281,9 @@ common::Status SimDisk::InternalWrite(Lba lba, std::span<const std::byte> in) {
 }
 
 void SimDisk::ChargeHostCommand() {
+  if (tracer_ != nullptr) {
+    tracer_->Charge(obs::EventType::kController, obs::Layer::kDisk, params_.scsi_overhead);
+  }
   clock_->Advance(params_.scsi_overhead);
   stats_.breakdown.scsi_overhead += params_.scsi_overhead;
 }
@@ -262,6 +292,13 @@ common::Time SimDisk::ChargeQueuedCommand(common::Time ctrl_free, common::Time s
   const common::Time start = std::max(ctrl_free, submitted);
   const common::Time done = start + params_.scsi_overhead;
   stats_.breakdown.scsi_overhead += params_.scsi_overhead;
+  if (tracer_ != nullptr) {
+    // Only the un-overlapped part of the controller work advances the clock; controller time
+    // hidden behind earlier media work is charged as zero so breakdowns still sum to latency.
+    const common::Time now = clock_->Now();
+    tracer_->Charge(obs::EventType::kController, obs::Layer::kDisk,
+                    done > now ? done - now : 0);
+  }
   clock_->AdvanceTo(done);
   return done;
 }

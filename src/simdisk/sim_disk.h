@@ -20,6 +20,7 @@
 
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/obs/trace.h"
 #include "src/simdisk/block_device.h"
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/latency.h"
@@ -86,6 +87,14 @@ class SimDisk : public BlockDevice {
 
   void set_read_ahead_policy(ReadAheadPolicy policy) { read_ahead_policy_ = policy; }
   ReadAheadPolicy read_ahead_policy() const { return read_ahead_policy_; }
+
+  // Optional tracing. The disk is the bottom of the stack and the one object every layer
+  // already holds, so upper layers (VLD, VirtualLog, RequestQueue, VLFS) reach the recorder
+  // through here instead of each taking a constructor parameter. Null (the default) disables
+  // all tracing; the simulation never reads the recorder, so attaching one cannot change
+  // simulated time.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
 
   // --- Failure injection for crash-recovery tests ---
 
@@ -162,6 +171,7 @@ class SimDisk : public BlockDevice {
   std::optional<WriteFault> write_fault_;
   bool write_fault_fired_ = false;
   WriteObserver write_observer_;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace vlog::simdisk

@@ -517,6 +517,7 @@ common::Status Ufs::DirRemove(uint32_t dir_ino, Inode& dir, const std::string& n
 }
 
 common::Status Ufs::CreateNode(const std::string& path, InodeType type) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   std::string leaf;
   ASSIGN_OR_RETURN(const uint32_t parent_ino, ResolveParent(path, &leaf));
@@ -552,6 +553,7 @@ common::Status Ufs::Mkdir(const std::string& path) {
 }
 
 common::Status Ufs::Remove(const std::string& path) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   std::string leaf;
   ASSIGN_OR_RETURN(const uint32_t parent_ino, ResolveParent(path, &leaf));
@@ -580,6 +582,7 @@ common::Status Ufs::Remove(const std::string& path) {
 
 common::Status Ufs::Write(const std::string& path, uint64_t offset,
                           std::span<const std::byte> data, fs::WritePolicy policy) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, data.size());
   host_->ChargeSyscall();
   host_->ChargeCopy(data.size());
   ASSIGN_OR_RETURN(const uint32_t ino, LookupPath(path));
@@ -633,6 +636,7 @@ common::Status Ufs::Write(const std::string& path, uint64_t offset,
 
 common::StatusOr<uint64_t> Ufs::Read(const std::string& path, uint64_t offset,
                                      std::span<std::byte> out) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, out.size());
   host_->ChargeSyscall();
   ASSIGN_OR_RETURN(const uint32_t ino, LookupPath(path));
   ASSIGN_OR_RETURN(const Inode inode, ReadInode(ino));
@@ -742,6 +746,7 @@ common::StatusOr<std::vector<std::string>> Ufs::List(const std::string& dir_path
 }
 
 common::Status Ufs::Sync() {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   // Write clustering (UFS-style): coalesce fully dirty, physically adjacent blocks into one
   // device request (up to 64 KB) so sequential write-back does not miss a rotation per block.

@@ -460,6 +460,7 @@ common::Status Vlfs::DirRemove(uint32_t dir_ino, Inode& dir, const std::string& 
 }
 
 common::Status Vlfs::CreateNode(const std::string& path, InodeType type) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   disk_->ChargeHostCommand();
   std::string leaf;
@@ -493,6 +494,7 @@ common::Status Vlfs::Mkdir(const std::string& path) {
 }
 
 common::Status Vlfs::Remove(const std::string& path) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   disk_->ChargeHostCommand();
   std::string leaf;
@@ -519,6 +521,7 @@ common::Status Vlfs::Remove(const std::string& path) {
 
 common::Status Vlfs::Write(const std::string& path, uint64_t offset,
                            std::span<const std::byte> data, fs::WritePolicy policy) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, data.size());
   host_->ChargeSyscall();
   host_->ChargeCopy(data.size());
   disk_->ChargeHostCommand();
@@ -572,6 +575,7 @@ common::Status Vlfs::Write(const std::string& path, uint64_t offset,
 
 common::StatusOr<uint64_t> Vlfs::Read(const std::string& path, uint64_t offset,
                                       std::span<std::byte> out) {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs, offset, out.size());
   host_->ChargeSyscall();
   disk_->ChargeHostCommand();
   ASSIGN_OR_RETURN(const uint32_t ino, LookupPath(path));
@@ -634,6 +638,7 @@ common::StatusOr<std::vector<std::string>> Vlfs::List(const std::string& dir_pat
 }
 
 common::Status Vlfs::Sync() {
+  obs::SpanScope span(host_->tracer(), obs::Layer::kFs);
   host_->ChargeSyscall();
   disk_->ChargeHostCommand();
   return CommitGroup();

@@ -71,6 +71,15 @@ class Platform {
   // Snapshot of the cumulative disk-latency breakdown, for the Figure 9 decomposition.
   simdisk::LatencyBreakdown DiskBreakdown() const { return raw_->stats().breakdown; }
 
+  // Wires one trace recorder (which must outlive the platform's use) through the whole stack:
+  // the disk for mechanical/controller events — reached from there by the VLD, virtual log and
+  // compactor — and the host model for CPU charges. Pass nullptr to detach.
+  void AttachTracer(obs::TraceRecorder* tracer) {
+    raw_->set_tracer(tracer);
+    host_->set_tracer(tracer);
+  }
+  obs::TraceRecorder* tracer() const { return raw_->tracer(); }
+
  private:
   PlatformConfig config_;
   common::Clock clock_;

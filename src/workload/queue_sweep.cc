@@ -23,6 +23,7 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
   const uint32_t blocks = vld.logical_blocks() / 2;
   std::vector<std::byte> payload(kUpdateBytes);
 
+  common::Duration queue_delay_total = 0;
   // One closed-loop round: every stream submits its next update (all streams became ready at
   // the previous group commit, i.e. "now"), then the queue drains through one group commit.
   auto run_round = [&](int n,
@@ -39,6 +40,7 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
     if (latencies != nullptr) {
       for (const core::Vld::QueuedCompletion& c : done) {
         latencies->push_back(c.Latency());
+        queue_delay_total += c.QueueDelay();
       }
     }
     return common::OkStatus();
@@ -52,6 +54,9 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
 
   std::vector<common::Duration> latencies;
   latencies.reserve(static_cast<size_t>(updates));
+  obs::TraceRecorder* tracer = vld.disk().tracer();
+  const obs::TimeBreakdown totals_before =
+      tracer != nullptr ? tracer->totals() : obs::TimeBreakdown{};
   const common::Time start = vld.disk().clock()->Now();
   for (int remaining = updates; remaining > 0;) {
     const int n = std::min<int>(remaining, static_cast<int>(depth));
@@ -71,10 +76,24 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
   }
   result.mean_latency =
       latencies.empty() ? 0 : total / static_cast<common::Duration>(latencies.size());
+  result.mean_queue_delay =
+      latencies.empty() ? 0
+                        : queue_delay_total / static_cast<common::Duration>(latencies.size());
+  for (const common::Duration lat : latencies) {
+    result.latency_hist.Record(lat);
+  }
   std::sort(latencies.begin(), latencies.end());
   if (!latencies.empty()) {
-    const size_t idx = std::min(latencies.size() - 1, latencies.size() * 99 / 100);
-    result.p99_latency = latencies[idx];
+    const auto exact_pct = [&](size_t pct) {
+      return latencies[std::min(latencies.size() - 1, latencies.size() * pct / 100)];
+    };
+    result.p50_latency = exact_pct(50);
+    result.p90_latency = exact_pct(90);
+    result.p99_latency = exact_pct(99);
+    result.max_latency = latencies.back();
+  }
+  if (tracer != nullptr) {
+    result.breakdown = tracer->totals() - totals_before;
   }
   return result;
 }

@@ -14,6 +14,8 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/core/vld.h"
+#include "src/obs/histogram.h"
+#include "src/obs/trace.h"
 
 namespace vlog::workload {
 
@@ -22,7 +24,18 @@ struct QueueDepthResult {
   uint64_t updates = 0;           // Measured requests (excludes warmup).
   double iops = 0;                // Measured requests per simulated second.
   common::Duration mean_latency = 0;
+  common::Duration p50_latency = 0;
+  common::Duration p90_latency = 0;
   common::Duration p99_latency = 0;
+  common::Duration max_latency = 0;
+  // Mean time a request waited behind earlier queue entries before its controller work began
+  // (FlushQueue services FIFO; placement is eager so service order cannot improve writes).
+  common::Duration mean_queue_delay = 0;
+  // Per-request latencies (ns) over the measured window, for mergeable percentile export.
+  obs::LatencyHistogram latency_hist;
+  // Sum over measured requests of where their time went; components add up to the total
+  // simulated request time. Zero unless a TraceRecorder is attached to the Vld's disk.
+  obs::TimeBreakdown breakdown;
 };
 
 // Runs `warmup` unmeasured then `updates` measured random 4 KB updates over the first half of

@@ -1,0 +1,166 @@
+#include "src/obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace vlog::obs {
+namespace {
+
+TEST(HistogramBuckets, SmallValuesGetExactBuckets) {
+  // Values below 2^(kFirstOctave+1) = 32 land in width-1 buckets: index == value.
+  for (int64_t v = 0; v < 32; ++v) {
+    const uint32_t idx = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(LatencyHistogram::BucketLower(idx), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpper(idx), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, BoundariesArePowerOfTwoOctaves) {
+  // Each octave [2^k, 2^(k+1)) splits into 16 linear sub-buckets of width 2^k/16.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(31) + 1, LatencyHistogram::BucketIndex(32));
+  for (const int64_t octave_start : {32ll, 64ll, 1024ll, 1ll << 20, 1ll << 40}) {
+    const uint32_t first = LatencyHistogram::BucketIndex(octave_start);
+    const int64_t width = octave_start / LatencyHistogram::kSubBuckets;
+    EXPECT_EQ(LatencyHistogram::BucketLower(first), octave_start);
+    EXPECT_EQ(LatencyHistogram::BucketUpper(first), octave_start + width);
+    // Last value of the sub-bucket maps to the same bucket; first of the next does not.
+    EXPECT_EQ(LatencyHistogram::BucketIndex(octave_start + width - 1), first);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(octave_start + width), first + 1);
+    // 16 sub-buckets later we are at the next octave.
+    EXPECT_EQ(LatencyHistogram::BucketLower(first + LatencyHistogram::kSubBuckets),
+              2 * octave_start);
+  }
+}
+
+TEST(HistogramBuckets, EveryValueFallsInsideItsBucket) {
+  common::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    // Spread across magnitudes: random octave, random offset within it.
+    const int64_t v = static_cast<int64_t>(rng.Below(1ull << (5 + rng.Below(50))));
+    const uint32_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(v, LatencyHistogram::BucketLower(idx)) << v;
+    EXPECT_LT(v, LatencyHistogram::BucketUpper(idx)) << v;
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorBoundedBySubBucketWidth) {
+  // The design contract: bucket width / lower bound <= 1/16 for values >= 32.
+  for (const int64_t v : {100ll, 5000ll, 123456789ll, 1ll << 45}) {
+    const uint32_t idx = LatencyHistogram::BucketIndex(v);
+    const int64_t lo = LatencyHistogram::BucketLower(idx);
+    const int64_t hi = LatencyHistogram::BucketUpper(idx);
+    EXPECT_LE(static_cast<double>(hi - lo) / static_cast<double>(lo),
+              1.0 / LatencyHistogram::kSubBuckets);
+  }
+}
+
+TEST(HistogramPercentile, ExactAtExtremesAndEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  h.Record(700);
+  h.Record(300);
+  h.Record(500);
+  // Clamped to the observed range, so P0 and P100 are exact even with wide buckets.
+  EXPECT_EQ(h.Percentile(0), 300.0);
+  EXPECT_EQ(h.Percentile(100), 700.0);
+  EXPECT_EQ(h.Min(), 300);
+  EXPECT_EQ(h.Max(), 700);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 1500);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.0);
+}
+
+TEST(HistogramPercentile, InterpolatesWithinBucketError) {
+  // 1000 uniform values 1..1000: every percentile estimate must be within one sub-bucket
+  // (6.25%) of the true order statistic.
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double expected = p * 10.0;  // True p-th percentile of 1..1000.
+    EXPECT_NEAR(h.Percentile(p), expected, expected / LatencyHistogram::kSubBuckets + 1.0)
+        << "p=" << p;
+  }
+  // Monotone in p.
+  double prev = 0;
+  for (double p = 0; p <= 100; p += 2.5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramPercentile, SinglePointMassIsExactEverywhere) {
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) {
+    h.Record(8504081);
+  }
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 8504081.0);
+  }
+}
+
+TEST(HistogramMerge, MatchesRecordingIntoOne) {
+  common::Rng rng(3);
+  LatencyHistogram parts[4];
+  LatencyHistogram whole;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Below(1u << 24));
+    parts[i % 4].Record(v);
+    whole.Record(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& part : parts) {
+    merged.Merge(part);
+  }
+  EXPECT_EQ(merged.Count(), whole.Count());
+  EXPECT_EQ(merged.Sum(), whole.Sum());
+  EXPECT_EQ(merged.Min(), whole.Min());
+  EXPECT_EQ(merged.Max(), whole.Max());
+  EXPECT_EQ(merged.buckets(), whole.buckets());
+  for (const double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(merged.Percentile(p), whole.Percentile(p));
+  }
+}
+
+TEST(HistogramMerge, Associative) {
+  // (a + b) + c == a + (b + c): bucket-wise addition is exact, so the merge order of per-shard
+  // histograms cannot change any reported statistic.
+  common::Rng rng(5);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 300; ++i) {
+    a.Record(static_cast<int64_t>(rng.Below(1u << 16)));
+    b.Record(static_cast<int64_t>(rng.Below(1u << 20)));
+    c.Record(static_cast<int64_t>(rng.Below(1u << 28)));
+  }
+  LatencyHistogram left = a;   // (a+b)+c
+  left.Merge(b);
+  left.Merge(c);
+  LatencyHistogram bc = b;     // a+(b+c)
+  bc.Merge(c);
+  LatencyHistogram right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.buckets(), right.buckets());
+  EXPECT_EQ(left.Count(), right.Count());
+  EXPECT_EQ(left.Sum(), right.Sum());
+  EXPECT_EQ(left.Min(), right.Min());
+  EXPECT_EQ(left.Max(), right.Max());
+  EXPECT_EQ(left.Percentile(99), right.Percentile(99));
+}
+
+TEST(HistogramRecord, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Sum(), 0);
+}
+
+}  // namespace
+}  // namespace vlog::obs
