@@ -130,10 +130,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Write-back cache leg: the same closed-loop workload with a volatile cache in the drive.
+  // The VLD's durability barriers now destage it, so the per-request breakdown gains a flush
+  // component — and the exact breakdown-sums-to-latency identity must keep holding.
+  // Attribution follows the group-commit rule: a depth-1 batch's commit (and thus its destage
+  // work) is the request's own, so its flush column is populated; a shared commit belongs to
+  // no single request and its destage time folds into each member's queueing residual.
+  bench::Note("\nWith volatile write-back drive cache (barriers destage; flush component):");
+  bool cached_flush_seen = false;
+  for (uint32_t depth : {1u, 4u, 16u}) {
+    common::Clock clock;
+    simdisk::DiskParams params = simdisk::Truncated(simdisk::Hp97560(), 36);
+    params.cache.capacity_sectors = 4096;
+    simdisk::SimDisk disk(params, &clock);
+    core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
+    bench::Check(vld.Format(), "format");
+    obs::TraceRecorder tracer(&clock);
+    disk.set_tracer(&tracer);
+    const workload::QueueDepthResult r = bench::CheckOk(
+        workload::RunQueuedRandomUpdates(vld, depth, updates, warmup, kSeed), "cached sweep");
+    char label[32];
+    std::snprintf(label, sizeof(label), "depth=%u+wbc", depth);
+    bench::PrintPercentileRow(label, r.iops, r.latency_hist);
+    std::printf("%-16s queueing %.3f ms/req, controller %.3f, transfer %.3f, flush %.3f\n", "",
+                bench::Ms(r.breakdown.queueing / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.controller / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.transfer / static_cast<common::Duration>(r.updates)),
+                bench::Ms(r.breakdown.flush / static_cast<common::Duration>(r.updates)));
+    report.AddRow(label, r.iops, r.latency_hist, r.breakdown,
+                  {{"depth", static_cast<double>(depth)},
+                   {"cache_sectors", static_cast<double>(params.cache.capacity_sectors)},
+                   {"flushes", static_cast<double>(disk.stats().flushes)},
+                   {"destaged_sectors", static_cast<double>(disk.stats().destaged_sectors)}});
+    breakdown_sums &=
+        r.breakdown.Total() == static_cast<common::Duration>(r.latency_hist.Sum());
+    cached_flush_seen |= r.breakdown.flush > 0;
+  }
+
   bench::Note("");
   // Acceptance gates: depth-1 latency identical to the sync path (tracing attached — it must
   // not move the clock), IOPS monotonically non-decreasing in depth, >= 2x throughput at
-  // depth 16, and the traced breakdown summing exactly to the measured latency.
+  // depth 16, and the traced breakdown summing exactly to the measured latency — including
+  // the flush component on the write-back-cache rows.
   const bool depth1_matches = mean_ms_depth1 == sync_ms;
   const bool doubled = iops_depth16 >= 2.0 * iops_depth1;
   std::printf("depth-1 latency == sync path: %s (%.3f vs %.3f ms)\n",
@@ -142,7 +180,9 @@ int main(int argc, char** argv) {
   std::printf("depth-16 speedup >= 2x: %s (%.2fx)\n", doubled ? "yes" : "NO",
               iops_depth1 > 0 ? iops_depth16 / iops_depth1 : 0.0);
   std::printf("breakdown components sum to latency: %s\n", breakdown_sums ? "yes" : "NO");
-  if (!depth1_matches || !monotonic || !doubled || !breakdown_sums) {
+  std::printf("write-back rows report a flush component: %s\n",
+              cached_flush_seen ? "yes" : "NO");
+  if (!depth1_matches || !monotonic || !doubled || !breakdown_sums || !cached_flush_seen) {
     std::fprintf(stderr, "FATAL: queue-depth acceptance gates failed\n");
     return 1;
   }

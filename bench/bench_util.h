@@ -158,6 +158,8 @@ class MetricsReport {
       w.Double(mean_us(row.breakdown.rotation));
       w.Key("transfer");
       w.Double(mean_us(row.breakdown.transfer));
+      w.Key("flush");
+      w.Double(mean_us(row.breakdown.flush));
       w.Key("host_cpu");
       w.Double(mean_us(row.breakdown.host_cpu));
       w.Key("total");

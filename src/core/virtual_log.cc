@@ -298,10 +298,22 @@ common::Status VirtualLog::MaybeAutoCheckpoint() {
   return WriteCheckpoint(entries);
 }
 
+common::Status VirtualLog::Barrier() {
+  if (!config_.barriers) {
+    return common::OkStatus();
+  }
+  return disk_->Flush();
+}
+
 common::Status VirtualLog::AppendPiece(uint32_t piece, const std::vector<uint32_t>& entries) {
   RETURN_IF_ERROR(MaybeAutoCheckpoint());
-  return AppendOne(piece, entries, /*txn_id=*/0, /*txn_index=*/0, /*txn_total=*/1,
-                   /*deferred_frees=*/nullptr);
+  // Pre-barrier: the data blocks this map sector will point at must be on media before the
+  // sector can land (a reordered destage would otherwise commit a mapping to lost data).
+  // Post-barrier: the commit is durable before the host write is acknowledged.
+  RETURN_IF_ERROR(Barrier());
+  RETURN_IF_ERROR(AppendOne(piece, entries, /*txn_id=*/0, /*txn_index=*/0, /*txn_total=*/1,
+                            /*deferred_frees=*/nullptr));
+  return Barrier();
 }
 
 common::Status VirtualLog::AppendTransaction(const std::vector<PieceUpdate>& updates) {
@@ -312,6 +324,10 @@ common::Status VirtualLog::AppendTransaction(const std::vector<PieceUpdate>& upd
     return AppendPiece(updates[0].piece, updates[0].entries);
   }
   RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  // One barrier pair brackets the whole transaction: its sectors may destage in any order (an
+  // incomplete set rolls back wholesale at recovery), but none may precede its data blocks and
+  // the commit must be durable before acknowledgement.
+  RETURN_IF_ERROR(Barrier());
   // The first sector's sequence number doubles as a never-reused transaction id.
   const uint64_t txn_id = next_seq_;
   std::vector<DeferredFree> deferred;
@@ -320,6 +336,7 @@ common::Status VirtualLog::AppendTransaction(const std::vector<PieceUpdate>& upd
                               static_cast<uint16_t>(i), static_cast<uint16_t>(updates.size()),
                               &deferred));
   }
+  RETURN_IF_ERROR(Barrier());
   // Commit point passed: the obsoleted sectors are no longer needed for rollback.
   for (const DeferredFree& d : deferred) {
     RemoveObsolete(d.block, d.seq);
@@ -408,7 +425,10 @@ common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate
     ++stats_.appends;
   }
   // One media write per packed block. A crash tearing any of these leaves an incomplete
-  // transaction whose surviving sectors recovery discards wholesale (all-or-nothing).
+  // transaction whose surviving sectors recovery discards wholesale (all-or-nothing). The
+  // barrier pair orders the group's data blocks before its map sectors and makes the commit
+  // durable before any of the batched requests is acknowledged.
+  RETURN_IF_ERROR(Barrier());
   for (size_t b = 0; b < blocks_needed; ++b) {
     const simdisk::Lba block_lba = allocator_->space().BlockToLba(blocks[b]);
     RETURN_IF_ERROR(disk_->InternalWrite(block_lba, buffers[b]));
@@ -418,6 +438,7 @@ common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate
       tracer->Annotate(obs::EventType::kMapAppend, obs::Layer::kVlog, in_block, block_lba);
     }
   }
+  RETURN_IF_ERROR(Barrier());
   // Commit point passed: recycle the obsoleted sectors.
   for (const DeferredFree& d : deferred) {
     RemoveObsolete(d.block, d.seq);
@@ -445,12 +466,16 @@ common::Status VirtualLog::WriteCheckpoint(
     body.insert(body.end(), raw.begin(), raw.end());
   }
   // Piece sectors first, CRC-signed header last: the header write is the commit point. A crash
-  // before it leaves the other slot's checkpoint (and the log it bounds) untouched.
+  // before it leaves the other slot's checkpoint (and the log it bounds) untouched. The barrier
+  // between body and header keeps a destage reorder from committing a header over a stale body;
+  // the one after makes the checkpoint durable before its log blocks are recycled for reuse.
   if (!body.empty()) {
     RETURN_IF_ERROR(disk_->InternalWrite(CkptSlotLba(slot) + 1, body));
   }
+  RETURN_IF_ERROR(Barrier());
   RETURN_IF_ERROR(
       disk_->InternalWrite(CkptSlotLba(slot), SerializeCkptHeader(seq, config_.pieces, epoch_)));
+  RETURN_IF_ERROR(Barrier());
   next_ckpt_slot_ = 1 - slot;
   if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
     tracer->Annotate(obs::EventType::kCheckpoint, obs::Layer::kVlog, seq, config_.pieces);
@@ -485,7 +510,11 @@ common::Status VirtualLog::WritePark(bool clear) {
     rec.checkpoint_seq = checkpoint_seq_;
     rec.next_seq = next_seq_;
   }
-  return disk_->InternalWrite(config_.park_lba, SerializePark(rec));
+  // The tail the record names must be durable before the record, and the record itself durable
+  // before power-down completes.
+  RETURN_IF_ERROR(Barrier());
+  RETURN_IF_ERROR(disk_->InternalWrite(config_.park_lba, SerializePark(rec)));
+  return Barrier();
 }
 
 common::Status VirtualLog::Park() { return WritePark(/*clear=*/false); }

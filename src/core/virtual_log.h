@@ -63,6 +63,12 @@ struct VirtualLogConfig {
   simdisk::Lba park_lba = 0;   // The landing-zone sector holding the parked tail.
   simdisk::Lba checkpoint_lba = 1;  // First sector of the reserved (double-slot) checkpoint region.
   uint32_t pinned_limit = 64;  // Auto-checkpoint when more obsolete sectors than this are pinned.
+  // Issue durability barriers (disk Flush) where recoverability depends on write ordering:
+  // around every map append (data blocks before their map sectors, commits before the next
+  // ack), between a checkpoint's body and its header, and around the park record. Free no-ops
+  // on a write-through disk. Disable only to demonstrate that a write-back cache breaks the
+  // log without them (the crash sweep's negative control).
+  bool barriers = true;
 };
 
 struct RecoveryResult {
@@ -211,6 +217,10 @@ class VirtualLog {
   simdisk::Lba CkptSlotLba(uint32_t slot) const {
     return config_.checkpoint_lba + slot * CheckpointSlotSectors();
   }
+
+  // Durability barrier: flushes the disk's write-back cache (no-op when disabled by config or
+  // when the disk has no cache).
+  common::Status Barrier();
 
   common::Status AppendOne(uint32_t piece, const std::vector<uint32_t>& entries, uint64_t txn_id,
                            uint16_t txn_index, uint16_t txn_total,

@@ -49,6 +49,7 @@ Vld::Vld(simdisk::SimDisk* disk, VldConfig config)
                 .block_sectors = config.block_sectors,
                 .park_lba = 0,
                 .checkpoint_lba = 1,
+                .barriers = config.barriers,
             }) {
   const Layout layout = ComputeLayout(disk->geometry(), config);
   logical_blocks_ = layout.logical_blocks;

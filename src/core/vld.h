@@ -37,6 +37,10 @@ struct VldConfig {
                                // writing always has somewhere to go.
   uint32_t queue_depth = 8;    // Maximum outstanding queued writes (SubmitWrite/FlushQueue).
   uint64_t seed = 1;
+  // Durability barriers around virtual-log commits (see VirtualLogConfig::barriers). Required
+  // for crash consistency on a disk with a volatile write-back cache; disable only as the
+  // crash sweep's negative control.
+  bool barriers = true;
 };
 
 struct VldStats {
@@ -95,6 +99,9 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   // BlockDevice (the unmodified host interface; sizes in whole 512 B sectors).
   common::Status Read(simdisk::Lba lba, std::span<std::byte> out) override;
   common::Status Write(simdisk::Lba lba, std::span<const std::byte> in) override;
+  // Every acknowledged VLD command is already durable (its map commit flushes the underlying
+  // cache), so this only drains whatever the physical disk still buffers.
+  common::Status Flush() override { return disk_->Flush(); }
   uint64_t SectorCount() const override {
     return static_cast<uint64_t>(logical_blocks_) * config_.block_sectors;
   }

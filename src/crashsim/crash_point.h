@@ -5,8 +5,15 @@
 // only some of its sectors persist (a *torn tail* — prefix, suffix, or an arbitrary subset,
 // since the drive may reorder sectors within one command), or during the last sector so that
 // it persists damaged (a *corrupted tail*, which must be caught by the CRC on every signed
-// structure). Writes are never reordered across command boundaries: the SimDisk commits each
-// write before acknowledging it.
+// structure). On a write-through device writes are never reordered across command boundaries:
+// the SimDisk commits each write before acknowledging it.
+//
+// With a volatile write-back cache the model widens: acknowledged writes between two
+// durability barriers (Flush completions) may persist as any subset, in any order — the drive
+// destages at its own convenience. A *reorder* crash point captures one such admissible state:
+// everything before the last completed barrier persists exactly, plus an ordered subset of the
+// in-window acknowledged writes on top. Small windows are enumerated exhaustively; larger ones
+// are sampled with a seeded RNG so any failure is replayable from its seed.
 #ifndef SRC_CRASHSIM_CRASH_POINT_H_
 #define SRC_CRASHSIM_CRASH_POINT_H_
 
@@ -23,6 +30,8 @@ enum class CrashKind : uint8_t {
   kTornSuffix,   // The final write persists only its last keep_sectors sectors.
   kTornRandom,   // A seeded pseudo-random subset of the final write's sectors persists.
   kCorruptTail,  // The final write persists fully but its last sector takes seeded bit flips.
+  kReorder,      // Write-back cache lost/reordered an in-window subset of acknowledged writes:
+                 // records [0, writes_applied) persist, then `extra` applies in its order.
 };
 
 const char* CrashKindName(CrashKind kind);
@@ -31,7 +40,17 @@ struct CrashPoint {
   uint64_t writes_applied = 0;  // Trace records fully persisted before the cut.
   CrashKind kind = CrashKind::kClean;  // Fate of record[writes_applied] (unused for kClean).
   uint32_t keep_sectors = 0;           // kTornPrefix / kTornSuffix only.
-  uint64_t seed = 1;                   // kTornRandom / kCorruptTail only.
+  uint64_t seed = 1;                   // kTornRandom / kCorruptTail / sampled kReorder.
+  // kReorder only: absolute trace indices applied, in this order, on top of the durable
+  // prefix; all lie in [writes_applied, epoch_end).
+  std::vector<uint64_t> extra;
+  // kReorder only: the barrier position ending the epoch. Ops acknowledged at or before it may
+  // be partially persisted by this point; ops beyond it have no records in `extra`.
+  uint64_t epoch_end = 0;
+  // Stable index within the sweep's merged point list, for failure messages ("point #N"):
+  // re-running with the same seed reproduces the same list, so the pair (seed, ordinal)
+  // identifies a crash state exactly.
+  uint64_t ordinal = 0;
 };
 
 struct EnumerateOptions {
@@ -42,10 +61,26 @@ struct EnumerateOptions {
   uint64_t seed = 1;            // Base seed for the randomized variants.
 };
 
+// How to enumerate reorder points over a write-back trace's barrier-delimited epochs.
+struct ReorderOptions {
+  // Epochs with at most this many volatile writes get every ordered subset (n=4 -> 65 states);
+  // larger epochs get `samples_per_epoch` seeded random (subset, order) draws instead.
+  uint64_t exhaustive_window = 4;
+  uint64_t samples_per_epoch = 12;
+  uint64_t seed = 1;
+};
+
 // All crash points for `trace`, ordered by writes_applied so a sweep can maintain a rolling
 // reconstructed image.
 std::vector<CrashPoint> EnumerateCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
                                              const EnumerateOptions& options);
+
+// Reorder points for a write-back trace: one per admissible (subset, order) of each
+// barrier-delimited epoch's volatile writes (durable in-window writes — FUA — always apply
+// first, in trace order). Returns an empty vector when the trace was not recorded write-back.
+// Ordered by writes_applied, so it merges into the sweep's rolling pass.
+std::vector<CrashPoint> EnumerateReorderPoints(const WriteTrace& trace,
+                                               const ReorderOptions& options);
 
 // Applies the partially-persisted or corrupted form of `record` that `point` describes. The
 // modes mirror SimDisk's WriteFaultMode semantics, replayed over an offline image.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "src/common/bytes.h"
 #include "src/simdisk/host_model.h"
@@ -15,11 +17,36 @@ namespace {
 
 std::string PointName(const CrashPoint& point) {
   std::ostringstream os;
-  os << "crash point n=" << point.writes_applied << " kind=" << CrashKindName(point.kind);
+  os << "crash point #" << point.ordinal << " n=" << point.writes_applied
+     << " kind=" << CrashKindName(point.kind);
   if (point.kind == CrashKind::kTornPrefix || point.kind == CrashKind::kTornSuffix) {
     os << " keep=" << point.keep_sectors;
   }
+  if (point.kind == CrashKind::kTornRandom || point.kind == CrashKind::kCorruptTail) {
+    os << " seed=" << point.seed;
+  }
+  if (point.kind == CrashKind::kReorder) {
+    os << " epoch_end=" << point.epoch_end << " extra=" << point.extra.size()
+       << " seed=" << point.seed;
+  }
   return os.str();
+}
+
+// Regular prefix/torn points plus (for write-back traces) reorder points, merged into one list
+// ordered by writes_applied, with stable per-sweep ordinals for failure messages.
+std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
+                                       const CrashSweepOptions& options) {
+  std::vector<CrashPoint> points = EnumerateCrashPoints(trace, sector_bytes, options.enumerate);
+  std::vector<CrashPoint> reorder = EnumerateReorderPoints(trace, options.reorder);
+  points.insert(points.end(), std::make_move_iterator(reorder.begin()),
+                std::make_move_iterator(reorder.end()));
+  std::stable_sort(points.begin(), points.end(), [](const CrashPoint& a, const CrashPoint& b) {
+    return a.writes_applied < b.writes_applied;
+  });
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].ordinal = i;
+  }
+  return points;
 }
 
 bool IsZero(std::span<const std::byte> bytes) {
@@ -59,7 +86,8 @@ std::string CrashSweepReport::Summary() const {
   std::sort(sorted.begin(), sorted.end());
   std::ostringstream os;
   os << points << " crash points (" << clean_points << " clean, " << torn_points << " torn, "
-     << corrupt_points << " corrupt-tail), " << violations << " violations; recoveries: "
+     << corrupt_points << " corrupt-tail, " << reorder_points << " reorder), seed " << seed
+     << ", " << violations << " violations; recoveries: "
      << park_recoveries << " park, " << scan_recoveries << " scan, " << checkpoint_recoveries
      << " checkpoint-seeded, " << rolled_back_recoveries << " rolled back a torn commit, "
      << repaired_pieces << " pieces repaired";
@@ -68,6 +96,9 @@ std::string CrashSweepReport::Summary() const {
        << "/" << common::ToMilliseconds(Percentile(sorted, 0.5)) << "/"
        << common::ToMilliseconds(Percentile(sorted, 0.9)) << "/"
        << common::ToMilliseconds(sorted.back());
+  }
+  if (violations > 0) {
+    os << "\n  replay with --seed=" << seed << " (crash-point ordinals above identify the cut)";
   }
   for (const std::string& detail : violation_details) {
     os << "\n  " << detail;
@@ -91,21 +122,24 @@ common::Status VldCrashSim::Record(
   // Recording starts after Format: the base image is the freshly formatted device, and every
   // later media write (data, map sectors, checkpoints, park) lands in the trace.
   trace_.set_base(SnapshotMedia(disk));
-  disk.set_write_observer(
-      [this](simdisk::Lba lba, std::span<const std::byte> data) { trace_.Append(lba, data); });
+  trace_.set_write_back(params_.cache.capacity_sectors > 0);
+  disk.set_write_observer([this](simdisk::Lba lba, std::span<const std::byte> data,
+                                 bool durable) { trace_.Append(lba, data, durable); });
+  disk.set_flush_observer([this] { trace_.AppendBarrier(); });
   ShadowVld shadow(&vld, &trace_);
   common::Status status = workload(shadow);
   disk.set_write_observer(nullptr);
+  disk.set_flush_observer(nullptr);
   ops_ = shadow.TakeOps();
   return status;
 }
 
 CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
   CrashSweepReport report;
+  report.seed = options.enumerate.seed;
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
   const uint32_t block_sectors = block_bytes_ / sector_bytes;
-  const std::vector<CrashPoint> points =
-      EnumerateCrashPoints(trace_, sector_bytes, options.enumerate);
+  const std::vector<CrashPoint> points = AllCrashPoints(trace_, sector_bytes, options);
   report.points = points.size();
 
   // Rolling state, advanced monotonically since points are ordered by writes_applied: the
@@ -130,7 +164,17 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
       }
       ++op_idx;
     }
-    const ShadowVld::Op* inflight = op_idx < ops_.size() ? &ops_[op_idx] : nullptr;
+    // Which acknowledged ops may be partially persisted at this point. A prefix/torn point cuts
+    // inside at most the next unfinished op; a reorder point's extras can touch every op whose
+    // commit lies inside its epoch (a packed group commit flips them together).
+    std::vector<const ShadowVld::Op*> inflight_ops;
+    if (point.kind == CrashKind::kReorder) {
+      for (size_t i = op_idx; i < ops_.size() && ops_[i].end_writes <= point.epoch_end; ++i) {
+        inflight_ops.push_back(&ops_[i]);
+      }
+    } else if (op_idx < ops_.size()) {
+      inflight_ops.push_back(&ops_[op_idx]);
+    }
 
     switch (point.kind) {
       case CrashKind::kClean:
@@ -139,13 +183,20 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
       case CrashKind::kCorruptTail:
         ++report.corrupt_points;
         break;
+      case CrashKind::kReorder:
+        ++report.reorder_points;
+        break;
       default:
         ++report.torn_points;
     }
 
     // Reconstruct the crashed media and recover a fresh instance over it.
     std::vector<std::byte> crashed = image;
-    if (point.kind != CrashKind::kClean) {
+    if (point.kind == CrashKind::kReorder) {
+      for (const uint64_t idx : point.extra) {
+        ApplyWrite(crashed, trace_[idx], sector_bytes);
+      }
+    } else if (point.kind != CrashKind::kClean) {
       ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
     }
     common::Clock clock;
@@ -165,11 +216,22 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
     report.rolled_back_recoveries += info->discarded_txn_sectors > 0 ? 1 : 0;
     report.repaired_pieces += info->repaired_pieces;
 
-    // Invariant 2: committed contents exact; in-flight blocks all-old or all-new.
-    std::unordered_map<uint32_t, size_t> inflight_index;
-    if (inflight != nullptr) {
-      for (size_t i = 0; i < inflight->blocks.size(); ++i) {
-        inflight_index.emplace(inflight->blocks[i], i);
+    // Invariant 2: committed contents exact; in-flight blocks all-old or all-new. When several
+    // in-flight ops touch the same block, "old" is the first writer's before-image and "new"
+    // the last writer's after-image (the group commits atomically, so nothing between is
+    // legal).
+    struct InflightVals {
+      const std::vector<std::byte>* before = nullptr;
+      const std::vector<std::byte>* after = nullptr;
+    };
+    std::unordered_map<uint32_t, InflightVals> inflight_index;
+    for (const ShadowVld::Op* op : inflight_ops) {
+      for (size_t i = 0; i < op->blocks.size(); ++i) {
+        auto [it, inserted] =
+            inflight_index.try_emplace(op->blocks[i], InflightVals{&op->before[i], &op->after[i]});
+        if (!inserted) {
+          it->second.after = &op->after[i];
+        }
       }
     }
     bool all_old = true;
@@ -193,8 +255,8 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
         }
         continue;
       }
-      all_old = all_old && ContentMatches(readback, inflight->before[it->second]);
-      all_new = all_new && ContentMatches(readback, inflight->after[it->second]);
+      all_old = all_old && ContentMatches(readback, *it->second.before);
+      all_new = all_new && ContentMatches(readback, *it->second.after);
     }
     if (content_ok && !(all_old || all_new)) {
       report.AddViolation(point, "in-flight command partially applied (atomicity violated)",
@@ -269,8 +331,10 @@ common::Status VlfsCrashSim::Record(const std::vector<VlfsOp>& script) {
   vlfs::Vlfs fs(&disk, &host, config_);
   RETURN_IF_ERROR(fs.Format());
   trace_.set_base(SnapshotMedia(disk));
-  disk.set_write_observer(
-      [this](simdisk::Lba lba, std::span<const std::byte> data) { trace_.Append(lba, data); });
+  trace_.set_write_back(params_.cache.capacity_sectors > 0);
+  disk.set_write_observer([this](simdisk::Lba lba, std::span<const std::byte> data,
+                                 bool durable) { trace_.Append(lba, data, durable); });
+  disk.set_flush_observer([this] { trace_.AppendBarrier(); });
 
   // The expected-state model is maintained here, not read back from the fs: a divergence shows
   // up in the sweep (including at the final clean point, which is the uncrashed state).
@@ -331,14 +395,15 @@ common::Status VlfsCrashSim::Record(const std::vector<VlfsOp>& script) {
     ops_.push_back(std::move(rec));
   }
   disk.set_write_observer(nullptr);
+  disk.set_flush_observer(nullptr);
   return common::OkStatus();
 }
 
 CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
   CrashSweepReport report;
+  report.seed = options.enumerate.seed;
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
-  const std::vector<CrashPoint> points =
-      EnumerateCrashPoints(trace_, sector_bytes, options.enumerate);
+  const std::vector<CrashPoint> points = AllCrashPoints(trace_, sector_bytes, options);
   report.points = points.size();
 
   std::vector<std::byte> image = trace_.base();
@@ -393,7 +458,28 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
       }
       ++op_idx;
     }
-    const FsOpRecord* inflight = op_idx < ops_.size() ? &ops_[op_idx] : nullptr;
+    // In-flight ops (see VldCrashSim::Sweep): for reorder points every op committed inside the
+    // epoch may be partially persisted; otherwise just the next unfinished one.
+    std::vector<const FsOpRecord*> inflight_ops;
+    if (point.kind == CrashKind::kReorder) {
+      for (size_t i = op_idx; i < ops_.size() && ops_[i].end_writes <= point.epoch_end; ++i) {
+        inflight_ops.push_back(&ops_[i]);
+      }
+    } else if (op_idx < ops_.size()) {
+      inflight_ops.push_back(&ops_[op_idx]);
+    }
+    // Per path, the first toucher's before-image and last toucher's after-image.
+    std::unordered_map<std::string, std::pair<const FsOpRecord*, const FsOpRecord*>>
+        inflight_paths;
+    for (const FsOpRecord* op : inflight_ops) {
+      if (op->path.empty()) {
+        continue;
+      }
+      auto [it, inserted] = inflight_paths.try_emplace(op->path, op, op);
+      if (!inserted) {
+        it->second.second = op;
+      }
+    }
 
     switch (point.kind) {
       case CrashKind::kClean:
@@ -402,12 +488,19 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
       case CrashKind::kCorruptTail:
         ++report.corrupt_points;
         break;
+      case CrashKind::kReorder:
+        ++report.reorder_points;
+        break;
       default:
         ++report.torn_points;
     }
 
     std::vector<std::byte> crashed = image;
-    if (point.kind != CrashKind::kClean) {
+    if (point.kind == CrashKind::kReorder) {
+      for (const uint64_t idx : point.extra) {
+        ApplyWrite(crashed, trace_[idx], sector_bytes);
+      }
+    } else if (point.kind != CrashKind::kClean) {
       ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
     }
     common::Clock clock;
@@ -428,11 +521,12 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
     report.rolled_back_recoveries += info->discarded_txn_sectors > 0 ? 1 : 0;
 
     for (const std::string& path : all_paths_) {
-      if (inflight != nullptr && path == inflight->path) {
-        // The in-flight operation must be all-or-nothing at the file level.
-        const std::string as_old = check_path(fs, path, inflight->before);
+      const auto infl = inflight_paths.find(path);
+      if (infl != inflight_paths.end()) {
+        // The in-flight operation(s) must be all-or-nothing at the file level.
+        const std::string as_old = check_path(fs, path, infl->second.first->before);
         if (!as_old.empty()) {
-          const std::string as_new = check_path(fs, path, inflight->after);
+          const std::string as_new = check_path(fs, path, infl->second.second->after);
           if (!as_new.empty()) {
             report.AddViolation(
                 point, "in-flight op on '" + path + "' neither old nor new state (" + as_old +

@@ -34,6 +34,10 @@ namespace vlog::crashsim {
 
 struct CrashSweepOptions {
   EnumerateOptions enumerate;
+  // Reordering model for write-back traces (ignored when the trace was recorded without a
+  // volatile cache). reorder.seed and enumerate.seed are usually set together from one
+  // --seed= value so a failure replays exactly.
+  ReorderOptions reorder;
   // After each recovery, write/read one probe block through the recovered instance to
   // smoke-test allocator and map consistency.
   bool probe_after_recovery = true;
@@ -45,6 +49,8 @@ struct CrashSweepReport {
   uint64_t clean_points = 0;
   uint64_t torn_points = 0;  // Torn prefix/suffix/random variants.
   uint64_t corrupt_points = 0;
+  uint64_t reorder_points = 0;  // Write-back destage subset/order variants.
+  uint64_t seed = 1;            // Echo of the sweep's base seed, for replay instructions.
 
   uint64_t violations = 0;
   std::vector<std::string> violation_details;  // First few, for diagnosis.

@@ -209,6 +209,12 @@ simdisk::DiskParams CrashSimDiskParams() {
   return simdisk::Truncated(simdisk::Hp97560(), 3);
 }
 
+simdisk::DiskParams CrashSimCachedDiskParams() {
+  simdisk::DiskParams params = CrashSimDiskParams();
+  params.cache.capacity_sectors = 1024;
+  return params;
+}
+
 core::VldConfig CrashSimVldConfig() {
   // queue_depth 16 lets the queued scenario record batches deeper than the default 8.
   return core::VldConfig{.block_sectors = kBlockSectors, .queue_depth = 16};

@@ -38,6 +38,10 @@ const char* VldScenarioName(VldScenario scenario);
 
 // The common small disk and device configs the scenarios run on.
 simdisk::DiskParams CrashSimDiskParams();
+// Same disk with a volatile write-back cache enabled, for the reordering crash sweeps. The
+// capacity is deliberately generous so the workload never triggers a pressure drain: a drain
+// would act as an extra barrier, silently shrinking the reorderable windows under test.
+simdisk::DiskParams CrashSimCachedDiskParams();
 core::VldConfig CrashSimVldConfig();
 vlfs::VlfsConfig CrashSimVlfsConfig();
 

@@ -42,6 +42,7 @@ class ShadowVld : public simdisk::BlockDevice {
   // a bug worth failing loudly on) and writes are recorded as ops.
   common::Status Read(simdisk::Lba lba, std::span<std::byte> out) override;
   common::Status Write(simdisk::Lba lba, std::span<const std::byte> in) override;
+  common::Status Flush() override { return vld_->Flush(); }
   uint64_t SectorCount() const override { return vld_->SectorCount(); }
   uint32_t SectorBytes() const override { return vld_->SectorBytes(); }
 

@@ -17,10 +17,13 @@
 
 namespace vlog::crashsim {
 
-// One successful media write, as observed at the SimDisk.
+// One successfully acknowledged write, as observed at the SimDisk. `durable` is false for
+// writes acknowledged into a volatile write-back cache — those may be lost or reordered by a
+// crash until the next durability barrier.
 struct WriteRecord {
   simdisk::Lba lba = 0;
   std::vector<std::byte> data;
+  bool durable = true;
 
   uint64_t Sectors(uint32_t sector_bytes) const { return data.size() / sector_bytes; }
 };
@@ -30,9 +33,25 @@ class WriteTrace {
   void set_base(std::vector<std::byte> image) { base_ = std::move(image); }
   const std::vector<std::byte>& base() const { return base_; }
 
-  void Append(simdisk::Lba lba, std::span<const std::byte> data) {
-    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}});
+  void Append(simdisk::Lba lba, std::span<const std::byte> data, bool durable = true) {
+    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}, durable});
   }
+
+  // Marks a durability barrier: every record appended so far is on stable media. Recorded at
+  // each completed Flush (and capacity-pressure drain). Barrier positions are record counts
+  // kept apart from the records themselves, so traces recorded without a write cache are
+  // byte-identical to pre-barrier traces.
+  void AppendBarrier() {
+    if (barriers_.empty() || barriers_.back() != records_.size()) {
+      barriers_.push_back(records_.size());
+    }
+  }
+  const std::vector<uint64_t>& barriers() const { return barriers_; }
+
+  // True when the recording device ran a volatile write-back cache, i.e. the reordering crash
+  // model applies between barriers.
+  void set_write_back(bool write_back) { write_back_ = write_back; }
+  bool write_back() const { return write_back_; }
 
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
@@ -41,6 +60,8 @@ class WriteTrace {
  private:
   std::vector<std::byte> base_;
   std::vector<WriteRecord> records_;
+  std::vector<uint64_t> barriers_;
+  bool write_back_ = false;
 };
 
 // Copies the disk's whole media into a byte vector (zero simulated cost).

@@ -208,13 +208,15 @@ common::Status LogStructuredDisk::FlushSegment(bool seal) {
 }
 
 common::Status LogStructuredDisk::Sync() {
-  if (!segment_open_ || (fill_ == 0 && flushed_ == 0)) {
-    return common::OkStatus();
+  if (segment_open_ && (fill_ != 0 || flushed_ != 0)) {
+    const bool above_threshold =
+        fill_ >= static_cast<uint32_t>(config_.partial_segment_threshold *
+                                       DataBlocksPerSegment());
+    RETURN_IF_ERROR(FlushSegment(/*seal=*/above_threshold));
   }
-  const bool above_threshold =
-      fill_ >= static_cast<uint32_t>(config_.partial_segment_threshold *
-                                     DataBlocksPerSegment());
-  return FlushSegment(/*seal=*/above_threshold);
+  // Sync is the durability point: drain the device's volatile write cache so everything written
+  // so far (this segment and any earlier ones) is actually on the media.
+  return device_->Flush();
 }
 
 common::Status LogStructuredDisk::EnsureCleanable(uint32_t needed_free) {

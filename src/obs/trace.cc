@@ -45,6 +45,10 @@ const char* EventTypeName(EventType type) {
       return "media_xfer";
     case EventType::kBusXfer:
       return "bus_xfer";
+    case EventType::kDestage:
+      return "destage";
+    case EventType::kFlush:
+      return "flush";
     case EventType::kMapAppend:
       return "map_append";
     case EventType::kGroupCommit:
@@ -66,6 +70,7 @@ TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& rhs) {
   head_switch += rhs.head_switch;
   rotation += rhs.rotation;
   transfer += rhs.transfer;
+  flush += rhs.flush;
   queueing += rhs.queueing;
   return *this;
 }
@@ -78,6 +83,7 @@ TimeBreakdown TimeBreakdown::operator-(const TimeBreakdown& rhs) const {
   d.head_switch = head_switch - rhs.head_switch;
   d.rotation = rotation - rhs.rotation;
   d.transfer = transfer - rhs.transfer;
+  d.flush = flush - rhs.flush;
   d.queueing = queueing - rhs.queueing;
   return d;
 }
@@ -153,6 +159,9 @@ void TraceRecorder::Charge(EventType type, Layer layer, common::Duration dur, ui
     case EventType::kBusXfer:
       bd.transfer += dur;
       break;
+    case EventType::kDestage:
+      bd.flush += dur;
+      break;
     default:
       break;
   }
@@ -227,6 +236,8 @@ std::string TraceRecorder::TraceJson() const {
       w.Int(s.breakdown.rotation);
       w.Key("transfer");
       w.Int(s.breakdown.transfer);
+      w.Key("flush");
+      w.Int(s.breakdown.flush);
       w.Key("queueing");
       w.Int(s.breakdown.queueing);
       w.EndObject();

@@ -53,7 +53,10 @@ enum class EventType : uint8_t {
   kRotation,    // Rotational delay.
   kMediaXfer,   // Media transfer.
   kBusXfer,     // Bus transfer out of the track buffer.
+  kDestage,     // Write-cache destage: mechanical time writing one dirty extent (a=lba,
+                // b=sectors). Emitted by Flush and by capacity-pressure drains.
   // Markers (dur == 0).
+  kFlush,         // A Flush command completed (a=extents destaged, b=sectors destaged).
   kMapAppend,     // Map sector(s) joined the virtual log (a=piece, or packed count; b=lba).
   kGroupCommit,   // A packed group commit covering a whole queue (a=requests, b=staged blocks).
   kCheckpoint,    // A full-map checkpoint (a=sequence number).
@@ -83,10 +86,11 @@ struct TimeBreakdown {
   common::Duration head_switch = 0;
   common::Duration rotation = 0;
   common::Duration transfer = 0;
+  common::Duration flush = 0;  // Write-cache destage time charged to this span.
   common::Duration queueing = 0;
 
   common::Duration Accounted() const {
-    return host_cpu + controller + seek + head_switch + rotation + transfer;
+    return host_cpu + controller + seek + head_switch + rotation + transfer + flush;
   }
   common::Duration Total() const { return Accounted() + queueing; }
 

@@ -21,9 +21,15 @@ class BlockDevice {
   // sectors. Charges simulated time to the device's clock.
   virtual common::Status Read(Lba lba, std::span<std::byte> out) = 0;
 
-  // Writes `in.size()` bytes starting at sector `lba` (whole sectors). Synchronous: when the
-  // call returns the data is on the media (or, for a VLD, committed through the virtual log).
+  // Writes `in.size()` bytes starting at sector `lba` (whole sectors). Acknowledged: when the
+  // call returns the data is readable and, on a device without a volatile write cache,
+  // durable. A device with a write-back cache may hold acknowledged writes in volatile state
+  // until Flush() — a crash can lose them or destage them out of order.
   virtual common::Status Write(Lba lba, std::span<const std::byte> in) = 0;
+
+  // Durability barrier: when Flush() returns, every write acknowledged before it is on stable
+  // media. Devices without a volatile cache are always durable, hence the default no-op.
+  virtual common::Status Flush() { return common::OkStatus(); }
 
   virtual uint64_t SectorCount() const = 0;
   virtual uint32_t SectorBytes() const = 0;

@@ -7,6 +7,7 @@
 
 #include "src/common/time.h"
 #include "src/simdisk/geometry.h"
+#include "src/simdisk/write_cache.h"
 
 namespace vlog::simdisk {
 
@@ -30,6 +31,9 @@ struct DiskParams {
   common::Duration head_switch = 0;    // Surface change within a cylinder.
   common::Duration scsi_overhead = 0;  // Per host command processing cost ("o" in Table 1).
   double bus_mb_per_s = 0;             // Host interface bandwidth, used for track-buffer hits.
+  // Volatile write-back cache. Disabled (capacity 0) by default: the paper's model commits
+  // every write before acknowledging it, and all presets preserve that.
+  WriteCacheParams cache;
 
   common::Duration RotationPeriod() const {
     return static_cast<common::Duration>(60.0e9 / rpm);

@@ -13,14 +13,16 @@ struct LatencyBreakdown {
   common::Duration scsi_overhead = 0;  // Per-command disk controller processing.
   common::Duration locate = 0;         // Seek + head switch + rotational delay.
   common::Duration transfer = 0;       // Media or bus transfer time.
+  common::Duration flush = 0;          // Write-cache destage work (Flush or capacity pressure).
   common::Duration other = 0;          // Host OS / file system processing.
 
-  common::Duration Total() const { return scsi_overhead + locate + transfer + other; }
+  common::Duration Total() const { return scsi_overhead + locate + transfer + flush + other; }
 
   LatencyBreakdown& operator+=(const LatencyBreakdown& rhs) {
     scsi_overhead += rhs.scsi_overhead;
     locate += rhs.locate;
     transfer += rhs.transfer;
+    flush += rhs.flush;
     other += rhs.other;
     return *this;
   }
@@ -30,6 +32,7 @@ struct LatencyBreakdown {
     d.scsi_overhead = scsi_overhead - rhs.scsi_overhead;
     d.locate = locate - rhs.locate;
     d.transfer = transfer - rhs.transfer;
+    d.flush = flush - rhs.flush;
     d.other = other - rhs.other;
     return d;
   }
@@ -42,6 +45,13 @@ struct DiskStats {
   uint64_t sectors_written = 0;
   uint64_t buffer_hits = 0;  // Reads served entirely from the track buffer.
   uint64_t seeks = 0;        // Requests that moved the arm.
+  // Write-back cache activity (all zero when the cache is disabled).
+  uint64_t cached_writes = 0;     // Writes acknowledged into the volatile cache.
+  uint64_t cache_read_hits = 0;   // Reads served entirely from dirty cached sectors.
+  uint64_t flushes = 0;           // Completed Flush commands (including no-op flushes).
+  uint64_t destage_extents = 0;   // Coalesced extents written to media by destages.
+  uint64_t destaged_sectors = 0;  // Sectors those extents covered.
+  uint64_t fua_writes = 0;        // Writes that bypassed the cache (force unit access).
   LatencyBreakdown breakdown;
 
   void Reset() { *this = DiskStats{}; }
@@ -56,6 +66,12 @@ struct DiskStats {
     d.sectors_written = sectors_written - rhs.sectors_written;
     d.buffer_hits = buffer_hits - rhs.buffer_hits;
     d.seeks = seeks - rhs.seeks;
+    d.cached_writes = cached_writes - rhs.cached_writes;
+    d.cache_read_hits = cache_read_hits - rhs.cache_read_hits;
+    d.flushes = flushes - rhs.flushes;
+    d.destage_extents = destage_extents - rhs.destage_extents;
+    d.destaged_sectors = destaged_sectors - rhs.destaged_sectors;
+    d.fua_writes = fua_writes - rhs.fua_writes;
     d.breakdown = breakdown - rhs.breakdown;
     return d;
   }

@@ -9,7 +9,7 @@
 namespace vlog::simdisk {
 
 SimDisk::SimDisk(DiskParams params, common::Clock* clock)
-    : params_(std::move(params)), clock_(clock) {
+    : params_(std::move(params)), clock_(clock), cache_(params_.cache) {
   media_.resize(params_.geometry.CapacityBytes());
 }
 
@@ -131,6 +131,20 @@ void SimDisk::Access(Lba lba, uint64_t sectors, bool is_write, bool host_command
     CatchUpReadAhead();
     ++stats_.read_requests;
     stats_.sectors_read += sectors;
+    if (cache_.enabled() && cache_.Contains(lba, sectors)) {
+      // Every requested sector is dirty in the write cache, i.e. still in controller RAM: the
+      // read is served over the bus without touching the media.
+      const common::Duration bus =
+          params_.BusTransferTime(sectors * params_.geometry.sector_bytes);
+      if (tracer_ != nullptr) {
+        tracer_->Charge(obs::EventType::kBusXfer, obs::Layer::kDisk, bus, lba, sectors);
+      }
+      clock_->Advance(bus);
+      last_request_.transfer = bus;
+      ++stats_.cache_read_hits;
+      stats_.breakdown += last_request_;
+      return;
+    }
     if (buffer_.Contains(lba, sectors)) {
       // Served from the track buffer: bus transfer only.
       const common::Duration bus =
@@ -249,15 +263,14 @@ common::Status SimDisk::ApplyWriteFault(Lba lba, std::span<const std::byte> in) 
 }
 
 common::Status SimDisk::Write(Lba lba, std::span<const std::byte> in) {
-  RETURN_IF_ERROR(CheckRange(lba, in.size(), "Write"));
-  RETURN_IF_ERROR(ApplyWriteFault(lba, in));
-  Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
-         /*host_command=*/true);
-  PokeMedia(lba, in);
-  if (write_observer_) {
-    write_observer_(lba, in);
+  if (cache_.enabled()) {
+    return WriteCached(lba, in, /*host_command=*/true);
   }
-  return common::OkStatus();
+  return WriteThrough(lba, in, /*host_command=*/true, /*fua=*/false);
+}
+
+common::Status SimDisk::WriteFua(Lba lba, std::span<const std::byte> in) {
+  return WriteThrough(lba, in, /*host_command=*/true, /*fua=*/true);
 }
 
 common::Status SimDisk::InternalRead(Lba lba, std::span<std::byte> out) {
@@ -269,14 +282,136 @@ common::Status SimDisk::InternalRead(Lba lba, std::span<std::byte> out) {
 }
 
 common::Status SimDisk::InternalWrite(Lba lba, std::span<const std::byte> in) {
-  RETURN_IF_ERROR(CheckRange(lba, in.size(), "InternalWrite"));
+  if (cache_.enabled()) {
+    return WriteCached(lba, in, /*host_command=*/false);
+  }
+  return WriteThrough(lba, in, /*host_command=*/false, /*fua=*/false);
+}
+
+common::Status SimDisk::InternalWriteFua(Lba lba, std::span<const std::byte> in) {
+  return WriteThrough(lba, in, /*host_command=*/false, /*fua=*/true);
+}
+
+common::Status SimDisk::WriteThrough(Lba lba, std::span<const std::byte> in, bool host_command,
+                                     bool fua) {
+  RETURN_IF_ERROR(CheckRange(lba, in.size(), host_command ? "Write" : "InternalWrite"));
   RETURN_IF_ERROR(ApplyWriteFault(lba, in));
-  Access(lba, in.size() / params_.geometry.sector_bytes, /*is_write=*/true,
-         /*host_command=*/false);
+  const uint64_t sectors = in.size() / params_.geometry.sector_bytes;
+  if (fua) {
+    ++stats_.fua_writes;
+    // The media copy written below supersedes any dirty cached copy of these sectors.
+    cache_.Discard(lba, sectors);
+  }
+  Access(lba, sectors, /*is_write=*/true, host_command);
   PokeMedia(lba, in);
   if (write_observer_) {
-    write_observer_(lba, in);
+    write_observer_(lba, in, /*durable=*/true);
   }
+  return common::OkStatus();
+}
+
+common::Status SimDisk::WriteCached(Lba lba, std::span<const std::byte> in, bool host_command) {
+  RETURN_IF_ERROR(CheckRange(lba, in.size(), host_command ? "Write" : "InternalWrite"));
+  RETURN_IF_ERROR(ApplyWriteFault(lba, in));
+  const uint64_t sectors = in.size() / params_.geometry.sector_bytes;
+  last_request_ = LatencyBreakdown{};
+  if (host_command) {
+    // Acknowledged from controller RAM: command processing plus the bus transfer, no
+    // mechanical work. Internal (firmware) writes into the cache are free.
+    if (tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kController, obs::Layer::kDisk, params_.scsi_overhead,
+                      lba, sectors);
+    }
+    clock_->Advance(params_.scsi_overhead);
+    last_request_.scsi_overhead = params_.scsi_overhead;
+    const common::Duration bus = params_.BusTransferTime(in.size());
+    if (tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kBusXfer, obs::Layer::kDisk, bus, lba, sectors);
+    }
+    clock_->Advance(bus);
+    last_request_.transfer = bus;
+  }
+  buffer_.InvalidateIfOverlaps(lba, sectors);
+  ++stats_.write_requests;
+  stats_.sectors_written += sectors;
+  ++stats_.cached_writes;
+  // The media array is the read path's source of truth, so the data lands there at ack time;
+  // the cache only tracks which sectors would still be volatile after a power cut.
+  PokeMedia(lba, in);
+  const bool over_capacity = cache_.Insert(lba, sectors);
+  if (write_observer_) {
+    write_observer_(lba, in, /*durable=*/false);
+  }
+  if (over_capacity) {
+    // Capacity pressure: the drive destages the whole dirty set before accepting more work.
+    last_request_.flush = DrainCache();
+  }
+  stats_.breakdown += last_request_;
+  return common::OkStatus();
+}
+
+common::Duration SimDisk::DestageExtent(Lba lba, uint64_t sectors) {
+  // Same track-by-track mechanics as Access, but silenced: the caller reports the whole extent
+  // as one kDestage event and books the time under the flush bucket rather than locate/transfer.
+  obs::TraceRecorder* const saved_tracer = tracer_;
+  const LatencyBreakdown saved_last = last_request_;
+  tracer_ = nullptr;
+  const common::Time start = clock_->Now();
+  const uint32_t n = params_.geometry.sectors_per_track;
+  Lba pos = lba;
+  uint64_t remaining = sectors;
+  bool first = true;
+  while (remaining > 0) {
+    const uint64_t track = params_.geometry.TrackOf(pos);
+    const Lba track_end = params_.geometry.TrackStart(track) + n;
+    const uint64_t run = std::min<uint64_t>(remaining, track_end - pos);
+    Position(pos, /*sequential=*/!first);
+    clock_->Advance(params_.SectorTime() * static_cast<common::Duration>(run));
+    pos += run;
+    remaining -= run;
+    first = false;
+  }
+  tracer_ = saved_tracer;
+  last_request_ = saved_last;
+  return clock_->Now() - start;
+}
+
+common::Duration SimDisk::DrainCache() {
+  common::Duration total = 0;
+  for (const WriteCache::Extent& e : cache_.Drain()) {
+    const common::Duration dur = DestageExtent(e.lba, e.sectors);
+    if (tracer_ != nullptr) {
+      tracer_->Charge(obs::EventType::kDestage, obs::Layer::kDisk, dur, e.lba, e.sectors);
+    }
+    ++stats_.destage_extents;
+    stats_.destaged_sectors += e.sectors;
+    total += dur;
+  }
+  // Every acknowledged write is now on the media.
+  if (flush_observer_) {
+    flush_observer_();
+  }
+  return total;
+}
+
+common::Status SimDisk::Flush() {
+  if (!cache_.enabled()) {
+    return common::OkStatus();
+  }
+  last_request_ = LatencyBreakdown{};
+  const uint64_t extents_before = stats_.destage_extents;
+  const uint64_t sectors_before = stats_.destaged_sectors;
+  // Command overhead is absorbed into the destage work: an empty flush is free, which keeps
+  // barrier-heavy callers (the VLD flushes around every map append) from paying a per-command
+  // tax the write-through model never charged.
+  last_request_.flush = DrainCache();
+  ++stats_.flushes;
+  if (tracer_ != nullptr) {
+    tracer_->Annotate(obs::EventType::kFlush, obs::Layer::kDisk,
+                      stats_.destage_extents - extents_before,
+                      stats_.destaged_sectors - sectors_before);
+  }
+  stats_.breakdown += last_request_;
   return common::OkStatus();
 }
 

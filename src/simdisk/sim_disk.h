@@ -32,15 +32,26 @@ class SimDisk : public BlockDevice {
  public:
   SimDisk(DiskParams params, common::Clock* clock);
 
-  // BlockDevice: host commands. Each charges the SCSI command overhead.
+  // BlockDevice: host commands. Each charges the SCSI command overhead. With a write-back
+  // cache enabled, Write acknowledges after controller + bus time only and the mechanical work
+  // is deferred to Flush (or capacity pressure).
   common::Status Read(Lba lba, std::span<std::byte> out) override;
   common::Status Write(Lba lba, std::span<const std::byte> in) override;
+  // Destages every dirty cached extent to the media and returns once all acknowledged writes
+  // are durable. Free no-op when the cache is disabled.
+  common::Status Flush() override;
   uint64_t SectorCount() const override { return params_.geometry.TotalSectors(); }
   uint32_t SectorBytes() const override { return params_.geometry.sector_bytes; }
+
+  // Force-unit-access write: bypasses the write cache (discarding any cached copy it
+  // supersedes) and commits to media before acknowledging. Identical to Write when the cache
+  // is disabled.
+  common::Status WriteFua(Lba lba, std::span<const std::byte> in);
 
   // In-disk operations used by VLD firmware and the compactor: no SCSI command overhead.
   common::Status InternalRead(Lba lba, std::span<std::byte> out);
   common::Status InternalWrite(Lba lba, std::span<const std::byte> in);
+  common::Status InternalWriteFua(Lba lba, std::span<const std::byte> in);
 
   // Charges one SCSI command's controller overhead. The VLD calls this once per *host* command
   // before issuing however many internal operations the command expands to.
@@ -136,17 +147,41 @@ class SimDisk : public BlockDevice {
     }
   }
 
-  // Observer invoked after every successful media write (host or internal) with the written
-  // range and payload. Faulted writes do not reach the observer, matching their kIoError result.
+  // Observer invoked after every successfully acknowledged write (host or internal) with the
+  // written range and payload. `durable` is true when the write is committed to stable media at
+  // acknowledgement time (write-through or FUA) and false when it was acknowledged into the
+  // volatile cache. Faulted writes do not reach the observer, matching their kIoError result.
   // Used by the crashsim recording shim; null disables.
-  using WriteObserver = std::function<void(Lba lba, std::span<const std::byte> data)>;
+  using WriteObserver =
+      std::function<void(Lba lba, std::span<const std::byte> data, bool durable)>;
   void set_write_observer(WriteObserver observer) { write_observer_ = std::move(observer); }
+
+  // Observer invoked whenever every previously acknowledged write has just become durable: at
+  // the end of each Flush and of each capacity-pressure drain. The crashsim recording shim uses
+  // it to mark durability barriers in the write trace; null disables.
+  using FlushObserver = std::function<void()>;
+  void set_flush_observer(FlushObserver observer) { flush_observer_ = std::move(observer); }
+
+  // Write-back cache introspection (dirty-extent timing model; media is always current).
+  const WriteCache& cache() const { return cache_; }
+  uint64_t cache_dirty_sectors() const { return cache_.dirty_sectors(); }
 
  private:
   common::Status CheckRange(Lba lba, size_t bytes, const char* op) const;
   // Checks the armed write fault before a write touches media. Returns ok when the write should
   // proceed normally; otherwise applies whatever the fault mode persists and returns kIoError.
   common::Status ApplyWriteFault(Lba lba, std::span<const std::byte> in);
+  // Write-through path shared by Write/InternalWrite (cache disabled) and the FUA variants.
+  common::Status WriteThrough(Lba lba, std::span<const std::byte> in, bool host_command,
+                              bool fua);
+  // Acknowledges a write into the volatile cache: controller + bus time for host commands,
+  // free for internal ones. Triggers a capacity-pressure drain when the dirty set overflows.
+  common::Status WriteCached(Lba lba, std::span<const std::byte> in, bool host_command);
+  // Mechanically writes one dirty extent (no events — the caller charges the returned duration
+  // as a single kDestage event so breakdowns land in the flush bucket).
+  common::Duration DestageExtent(Lba lba, uint64_t sectors);
+  // Destages the whole dirty set and fires the flush observer. Returns total destage time.
+  common::Duration DrainCache();
   // Performs the mechanical work of accessing [lba, lba+sectors), advancing the clock and
   // filling `last_request_`. `host_command` charges SCSI overhead.
   void Access(Lba lba, uint64_t sectors, bool is_write, bool host_command);
@@ -171,6 +206,8 @@ class SimDisk : public BlockDevice {
   std::optional<WriteFault> write_fault_;
   bool write_fault_fired_ = false;
   WriteObserver write_observer_;
+  FlushObserver flush_observer_;
+  WriteCache cache_;
   obs::TraceRecorder* tracer_ = nullptr;
 };
 

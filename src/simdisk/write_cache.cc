@@ -1,0 +1,102 @@
+#include "src/simdisk/write_cache.h"
+
+#include <algorithm>
+
+namespace vlog::simdisk {
+
+bool WriteCache::Contains(Lba lba, uint64_t sectors) const {
+  if (extents_.empty() || sectors == 0) {
+    return false;
+  }
+  auto it = extents_.upper_bound(lba);
+  if (it == extents_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= lba && lba + sectors <= it->first + it->second.sectors;
+}
+
+bool WriteCache::Insert(Lba lba, uint64_t sectors) {
+  if (sectors == 0) {
+    return false;
+  }
+  Lba start = lba;
+  Lba end = lba + sectors;
+  uint64_t seq = next_seq_++;
+  // Merge every overlapping or adjacent extent into [start, end), keeping the oldest sequence
+  // number so FIFO draining reflects when the range first became dirty.
+  auto it = extents_.upper_bound(start);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.sectors >= start) {
+      it = prev;
+    }
+  }
+  while (it != extents_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->first + it->second.sectors);
+    seq = std::min(seq, it->second.seq);
+    dirty_sectors_ -= it->second.sectors;
+    it = extents_.erase(it);
+  }
+  extents_[start] = DirtyExtent{end - start, seq};
+  dirty_sectors_ += end - start;
+  return dirty_sectors_ > params_.capacity_sectors;
+}
+
+void WriteCache::Discard(Lba lba, uint64_t sectors) {
+  if (sectors == 0 || extents_.empty()) {
+    return;
+  }
+  const Lba end = lba + sectors;
+  auto it = extents_.upper_bound(lba);
+  if (it != extents_.begin()) {
+    --it;
+  }
+  while (it != extents_.end() && it->first < end) {
+    const Lba e_start = it->first;
+    const Lba e_end = e_start + it->second.sectors;
+    const uint64_t seq = it->second.seq;
+    if (e_end <= lba) {
+      ++it;
+      continue;
+    }
+    dirty_sectors_ -= it->second.sectors;
+    it = extents_.erase(it);
+    if (e_start < lba) {
+      extents_[e_start] = DirtyExtent{lba - e_start, seq};
+      dirty_sectors_ += lba - e_start;
+    }
+    if (e_end > end) {
+      it = extents_.emplace(end, DirtyExtent{e_end - end, seq}).first;
+      dirty_sectors_ += e_end - end;
+      ++it;
+    }
+  }
+}
+
+std::vector<WriteCache::Extent> WriteCache::Drain() {
+  std::vector<Extent> out;
+  out.reserve(extents_.size());
+  if (params_.order == DestageOrder::kFifo) {
+    std::vector<std::pair<uint64_t, Extent>> by_seq;
+    by_seq.reserve(extents_.size());
+    for (const auto& [lba, e] : extents_) {
+      by_seq.push_back({e.seq, Extent{lba, e.sectors}});
+    }
+    std::sort(by_seq.begin(), by_seq.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [seq, extent] : by_seq) {
+      out.push_back(extent);
+    }
+  } else {
+    for (const auto& [lba, e] : extents_) {
+      out.push_back(Extent{lba, e.sectors});
+    }
+  }
+  extents_.clear();
+  dirty_sectors_ = 0;
+  return out;
+}
+
+}  // namespace vlog::simdisk

@@ -1,0 +1,80 @@
+// Volatile write-back cache model for the simulated disk.
+//
+// A real drive with write caching enabled acknowledges a write as soon as the data is in
+// controller RAM and destages it to the media later, in whatever order suits the head — which
+// means an un-flushed write can be lost, and writes can reach the media in a different order
+// than they were acknowledged. The cache here models exactly that contract: it tracks *which*
+// sectors are dirty (the data itself lives in the SimDisk's media array, which is always
+// current), so the only observable effects are timing (acks are cheap, Flush pays the
+// mechanical destage cost) and crash semantics (the crashsim layer replays acknowledged-but-
+// unflushed writes as an arbitrary admissible subset/ordering).
+//
+// Capacity 0 disables the cache entirely: every write is written through synchronously and
+// Flush is a free no-op, preserving bit-identical timing with the cacheless model.
+#ifndef SRC_SIMDISK_WRITE_CACHE_H_
+#define SRC_SIMDISK_WRITE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/simdisk/geometry.h"
+
+namespace vlog::simdisk {
+
+// Order in which Flush()/capacity-pressure destages walk the dirty extents.
+enum class DestageOrder : uint8_t {
+  kLbaAscending,  // One elevator pass in LBA order (minimises positioning).
+  kFifo,          // Oldest extent first (insertion order).
+};
+
+struct WriteCacheParams {
+  uint64_t capacity_sectors = 0;  // 0 = write-through (cache disabled).
+  DestageOrder order = DestageOrder::kLbaAscending;
+};
+
+class WriteCache {
+ public:
+  WriteCache() = default;
+  explicit WriteCache(WriteCacheParams params) : params_(params) {}
+
+  bool enabled() const { return params_.capacity_sectors > 0; }
+  const WriteCacheParams& params() const { return params_; }
+  uint64_t dirty_sectors() const { return dirty_sectors_; }
+  bool clean() const { return extents_.empty(); }
+
+  // True when [lba, lba+sectors) is entirely dirty (a write-cache read hit).
+  bool Contains(Lba lba, uint64_t sectors) const;
+
+  // Marks [lba, lba+sectors) dirty, coalescing with adjacent/overlapping extents. Returns true
+  // when the dirty set now exceeds capacity (the caller must destage).
+  bool Insert(Lba lba, uint64_t sectors);
+
+  // Drops any dirty sectors in [lba, lba+sectors) without destaging them — used by FUA writes,
+  // which supersede the cached copy by writing the sector through to the media.
+  void Discard(Lba lba, uint64_t sectors);
+
+  struct Extent {
+    Lba lba = 0;
+    uint64_t sectors = 0;
+  };
+
+  // Removes and returns every dirty extent in destage order (the whole cache drains — small
+  // drive caches destage fully once they start).
+  std::vector<Extent> Drain();
+
+ private:
+  struct DirtyExtent {
+    uint64_t sectors = 0;
+    uint64_t seq = 0;  // First-insert sequence, kept through merges for FIFO draining.
+  };
+
+  WriteCacheParams params_;
+  std::map<Lba, DirtyExtent> extents_;  // Disjoint, non-adjacent after coalescing.
+  uint64_t dirty_sectors_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace vlog::simdisk
+
+#endif  // SRC_SIMDISK_WRITE_CACHE_H_

@@ -789,7 +789,9 @@ common::Status Ufs::Sync() {
       cg_dirty_[cg] = false;
     }
   }
-  return device_->Write(0, sb_.Serialize());
+  RETURN_IF_ERROR(device_->Write(0, sb_.Serialize()));
+  // Sync promises durability, so drain the device's volatile write cache too.
+  return device_->Flush();
 }
 
 common::Status Ufs::DropCaches() {

@@ -14,7 +14,9 @@ simdisk::DiskParams DiskFor(const PlatformConfig& config) {
   if (cylinders == 0) {
     cylinders = hp ? 36 : 11;  // The paper's 24 MB kernel-ramdisk truncation.
   }
-  return simdisk::Truncated(params, cylinders);
+  simdisk::DiskParams truncated = simdisk::Truncated(params, cylinders);
+  truncated.cache = config.cache;
+  return truncated;
 }
 
 simdisk::HostParams HostFor(HostKind kind) {

@@ -34,6 +34,8 @@ struct PlatformConfig {
   HostKind host_kind = HostKind::kSparc10;
   // 0 = the paper's truncation (36 HP cylinders / 11 Seagate cylinders, ~24 MB).
   uint32_t cylinders = 0;
+  // Volatile write-back drive cache (capacity 0 = write-through, the default).
+  simdisk::WriteCacheParams cache;
   core::VldConfig vld;
   lfs::LldConfig lld;
   lfs::SimpleFsConfig simple_fs;

@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/crashsim/crash_point.h"
+#include "src/crashsim/write_trace.h"
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/host_model.h"
 #include "src/simdisk/sim_disk.h"
+#include "src/ufs/ufs.h"
 #include "src/vlfs/vlfs.h"
 #include "src/workload/platform.h"
 
@@ -49,21 +52,25 @@ const char* StackName(Stack stack) {
 }
 
 // Owns whichever stack the parameter selects and exposes it as fs::FileSystem.
+// `cache_sectors` > 0 puts a volatile write-back cache under the whole stack.
 class StackHarness {
  public:
-  explicit StackHarness(Stack stack) {
+  explicit StackHarness(Stack stack, uint64_t cache_sectors = 0) {
     if (stack == Stack::kVlfs) {
-      disk_ = std::make_unique<simdisk::SimDisk>(
-          simdisk::Truncated(simdisk::SeagateSt19101(), 6), &clock_);
+      simdisk::DiskParams params = simdisk::Truncated(simdisk::SeagateSt19101(), 6);
+      params.cache.capacity_sectors = cache_sectors;
+      disk_ = std::make_unique<simdisk::SimDisk>(params, &clock_);
       host_ = std::make_unique<simdisk::HostModel>(simdisk::ZeroCostHost(), &clock_);
       vlfs_ = std::make_unique<vlfs::Vlfs>(disk_.get(), host_.get());
       EXPECT_TRUE(vlfs_->Format().ok());
       fs_ = vlfs_.get();
+      raw_ = disk_.get();
       return;
     }
     workload::PlatformConfig config;
     config.host_kind = workload::HostKind::kZeroCost;
     config.cylinders = 6;
+    config.cache.capacity_sectors = cache_sectors;
     config.fs_kind = (stack == Stack::kUfsRegular || stack == Stack::kUfsVld)
                          ? workload::FsKind::kUfs
                          : workload::FsKind::kLfs;
@@ -73,9 +80,11 @@ class StackHarness {
     platform_ = std::make_unique<workload::Platform>(config);
     EXPECT_TRUE(platform_->Format().ok());
     fs_ = &platform_->fs();
+    raw_ = &platform_->raw_disk();
   }
 
   fs::FileSystem& fs() { return *fs_; }
+  simdisk::SimDisk& raw_disk() { return *raw_; }
 
  private:
   common::Clock clock_;
@@ -84,6 +93,7 @@ class StackHarness {
   std::unique_ptr<vlfs::Vlfs> vlfs_;
   std::unique_ptr<workload::Platform> platform_;
   fs::FileSystem* fs_ = nullptr;
+  simdisk::SimDisk* raw_ = nullptr;
 };
 
 class FsConformanceTest : public ::testing::TestWithParam<Stack> {
@@ -240,6 +250,205 @@ INSTANTIATE_TEST_SUITE_P(AllStacks, FsConformanceTest,
                          [](const ::testing::TestParamInfo<Stack>& param_info) {
                            return StackName(param_info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Barrier semantics over a volatile write-back drive cache.
+//
+// The uniform contract across every stack: a write may be acknowledged while
+// its sectors still sit in the drive's volatile cache (acked-before-sync data
+// is allowed to be lost by a power cut), but once Sync() returns, no volatile
+// sector remains anywhere below the file system — every sync point maps onto
+// a device-level flush barrier. VLD-backed stacks and the VLFS are stricter:
+// every acknowledged command is already durable.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kCacheSectors = 4096;  // 2 MB: generous, so no pressure drains.
+
+class CachedFsBarrierTest : public ::testing::TestWithParam<Stack> {
+ protected:
+  CachedFsBarrierTest() : harness_(GetParam(), kCacheSectors) {}
+  fs::FileSystem& fs() { return harness_.fs(); }
+  simdisk::SimDisk& disk() { return harness_.raw_disk(); }
+  StackHarness harness_;
+};
+
+TEST_P(CachedFsBarrierTest, SyncDrainsEveryVolatileSector) {
+  ASSERT_TRUE(fs().Create("/durable").ok());
+  const auto data = Pattern(100000, 21);
+  ASSERT_TRUE(fs().Write("/durable", 0, data, fs::WritePolicy::kAsync).ok());
+  const auto patch = Pattern(8192, 22);
+  ASSERT_TRUE(fs().Write("/durable", 4096, patch, fs::WritePolicy::kSync).ok());
+  ASSERT_TRUE(fs().Sync().ok());
+  EXPECT_EQ(disk().cache_dirty_sectors(), 0u)
+      << "Sync must leave nothing in the volatile drive cache";
+  auto expected = data;
+  std::memcpy(expected.data() + 4096, patch.data(), patch.size());
+  std::vector<std::byte> out(expected.size());
+  ASSERT_TRUE(fs().Read("/durable", 0, out).ok());
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(CachedFsBarrierTest, VldBackedAcknowledgementsAreAlreadyDurable) {
+  const Stack stack = GetParam();
+  if (stack == Stack::kUfsRegular || stack == Stack::kLfsRegular) {
+    GTEST_SKIP() << "regular disks promise durability only at Sync";
+  }
+  ASSERT_TRUE(fs().Create("/acked").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        fs().Write("/acked", i * 8192, Pattern(8192, 30 + i), fs::WritePolicy::kSync).ok());
+    EXPECT_EQ(disk().cache_dirty_sectors(), 0u)
+        << "an acknowledged VLD-backed sync write must already be on the media (write " << i
+        << ")";
+  }
+}
+
+TEST_P(CachedFsBarrierTest, AckedBeforeSyncMayRemainVolatile) {
+  if (GetParam() != Stack::kUfsRegular) {
+    GTEST_SKIP() << "only the in-place FFS stack writes through to the cache before Sync";
+  }
+  ASSERT_TRUE(fs().Create("/limbo").ok());
+  ASSERT_TRUE(fs().Write("/limbo", 0, Pattern(8192, 40), fs::WritePolicy::kSync).ok());
+  // The write was acknowledged, yet its sectors sit in the volatile cache: this is exactly the
+  // window a crash may lose, and why the crash sweeps model destage reordering.
+  EXPECT_GT(disk().cache_dirty_sectors(), 0u);
+  ASSERT_TRUE(fs().Sync().ok());
+  EXPECT_EQ(disk().cache_dirty_sectors(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, CachedFsBarrierTest,
+                         ::testing::Values(Stack::kUfsRegular, Stack::kUfsVld,
+                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs),
+                         [](const ::testing::TestParamInfo<Stack>& param_info) {
+                           return StackName(param_info.param);
+                         });
+
+// Remount-level replay: everything synced before the barrier survives EVERY admissible destage
+// subset/ordering of the writes acknowledged after it.
+TEST(CachedBarrierRemountTest, UfsSyncedDataSurvivesEveryTailDestageOrdering) {
+  simdisk::DiskParams params = simdisk::Truncated(simdisk::SeagateSt19101(), 6);
+  params.cache.capacity_sectors = kCacheSectors;
+  common::Clock clock;
+  simdisk::SimDisk disk(params, &clock);
+  simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
+  ufs::Ufs fs(&disk, &host);
+  ASSERT_TRUE(fs.Format().ok());
+
+  crashsim::WriteTrace trace;
+  trace.set_base(crashsim::SnapshotMedia(disk));
+  trace.set_write_back(true);
+  disk.set_write_observer([&](simdisk::Lba lba, std::span<const std::byte> data, bool durable) {
+    trace.Append(lba, data, durable);
+  });
+  disk.set_flush_observer([&] { trace.AppendBarrier(); });
+
+  const auto kept = Pattern(3 * 8192, 41);
+  ASSERT_TRUE(fs.Create("/kept").ok());
+  ASSERT_TRUE(fs.Write("/kept", 0, kept, fs::WritePolicy::kSync).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+  const uint64_t synced = trace.size();
+
+  // Acknowledged after the barrier: a power cut may persist any subset, in any order.
+  ASSERT_TRUE(fs.Create("/lost").ok());
+  ASSERT_TRUE(fs.Write("/lost", 0, Pattern(2 * 8192, 42), fs::WritePolicy::kSync).ok());
+  disk.set_write_observer(nullptr);
+  disk.set_flush_observer(nullptr);
+  ASSERT_GT(trace.size(), synced) << "tail traffic is required for this test to bite";
+  EXPECT_GT(disk.cache_dirty_sectors(), 0u) << "the tail must still be volatile";
+
+  const uint32_t sector_bytes = params.geometry.sector_bytes;
+  std::vector<uint64_t> tail;
+  for (uint64_t i = synced; i < trace.size(); ++i) {
+    tail.push_back(i);
+  }
+  common::Rng rng(17);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::byte> image = trace.base();
+    for (uint64_t i = 0; i < synced; ++i) {
+      crashsim::ApplyWrite(image, trace[i], sector_bytes);
+    }
+    // A uniform random k-subset of the tail, applied in uniform random order.
+    std::vector<uint64_t> pool = tail;
+    const uint64_t k = rng.Below(pool.size() + 1);
+    for (uint64_t i = 0; i < k; ++i) {
+      std::swap(pool[i], pool[i + rng.Below(pool.size() - i)]);
+    }
+    for (uint64_t i = 0; i < k; ++i) {
+      crashsim::ApplyWrite(image, trace[pool[i]], sector_bytes);
+    }
+
+    common::Clock clock2;
+    simdisk::SimDisk disk2(params, &clock2);
+    disk2.PokeMedia(0, image);
+    simdisk::HostModel host2(simdisk::ZeroCostHost(), &clock2);
+    ufs::Ufs fs2(&disk2, &host2);
+    ASSERT_TRUE(fs2.Mount().ok()) << "round " << round;
+    std::vector<std::byte> out(kept.size());
+    auto n = fs2.Read("/kept", 0, out);
+    ASSERT_TRUE(n.ok()) << "round " << round;
+    ASSERT_EQ(*n, kept.size()) << "round " << round;
+    EXPECT_EQ(out, kept) << "synced file damaged by a tail destage ordering (round " << round
+                         << ")";
+  }
+}
+
+// The VLFS never leaves an acknowledged operation volatile: its commit barriers flush the
+// cache, so the last barrier always covers every volatile record — and a remount from the
+// synced cut restores exactly the synced namespace.
+TEST(CachedBarrierRemountTest, VlfsAcknowledgedOpsSurviveRemountAtSyncBarrier) {
+  simdisk::DiskParams params = simdisk::Truncated(simdisk::SeagateSt19101(), 6);
+  params.cache.capacity_sectors = kCacheSectors;
+  common::Clock clock;
+  simdisk::SimDisk disk(params, &clock);
+  simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
+  vlfs::Vlfs fs(&disk, &host);
+  ASSERT_TRUE(fs.Format().ok());
+
+  crashsim::WriteTrace trace;
+  trace.set_base(crashsim::SnapshotMedia(disk));
+  trace.set_write_back(true);
+  disk.set_write_observer([&](simdisk::Lba lba, std::span<const std::byte> data, bool durable) {
+    trace.Append(lba, data, durable);
+  });
+  disk.set_flush_observer([&] { trace.AppendBarrier(); });
+
+  const auto kept = Pattern(2 * 8192, 51);
+  ASSERT_TRUE(fs.Create("/kept").ok());
+  ASSERT_TRUE(fs.Write("/kept", 0, kept, fs::WritePolicy::kSync).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+  const uint64_t synced = trace.size();
+  EXPECT_EQ(disk.cache_dirty_sectors(), 0u) << "acknowledged VLFS ops are already durable";
+
+  ASSERT_TRUE(fs.Create("/later").ok());
+  ASSERT_TRUE(fs.Write("/later", 0, Pattern(8192, 52), fs::WritePolicy::kSync).ok());
+  disk.set_write_observer(nullptr);
+  disk.set_flush_observer(nullptr);
+
+  // Barrier discipline: every volatile record lies at or before the last barrier.
+  ASSERT_FALSE(trace.barriers().empty());
+  for (uint64_t i = trace.barriers().back(); i < trace.size(); ++i) {
+    EXPECT_TRUE(trace[i].durable) << "volatile record " << i << " after the last barrier";
+  }
+
+  const uint32_t sector_bytes = params.geometry.sector_bytes;
+  std::vector<std::byte> image = trace.base();
+  for (uint64_t i = 0; i < synced; ++i) {
+    crashsim::ApplyWrite(image, trace[i], sector_bytes);
+  }
+  common::Clock clock2;
+  simdisk::SimDisk disk2(params, &clock2);
+  disk2.PokeMedia(0, image);
+  simdisk::HostModel host2(simdisk::ZeroCostHost(), &clock2);
+  vlfs::Vlfs fs2(&disk2, &host2);
+  ASSERT_TRUE(fs2.Recover().ok());
+  std::vector<std::byte> out(kept.size());
+  auto n = fs2.Read("/kept", 0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, kept.size());
+  EXPECT_EQ(out, kept);
+  EXPECT_EQ(fs2.Stat("/later").status().code(), common::StatusCode::kNotFound)
+      << "/later was created after the crash cut";
+}
 
 }  // namespace
 }  // namespace vlog

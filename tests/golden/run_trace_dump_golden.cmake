@@ -1,0 +1,23 @@
+# Golden-output check for `trace_dump --json`: runs the canned cached workload and requires the
+# vlog-trace/1 dump to be byte-identical to the checked-in golden file. Catches accidental schema
+# or determinism regressions (new fields, reordered keys, nondeterministic ids/timestamps).
+#
+# Invoked by ctest as:
+#   cmake -DTOOL=<trace_dump> -DGOLDEN=<golden.json> -DOUT=<scratch.json> -P this_file
+#
+# Regenerate the golden after an intentional schema change with:
+#   build/tools/trace_dump --depth=2 --rounds=2 --cache=256 --json > tests/golden/trace_dump_cached.json
+execute_process(
+  COMMAND ${TOOL} --depth=2 --rounds=2 --cache=256 --json
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_dump exited with ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "trace_dump --json output differs from golden ${GOLDEN}; "
+                      "if the schema change is intentional, regenerate the golden file")
+endif()

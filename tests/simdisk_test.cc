@@ -284,8 +284,10 @@ TEST_F(SimDiskTest, FaultKeepsFiringUntilCleared) {
 
 TEST_F(SimDiskTest, WriteObserverSeesOnlyAcknowledgedWrites) {
   std::vector<std::pair<Lba, size_t>> seen;
-  disk_.set_write_observer(
-      [&](Lba lba, std::span<const std::byte> in) { seen.emplace_back(lba, in.size()); });
+  disk_.set_write_observer([&](Lba lba, std::span<const std::byte> in, bool durable) {
+    EXPECT_TRUE(durable);  // No write cache configured: every write is durable on ack.
+    seen.emplace_back(lba, in.size());
+  });
   ASSERT_TRUE(disk_.Write(8, Pattern(2 * 512, 1)).ok());
   ASSERT_TRUE(disk_.InternalWrite(32, Pattern(512, 2)).ok());
   disk_.SetWriteFault(SimDisk::WriteFault{.mode = SimDisk::WriteFaultMode::kTornPrefix,

@@ -6,6 +6,8 @@
 //   trace_dump --events        the chronological event log (all spans interleaved)
 //   trace_dump --json          the raw vlog-trace/1 JSON (byte-identical across runs)
 //   --depth=D --rounds=R       workload shape (defaults: depth 4, 8 rounds)
+//   --cache=N                  volatile write-back cache of N sectors (default 0 = off); the
+//                              VLD's barriers then destage it, so flush/destage events appear
 //
 // The workload is deterministic (fixed seed on the virtual clock), so every mode's output is
 // stable run to run — the same property the trace determinism test asserts.
@@ -46,6 +48,7 @@ void PrintEvent(const obs::TraceEvent& e) {
 int main(int argc, char** argv) {
   uint32_t depth = 4;
   int rounds = 8;
+  uint64_t cache_sectors = 0;
   uint64_t show_span = 0;
   bool show_events = false;
   bool show_json = false;
@@ -54,6 +57,8 @@ int main(int argc, char** argv) {
       depth = static_cast<uint32_t>(std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
       rounds = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache_sectors = static_cast<uint64_t>(std::atoll(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--span=", 7) == 0) {
       show_span = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--events") == 0) {
@@ -62,7 +67,8 @@ int main(int argc, char** argv) {
       show_json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: trace_dump [--depth=D] [--rounds=R] [--span=N|--events|--json]\n");
+                   "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] "
+                   "[--span=N|--events|--json]\n");
       return 2;
     }
   }
@@ -74,7 +80,9 @@ int main(int argc, char** argv) {
   // The canned workload: `rounds` closed-loop rounds of `depth` random 4 KB updates through
   // the queued VLD engine (group commit), traced end to end.
   common::Clock clock;
-  simdisk::SimDisk disk(simdisk::Truncated(simdisk::Hp97560(), 36), &clock);
+  simdisk::DiskParams params = simdisk::Truncated(simdisk::Hp97560(), 36);
+  params.cache.capacity_sectors = cache_sectors;
+  simdisk::SimDisk disk(params, &clock);
   obs::TraceRecorder tracer(&clock);
   disk.set_tracer(&tracer);
   core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
@@ -123,25 +131,25 @@ int main(int argc, char** argv) {
     }
     const obs::TimeBreakdown& bd = span->breakdown;
     std::printf("  breakdown: queueing %.3f + controller %.3f + seek %.3f + head_switch %.3f "
-                "+ rotation %.3f + transfer %.3f + host %.3f = %.3f ms\n",
+                "+ rotation %.3f + transfer %.3f + flush %.3f + host %.3f = %.3f ms\n",
                 Ms(bd.queueing), Ms(bd.controller), Ms(bd.seek), Ms(bd.head_switch),
-                Ms(bd.rotation), Ms(bd.transfer), Ms(bd.host_cpu), Ms(bd.Total()));
+                Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.host_cpu), Ms(bd.Total()));
     return 0;
   }
 
   std::printf("%u-deep queued VLD writes, %d rounds: %llu spans, %zu events\n", depth, rounds,
               static_cast<unsigned long long>(tracer.spans().size()), tracer.event_count());
-  std::printf("%6s %6s %10s %10s | %9s %9s %9s %9s %9s %9s\n", "span", "layer", "submit ms",
-              "latency", "queue", "ctrl", "seek", "rot", "xfer", "total");
+  std::printf("%6s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "layer", "submit ms",
+              "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
   for (const auto& [id, span] : tracer.spans()) {
     if (span.open) {
       continue;
     }
     const obs::TimeBreakdown& bd = span.breakdown;
-    std::printf("%6llu %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+    std::printf("%6llu %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
                 static_cast<unsigned long long>(id), obs::LayerName(span.layer),
                 Ms(span.submit), Ms(span.Latency()), Ms(bd.queueing), Ms(bd.controller),
-                Ms(bd.seek), Ms(bd.rotation), Ms(bd.transfer), Ms(bd.Total()));
+                Ms(bd.seek), Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.Total()));
   }
   std::printf("(rerun with --span=N for one span's event tree, --events for the full log,\n"
               " --json for the machine-readable vlog-trace/1 dump)\n");
