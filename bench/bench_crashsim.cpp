@@ -134,7 +134,9 @@ int main(int argc, char** argv) {
     for (const auto scenario :
          {crashsim::VldScenario::kUfsOnVld, crashsim::VldScenario::kCompactorActive,
           crashsim::VldScenario::kCheckpointInterrupted,
-          crashsim::VldScenario::kQueuedGroupCommit, crashsim::VldScenario::kLfsOnVld}) {
+          crashsim::VldScenario::kQueuedGroupCommit,
+          crashsim::VldScenario::kQueuedMixedReadWrite,
+          crashsim::VldScenario::kLfsOnVld}) {
       run(crashsim::VldScenarioName(scenario), cached, [&] {
         crashsim::VldCrashSim sim(params, crashsim::CrashSimVldConfig());
         bench::Check(crashsim::RecordVldScenario(scenario, sim), "record");

@@ -5,7 +5,11 @@
 // IOPS and mean/p50/p90/p99 per-request latency with the queueing/controller/seek/rotation/
 // transfer breakdown from the trace layer, plus the synchronous baseline the depth-1 row must
 // match exactly, and a raw-disk FCFS vs SPTF comparison for the positional scheduler.
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -167,11 +171,83 @@ int main(int argc, char** argv) {
     cached_flush_seen |= r.breakdown.flush > 0;
   }
 
+  // Mixed read/write legs: reads join the queue (SubmitRead), where the positional scheduler
+  // finally has something to optimize — reads go where the data *is*, writes go wherever the
+  // head already is. Each depth-N run keeps N streams with one outstanding op each; FCFS vs
+  // SPTF on the same seed isolates the read-scheduling gain. Per-stream histograms feed the
+  // max/min throughput fairness ratio.
+  bool sptf_beats_fcfs = true;
+  double worst_fairness = 1.0;
+  for (const auto& [mix_label, read_fraction] :
+       {std::pair<const char*, double>{"r90", 0.9}, {"r50", 0.5}}) {
+    bench::Note(std::string("\nMixed streams, ") + mix_label +
+                " (read fraction " + std::to_string(read_fraction).substr(0, 4) +
+                "), FCFS vs SPTF:");
+    bench::PrintPercentileHeader();
+    for (uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      double iops_by_policy[2] = {0, 0};
+      int which = 0;
+      for (const simdisk::SchedulerPolicy policy :
+           {simdisk::SchedulerPolicy::kFcfs, simdisk::SchedulerPolicy::kSptf}) {
+        common::Clock clock;
+        simdisk::SimDisk disk(simdisk::Truncated(simdisk::Hp97560(), 36), &clock);
+        core::Vld vld(&disk, core::VldConfig{.queue_depth = 32, .read_policy = policy});
+        bench::Check(vld.Format(), "format");
+        obs::TraceRecorder tracer(&clock);
+        disk.set_tracer(&tracer);
+        workload::MixedStreamOptions options;
+        options.streams = depth;
+        options.ops = updates;
+        options.warmup = warmup;
+        options.seed = kSeed;
+        options.stream_configs = {workload::StreamConfig{.read_fraction = read_fraction}};
+        const workload::MixedStreamResult r =
+            bench::CheckOk(workload::RunMixedStreams(vld, options), "mixed sweep");
+        const bool sptf = policy == simdisk::SchedulerPolicy::kSptf;
+        char label[48];
+        std::snprintf(label, sizeof(label), "%s/%s/d%u", mix_label, sptf ? "sptf" : "fcfs",
+                      depth);
+        bench::PrintPercentileRow(label, r.iops, r.latency_hist);
+        const double fairness = r.FairnessRatio();
+        std::printf("%-16s fairness %.2f, forwarded %llu sectors, queueing %.3f ms/req\n", "",
+                    fairness,
+                    static_cast<unsigned long long>(vld.stats().forwarded_read_sectors),
+                    bench::Ms(r.breakdown.queueing / static_cast<common::Duration>(
+                                                         r.ops > 0 ? r.ops : 1)));
+        std::map<std::string, double> extra = {
+            {"depth", static_cast<double>(depth)},
+            {"read_fraction", read_fraction},
+            {"sptf", sptf ? 1.0 : 0.0},
+            {"fairness_ratio", fairness},
+        };
+        for (const workload::StreamResult& s : r.streams) {
+          char key[32];
+          std::snprintf(key, sizeof(key), "s%u_p50_us", s.stream);
+          extra[key] = static_cast<double>(s.p50_latency) / 1000.0;
+          std::snprintf(key, sizeof(key), "s%u_p99_us", s.stream);
+          extra[key] = static_cast<double>(s.p99_latency) / 1000.0;
+        }
+        report.AddRow(label, r.iops, r.latency_hist, r.breakdown, extra);
+        breakdown_sums &=
+            r.breakdown.Total() == static_cast<common::Duration>(r.latency_hist.Sum());
+        iops_by_policy[which++] = r.iops;
+        if (depth >= 8) {
+          worst_fairness = std::max(worst_fairness, fairness);
+        }
+      }
+      // The read-heavy gate: SPTF must beat FCFS once the queue is deep enough to reorder.
+      if (read_fraction > 0.5 && depth >= 8) {
+        sptf_beats_fcfs &= iops_by_policy[1] > iops_by_policy[0];
+      }
+    }
+  }
+
   bench::Note("");
   // Acceptance gates: depth-1 latency identical to the sync path (tracing attached — it must
   // not move the clock), IOPS monotonically non-decreasing in depth, >= 2x throughput at
   // depth 16, and the traced breakdown summing exactly to the measured latency — including
-  // the flush component on the write-back-cache rows.
+  // the flush component on the write-back-cache rows and the queued-read mixed legs. The
+  // read-heavy legs must show SPTF beating FCFS at every depth >= 8.
   const bool depth1_matches = mean_ms_depth1 == sync_ms;
   const bool doubled = iops_depth16 >= 2.0 * iops_depth1;
   std::printf("depth-1 latency == sync path: %s (%.3f vs %.3f ms)\n",
@@ -182,7 +258,10 @@ int main(int argc, char** argv) {
   std::printf("breakdown components sum to latency: %s\n", breakdown_sums ? "yes" : "NO");
   std::printf("write-back rows report a flush component: %s\n",
               cached_flush_seen ? "yes" : "NO");
-  if (!depth1_matches || !monotonic || !doubled || !breakdown_sums || !cached_flush_seen) {
+  std::printf("read-heavy SPTF > FCFS at depth >= 8: %s (worst fairness %.2f)\n",
+              sptf_beats_fcfs ? "yes" : "NO", worst_fairness);
+  if (!depth1_matches || !monotonic || !doubled || !breakdown_sums || !cached_flush_seen ||
+      !sptf_beats_fcfs) {
     std::fprintf(stderr, "FATAL: queue-depth acceptance gates failed\n");
     return 1;
   }

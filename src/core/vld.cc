@@ -159,10 +159,15 @@ common::Status Vld::Read(simdisk::Lba lba, std::span<std::byte> out) {
       lba + out.size() / sector_bytes > SectorCount()) {
     return common::InvalidArgument("Vld::Read: bad range");
   }
-  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, out.size() / sector_bytes);
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, out.size() / sector_bytes,
+                      obs::SpanKind::kRead);
   disk_->ChargeHostCommand();
   ++stats_.host_reads;
+  return ReadMapped(lba, out);
+}
 
+common::Status Vld::ReadMapped(simdisk::Lba lba, std::span<std::byte> out) {
+  const uint32_t sector_bytes = disk_->SectorBytes();
   // Translate sector by sector, coalescing physically contiguous runs into single accesses.
   const uint64_t sectors = out.size() / sector_bytes;
   uint64_t i = 0;
@@ -295,12 +300,21 @@ common::Status Vld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
       lba + in.size() / sector_bytes > SectorCount()) {
     return common::InvalidArgument("Vld::Write: bad range");
   }
-  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, in.size() / sector_bytes);
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, lba, in.size() / sector_bytes,
+                      obs::SpanKind::kWrite);
   disk_->ChargeHostCommand();
   ++stats_.host_writes;
   std::vector<StagedWrite> staged;
   RETURN_IF_ERROR(StageHostWrite(lba, in, &staged));
   return CommitStaged(staged);
+}
+
+size_t Vld::QueuedWrites() const {
+  size_t n = 0;
+  for (const QueuedRequest& req : queue_) {
+    n += req.is_write ? 1 : 0;
+  }
+  return n;
 }
 
 common::StatusOr<uint64_t> Vld::SubmitWrite(simdisk::Lba lba, std::span<const std::byte> in) {
@@ -312,20 +326,165 @@ common::StatusOr<uint64_t> Vld::SubmitWrite(simdisk::Lba lba, std::span<const st
   if (queue_.size() >= config_.queue_depth) {
     return common::FailedPrecondition("Vld::SubmitWrite: queue full");
   }
-  QueuedWrite req;
+  QueuedRequest req;
   req.id = next_queued_id_++;
+  req.is_write = true;
   req.lba = lba;
+  req.sectors = in.size() / sector_bytes;
   req.data.assign(in.begin(), in.end());
   req.submit_time = disk_->clock()->Now();
   if (obs::TraceRecorder* tracer = disk_->tracer();
       tracer != nullptr && tracer->current_span() == 0) {
-    // One span per submitted write, opened here and closed when FlushQueue acknowledges it.
+    // One span per submitted request, opened here and closed when FlushQueue acknowledges it.
     // (When an upper layer's span is current we leave span 0: ownership stays above.)
-    req.span = tracer->BeginSpanDetached(obs::Layer::kVld, lba, in.size() / sector_bytes);
+    req.span = tracer->BeginSpanDetached(obs::Layer::kVld, lba, req.sectors,
+                                         obs::SpanKind::kWrite);
   }
   queue_.push_back(std::move(req));
   ++stats_.queued_writes;
   return queue_.back().id;
+}
+
+common::StatusOr<uint64_t> Vld::SubmitRead(simdisk::Lba lba, uint64_t sectors) {
+  if (sectors == 0 || lba + sectors > SectorCount()) {
+    return common::InvalidArgument("Vld::SubmitRead: bad range");
+  }
+  if (queue_.size() >= config_.queue_depth) {
+    return common::FailedPrecondition("Vld::SubmitRead: queue full");
+  }
+  QueuedRequest req;
+  req.id = next_queued_id_++;
+  req.is_write = false;
+  req.lba = lba;
+  req.sectors = sectors;
+  req.submit_time = disk_->clock()->Now();
+  if (obs::TraceRecorder* tracer = disk_->tracer();
+      tracer != nullptr && tracer->current_span() == 0) {
+    req.span = tracer->BeginSpanDetached(obs::Layer::kVld, lba, sectors, obs::SpanKind::kRead);
+  }
+  queue_.push_back(std::move(req));
+  ++stats_.queued_reads;
+  return queue_.back().id;
+}
+
+common::Status Vld::ServiceQueuedRead(const std::vector<QueuedRequest>& batch, size_t index,
+                                      std::span<std::byte> out, uint64_t* forwarded_sectors) {
+  const QueuedRequest& req = batch[index];
+  const uint32_t sector_bytes = disk_->SectorBytes();
+  *forwarded_sectors = 0;
+  // For each sector, the covering write is the LAST earlier-submitted batch write containing
+  // it (later writes overwrite earlier ones); later-submitted writes are invisible — their map
+  // entries commit only after this whole batch is serviced, so the media path below reads
+  // pre-batch data regardless of service order.
+  uint64_t i = 0;
+  while (i < req.sectors) {
+    const QueuedRequest* covering = nullptr;
+    for (size_t j = 0; j < index; ++j) {
+      const QueuedRequest& w = batch[j];
+      if (w.is_write && req.lba + i >= w.lba && req.lba + i < w.lba + w.sectors) {
+        covering = &w;
+      }
+    }
+    if (covering != nullptr) {
+      std::memcpy(out.data() + i * sector_bytes,
+                  covering->data.data() + (req.lba + i - covering->lba) * sector_bytes,
+                  sector_bytes);
+      ++*forwarded_sectors;
+      ++i;
+      continue;
+    }
+    // Maximal uncovered run -> one mapped media access (ReadMapped coalesces further).
+    uint64_t run = 1;
+    while (i + run < req.sectors) {
+      bool covered = false;
+      for (size_t j = 0; j < index; ++j) {
+        const QueuedRequest& w = batch[j];
+        if (w.is_write && req.lba + i + run >= w.lba && req.lba + i + run < w.lba + w.sectors) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) {
+        break;
+      }
+      ++run;
+    }
+    RETURN_IF_ERROR(ReadMapped(req.lba + i, out.subspan(i * sector_bytes, run * sector_bytes)));
+    i += run;
+  }
+  return common::OkStatus();
+}
+
+common::Duration Vld::QueuedReadCost(const std::vector<QueuedRequest>& batch, size_t index,
+                                     common::Time now) const {
+  const QueuedRequest& req = batch[index];
+  // Positioning cost of the first sector the media will actually serve: skip sectors that are
+  // forwarded from earlier batch writes or unmapped (those cost no mechanical time).
+  for (uint64_t i = 0; i < req.sectors; ++i) {
+    bool covered = false;
+    for (size_t j = 0; j < index; ++j) {
+      const QueuedRequest& w = batch[j];
+      if (w.is_write && req.lba + i >= w.lba && req.lba + i < w.lba + w.sectors) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      continue;
+    }
+    const simdisk::Lba logical_sector = req.lba + i;
+    const uint32_t lblock = static_cast<uint32_t>(logical_sector / config_.block_sectors);
+    if (map_[lblock] == kUnmappedBlock) {
+      continue;
+    }
+    const simdisk::Lba phys = space_.BlockToLba(map_[lblock]) +
+                              static_cast<uint32_t>(logical_sector % config_.block_sectors);
+    return disk_->EstimatePosition(phys, now);
+  }
+  return 0;  // Fully forwarded/unmapped: a pure controller-RAM service.
+}
+
+size_t Vld::PickNextQueued(const std::vector<QueuedRequest>& batch,
+                           const std::vector<bool>& serviced) const {
+  size_t oldest = batch.size();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!serviced[i]) {
+      oldest = i;
+      break;
+    }
+  }
+  if (config_.read_policy == simdisk::SchedulerPolicy::kFcfs) {
+    return oldest;
+  }
+  const common::Time now = disk_->clock()->Now();
+  // Bounded-age promotion: the oldest unserviced request jumps the positional ordering once
+  // it has waited long enough.
+  if (config_.read_starvation_bound > 0 &&
+      now - batch[oldest].submit_time >= config_.read_starvation_bound) {
+    return oldest;
+  }
+  // SPTF over the batch's reads; writes stay FIFO among themselves and carry positional cost 0
+  // (eager placement: a write lands wherever the head is). Candidates are every unserviced
+  // read plus the oldest unserviced write; ties break toward the older (lower-index) request,
+  // so equal-cost service order is deterministic and FIFO.
+  size_t best = batch.size();
+  common::Duration best_cost = 0;
+  bool write_seen = false;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (serviced[i]) {
+      continue;
+    }
+    if (batch[i].is_write && write_seen) {
+      continue;
+    }
+    write_seen |= batch[i].is_write;
+    const common::Duration cost = batch[i].is_write ? 0 : QueuedReadCost(batch, i, now);
+    if (best == batch.size() || cost < best_cost) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  return best;
 }
 
 common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
@@ -333,49 +492,83 @@ common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
   if (queue_.empty()) {
     return completions;
   }
-  std::vector<QueuedWrite> batch;
+  std::vector<QueuedRequest> batch;
   batch.swap(queue_);
   obs::TraceRecorder* tracer = disk_->tracer();
-  // Phase 1: each request's controller overhead (pipelined against earlier media work) and its
-  // eager data-block writes, in submission order. Disk events land on the request's own span.
+  // Phase 1: service the batch in scheduler order — each request's controller overhead
+  // (pipelined against earlier media work), then its eager data-block writes or its media
+  // reads. Disk events land on the request's own span. Reads complete here: they need no map
+  // commit, so their spans close (and their completion stamps) at their own service time.
   std::vector<StagedWrite> staged;
   std::vector<common::Time> dispatch(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const QueuedWrite& req = batch[i];
+  std::vector<common::Time> read_done(batch.size(), 0);
+  std::vector<std::vector<std::byte>> read_data(batch.size());
+  std::vector<bool> serviced(batch.size(), false);
+  size_t write_count = 0;
+  for (size_t n = 0; n < batch.size(); ++n) {
+    const size_t i = PickNextQueued(batch, serviced);
+    serviced[i] = true;
+    const QueuedRequest& req = batch[i];
     obs::SpanScope span(req.span != 0 ? tracer : nullptr, req.span);
     ctrl_free_ = disk_->ChargeQueuedCommand(ctrl_free_, req.submit_time);
     dispatch[i] = disk_->clock()->Now();
-    ++stats_.host_writes;
-    RETURN_IF_ERROR(StageHostWrite(req.lba, req.data, &staged));
+    if (req.is_write) {
+      ++write_count;
+      ++stats_.host_writes;
+      RETURN_IF_ERROR(StageHostWrite(req.lba, req.data, &staged));
+    } else {
+      ++stats_.host_reads;
+      read_data[i].resize(req.sectors * disk_->SectorBytes());
+      uint64_t forwarded = 0;
+      RETURN_IF_ERROR(ServiceQueuedRead(batch, i, read_data[i], &forwarded));
+      stats_.forwarded_read_sectors += forwarded;
+      if (forwarded > 0 && tracer != nullptr) {
+        tracer->Annotate(obs::EventType::kReadForward, obs::Layer::kVld, req.lba, forwarded);
+      }
+      read_done[i] = disk_->clock()->Now();
+      if (tracer != nullptr && req.span != 0) {
+        tracer->EndSpan(req.span);
+      }
+    }
   }
-  // Phase 2: one packed group commit covers every request's map entries. Only after it reaches
-  // the media are the requests acknowledged — the commit is the atomicity and durability point
-  // for the whole batch. A single-request batch's commit is that request's own work (its span
-  // shows zero queueing, matching the sync path); a shared commit belongs to no single request,
-  // so its time shows up as queueing on every member and one kGroupCommit marker records it.
-  if (batch.size() == 1) {
-    obs::SpanScope span(batch[0].span != 0 ? tracer : nullptr, batch[0].span);
+  // Phase 2: one packed group commit covers every write's map entries. Only after it reaches
+  // the media are the writes acknowledged — the commit is the atomicity and durability point
+  // for the whole batch. A single write's commit is that request's own work (its span shows
+  // zero queueing, matching the sync path); a shared commit belongs to no single request, so
+  // its time shows up as queueing on every member and one kGroupCommit marker records it. A
+  // read-only batch commits nothing: read traffic leaves no VLD state behind.
+  if (write_count == 1) {
+    uint64_t span_id = 0;
+    for (const QueuedRequest& req : batch) {
+      if (req.is_write) {
+        span_id = req.span;
+      }
+    }
+    obs::SpanScope span(span_id != 0 ? tracer : nullptr, span_id);
     RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
-  } else {
+  } else if (write_count > 1) {
     RETURN_IF_ERROR(CommitStaged(staged, /*packed=*/true));
     ++stats_.group_commits;
     if (tracer != nullptr) {
-      tracer->Annotate(obs::EventType::kGroupCommit, obs::Layer::kVld, batch.size(),
+      tracer->Annotate(obs::EventType::kGroupCommit, obs::Layer::kVld, write_count,
                        staged.size());
     }
   }
   const common::Time done = disk_->clock()->Now();
   completions.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    const QueuedWrite& req = batch[i];
+    QueuedRequest& req = batch[i];
     QueuedCompletion c;
     c.id = req.id;
+    c.is_write = req.is_write;
+    c.lba = req.lba;
     c.submit_time = req.submit_time;
-    c.complete_time = done;
+    c.complete_time = req.is_write ? done : read_done[i];
     c.dispatch_time = dispatch[i];
     c.span_id = req.span;
-    completions.push_back(c);
-    if (tracer != nullptr && req.span != 0) {
+    c.data = std::move(read_data[i]);
+    completions.push_back(std::move(c));
+    if (req.is_write && tracer != nullptr && req.span != 0) {
       tracer->EndSpan(req.span);
     }
   }
@@ -383,7 +576,8 @@ common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
 }
 
 common::Status Vld::WriteAtomic(std::span<const AtomicWrite> writes) {
-  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, writes.size());
+  obs::SpanScope span(disk_->tracer(), obs::Layer::kVld, writes.size(), 0,
+                      obs::SpanKind::kWrite);
   disk_->ChargeHostCommand();
   ++stats_.host_writes;
   const uint32_t sector_bytes = disk_->SectorBytes();

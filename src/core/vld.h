@@ -24,6 +24,7 @@
 #include "src/core/free_space.h"
 #include "src/core/virtual_log.h"
 #include "src/simdisk/block_device.h"
+#include "src/simdisk/request_queue.h"
 #include "src/simdisk/sim_disk.h"
 
 namespace vlog::core {
@@ -35,8 +36,17 @@ struct VldConfig {
   uint32_t target_empty_tracks = 4;
   uint32_t slack_blocks = 16;  // Physical blocks withheld from the logical size so eager
                                // writing always has somewhere to go.
-  uint32_t queue_depth = 8;    // Maximum outstanding queued writes (SubmitWrite/FlushQueue).
+  uint32_t queue_depth = 8;  // Maximum outstanding queued requests (SubmitRead/SubmitWrite).
   uint64_t seed = 1;
+  // FlushQueue's read-scheduling policy. Writes always service FIFO among themselves — eager
+  // placement means a write lands wherever the head is, so reordering writes saves nothing —
+  // but reads go where the data *is*, so SPTF orders a batch's reads by the mechanical model's
+  // positioning estimate. kFcfs services the whole batch in submission order (the baseline the
+  // scheduler comparison in bench_queue_depth measures against).
+  simdisk::SchedulerPolicy read_policy = simdisk::SchedulerPolicy::kSptf;
+  // Bounded-age promotion for SPTF reads: once the oldest unserviced request in a batch has
+  // waited this long it is serviced next, position notwithstanding (0 disables the guard).
+  common::Duration read_starvation_bound = 0;
   // Durability barriers around virtual-log commits (see VirtualLogConfig::barriers). Required
   // for crash consistency on a disk with a volatile write-back cache; disable only as the
   // crash sweep's negative control.
@@ -53,7 +63,11 @@ struct VldStats {
   uint64_t trims = 0;
   uint64_t atomic_commits = 0;
   uint64_t queued_writes = 0;   // Host writes accepted through SubmitWrite.
-  uint64_t group_commits = 0;   // FlushQueue calls that committed >1 request in one transaction.
+  uint64_t queued_reads = 0;    // Host reads accepted through SubmitRead.
+  uint64_t group_commits = 0;   // FlushQueue calls that committed >1 write in one transaction.
+  // Read sectors served from an earlier-submitted, same-batch write's pending payload instead
+  // of the media (the RAW forwarding path).
+  uint64_t forwarded_read_sectors = 0;
 
   // Snapshot/diff: stats are plain values, so a measurement window is a copy + subtraction.
   VldStats operator-(const VldStats& rhs) const {
@@ -67,7 +81,9 @@ struct VldStats {
     d.trims = trims - rhs.trims;
     d.atomic_commits = atomic_commits - rhs.atomic_commits;
     d.queued_writes = queued_writes - rhs.queued_writes;
+    d.queued_reads = queued_reads - rhs.queued_reads;
     d.group_commits = group_commits - rhs.group_commits;
+    d.forwarded_read_sectors = forwarded_read_sectors - rhs.forwarded_read_sectors;
     return d;
   }
 };
@@ -115,32 +131,46 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   // All-or-nothing multi-extent write (one command, one transaction in the virtual log).
   common::Status WriteAtomic(std::span<const AtomicWrite> writes);
 
-  // --- Queued writes (§4.2: one map sector holds many entries, so a queue's worth of eager
-  // writes can share a single virtual-log commit) ---
+  // --- Queued I/O (§4.2: one map sector holds many entries, so a queue's worth of eager
+  // writes can share a single virtual-log commit; reads join the same queue so the positional
+  // scheduler can order them) ---
 
   // Per-request acknowledgement from FlushQueue, timestamped on the virtual clock.
   struct QueuedCompletion {
     uint64_t id = 0;
-    common::Time submit_time = 0;    // When SubmitWrite accepted the request.
-    common::Time complete_time = 0;  // When its group's map commit reached the media.
+    bool is_write = true;
+    simdisk::Lba lba = 0;
+    common::Time submit_time = 0;    // When SubmitRead/SubmitWrite accepted the request.
+    // Writes: when the group's map commit reached the media. Reads: when the data was
+    // assembled (reads need no commit, so they complete at their own service time).
+    common::Time complete_time = 0;
     common::Time dispatch_time = 0;  // When its controller work finished and media work began.
     uint64_t span_id = 0;            // Trace span (0 when the disk has no tracer attached).
+    std::vector<std::byte> data;     // Read payload (empty for writes).
     common::Duration Latency() const { return complete_time - submit_time; }
-    // FlushQueue services in FIFO order (data placement is eager, so write order cannot change
-    // where blocks land); this is the time the request spent behind earlier queue entries.
+    // Time the request spent behind other queue entries before its own controller work began.
     common::Duration QueueDelay() const { return dispatch_time - submit_time; }
   };
   // Enqueues a host write without any media work (the payload is copied); returns a completion
   // id. Fails with kFailedPrecondition when `queue_depth` requests are already outstanding.
   common::StatusOr<uint64_t> SubmitWrite(simdisk::Lba lba, std::span<const std::byte> in);
-  // Services every queued write: each request's data blocks go down eagerly in submission order
-  // (controller overhead pipelined with the media), then ALL of their map entries commit in one
-  // packed group transaction — one or two log writes instead of one per request. A request is
-  // acknowledged (complete_time stamped) only once that commit is on the media, so each
-  // acknowledged request is individually all-or-nothing across a crash. With a single queued
-  // request this is clock-identical to Write().
+  // Enqueues a host read of `sectors` sectors; the data arrives in the FlushQueue completion.
+  common::StatusOr<uint64_t> SubmitRead(simdisk::Lba lba, uint64_t sectors);
+  // Services every queued request. Writes go down eagerly in submission order (controller
+  // overhead pipelined with the media), reads are interleaved by `read_policy` (SPTF orders
+  // them by positioning cost; a read whose sectors are covered by an earlier-submitted write
+  // in the same batch serves those sectors from the pending payload — the RAW forwarding
+  // path — and never sees a later-submitted write, because the map commits only at the end).
+  // Then ALL the writes' map entries commit in one packed group transaction — one or two log
+  // writes instead of one per request. A write is acknowledged (complete_time stamped) only
+  // once that commit is on the media, so each acknowledged write is individually
+  // all-or-nothing across a crash; reads acknowledge at their own service time and leave no
+  // state behind. Completions are returned in submission order. With a single queued request
+  // this is clock-identical to the synchronous path.
   common::StatusOr<std::vector<QueuedCompletion>> FlushQueue();
-  size_t QueuedWrites() const { return queue_.size(); }
+  size_t QueuedRequests() const { return queue_.size(); }
+  size_t QueuedWrites() const;
+  size_t QueuedReads() const { return queue_.size() - QueuedWrites(); }
   uint32_t queue_depth() const { return config_.queue_depth; }
   // Explicitly frees whole logical blocks covered by [lba, lba+sectors) — the delete hint the
   // paper notes is missing from the unmodified interface.
@@ -192,6 +222,10 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   // sub-block edges). Shared by Write and FlushQueue.
   common::Status StageHostWrite(simdisk::Lba lba, std::span<const std::byte> in,
                                 std::vector<StagedWrite>* staged);
+  // The translate/coalesce/access core of Read: maps each sector through map_, zero-fills
+  // unmapped blocks, and issues one InternalRead per physically contiguous run. No span, no
+  // command charge — shared by the sync Read and the queued read service path.
+  common::Status ReadMapped(simdisk::Lba lba, std::span<std::byte> out);
   // Commits staged writes: appends the affected map pieces (transactionally when more than one;
   // `packed` selects the group-commit packed encoding) then frees the obsoleted data blocks.
   common::Status CommitStaged(const std::vector<StagedWrite>& staged, bool packed = false);
@@ -206,15 +240,28 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   std::unique_ptr<Compactor> compactor_;
   std::vector<uint32_t> map_;      // logical block -> physical block (kUnmappedBlock if none).
   std::vector<uint32_t> reverse_;  // physical block -> logical block (data blocks only).
-  // Outstanding queued writes, in submission order.
-  struct QueuedWrite {
+  // Outstanding queued requests, in submission order.
+  struct QueuedRequest {
     uint64_t id = 0;
+    bool is_write = true;
     simdisk::Lba lba = 0;
-    std::vector<std::byte> data;
+    uint64_t sectors = 0;         // Extent length (for writes, data.size()/sector bytes).
+    std::vector<std::byte> data;  // Write payload.
     common::Time submit_time = 0;
     uint64_t span = 0;  // Trace span opened at submission (0 = tracing off).
   };
-  std::vector<QueuedWrite> queue_;
+  // Serves batch[index] (a read): forwarded sectors come from earlier-submitted pending write
+  // payloads in the batch, everything else from the media through the (uncommitted) map.
+  common::Status ServiceQueuedRead(const std::vector<QueuedRequest>& batch, size_t index,
+                                   std::span<std::byte> out, uint64_t* forwarded_sectors);
+  // SPTF positioning cost of batch[index]'s first media-served sector (0 when every sector is
+  // forwarded or unmapped — a pure controller-RAM service).
+  common::Duration QueuedReadCost(const std::vector<QueuedRequest>& batch, size_t index,
+                                  common::Time now) const;
+  // The next unserviced batch index to service under config_.read_policy.
+  size_t PickNextQueued(const std::vector<QueuedRequest>& batch,
+                        const std::vector<bool>& serviced) const;
+  std::vector<QueuedRequest> queue_;
   uint64_t next_queued_id_ = 1;
   common::Time ctrl_free_ = 0;  // Controller pipeline state for queued commands.
   VldStats stats_;

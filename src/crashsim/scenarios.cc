@@ -155,6 +155,63 @@ common::Status QueuedGroupCommitWorkload(ShadowVld& dev) {
   return dev.Park();
 }
 
+common::Status QueuedMixedReadWriteWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  // Base content: reads of mapped blocks must see real prior versions, not zeros.
+  for (uint32_t b = 0; b < 24; ++b) {
+    RETURN_IF_ERROR(dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 1)));
+  }
+  common::Rng rng(13);
+  uint32_t version = 2;
+  for (int round = 0; round < 6; ++round) {
+    // Writes and reads interleave 1:1 through one FlushQueue. Read i targets write i's block
+    // every other slot (a guaranteed same-batch RAW that must be served from the pending
+    // payload), otherwise a random block — occasionally unmapped, which must read as zeros.
+    const size_t depth = 2 + rng.Below(6);  // depth writes + depth reads <= queue_depth 16.
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(depth);
+    std::vector<core::Vld::AtomicWrite> writes;
+    writes.reserve(depth);
+    std::vector<uint32_t> read_blocks;
+    read_blocks.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+      read_blocks.push_back(i % 2 == 0 ? b : static_cast<uint32_t>(rng.Below(blocks)));
+    }
+    RETURN_IF_ERROR(dev.QueuedMixedBatch(writes, read_blocks));
+    ++version;
+  }
+  // A read-only batch: commits nothing, and QueuedMixedBatch fails the recording if it emits
+  // any media write — the direct "reads never dirty state" check.
+  {
+    std::vector<uint32_t> read_blocks;
+    for (uint32_t i = 0; i < 8; ++i) {
+      read_blocks.push_back(static_cast<uint32_t>(rng.Below(blocks)));
+    }
+    RETURN_IF_ERROR(dev.QueuedMixedBatch({}, read_blocks));
+  }
+  // Trim then mix reads of the trimmed (now unmapped) blocks with fresh writes, and park so
+  // the sweep covers tail recoveries too.
+  RETURN_IF_ERROR(dev.Trim(0, static_cast<uint64_t>(4) * kBlockSectors));
+  {
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<core::Vld::AtomicWrite> writes;
+    std::vector<uint32_t> read_blocks;
+    for (uint32_t i = 0; i < 6; ++i) {
+      const uint32_t b = 8 + i * (blocks / 8) % (blocks - 8);
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+      read_blocks.push_back(i < 4 ? i : b);  // Blocks 0..3 were just trimmed: expect zeros.
+    }
+    RETURN_IF_ERROR(dev.QueuedMixedBatch(writes, read_blocks));
+  }
+  return dev.Park();
+}
+
 common::Status LfsOnVldWorkload(ShadowVld& dev) {
   simdisk::HostModel host(simdisk::ZeroCostHost(), dev.vld().disk().clock());
   // Small segments and caches so the truncated disk sees several sealed-segment writes plus
@@ -199,6 +256,8 @@ const char* VldScenarioName(VldScenario scenario) {
       return "checkpoint-interrupted";
     case VldScenario::kQueuedGroupCommit:
       return "queued-group-commit";
+    case VldScenario::kQueuedMixedReadWrite:
+      return "queued-mixed-read-write";
     case VldScenario::kLfsOnVld:
       return "lfs-on-vld";
   }
@@ -234,6 +293,8 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
       return sim.Record(CheckpointInterruptedWorkload);
     case VldScenario::kQueuedGroupCommit:
       return sim.Record(QueuedGroupCommitWorkload);
+    case VldScenario::kQueuedMixedReadWrite:
+      return sim.Record(QueuedMixedReadWriteWorkload);
     case VldScenario::kLfsOnVld:
       return sim.Record(LfsOnVldWorkload);
   }

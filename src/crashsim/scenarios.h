@@ -13,6 +13,11 @@
 //   kQueuedGroupCommit:     batches of queued writes whose map entries land in single packed
 //                           group-commit transactions, so crash points tear multi-sector map
 //                           writes; each batch must recover all-old-or-all-new;
+//   kQueuedMixedReadWrite:  queued reads interleaved with queued writes through the shared
+//                           request queue (SPTF service order, same-batch RAW forwarding,
+//                           reads of unmapped blocks); reads are verified at record time and
+//                           recorded as nothing, so the sweep doubles as proof that read
+//                           traffic never dirties crash-visible state;
 //   kLfsOnVld:              the §4.4 LFS stack (log-structured logical disk + MinixUFS-style
 //                           fs) mounted on the VLD, so multi-block segment writes are the
 //                           device traffic being crash-swept.
@@ -31,6 +36,7 @@ enum class VldScenario {
   kCompactorActive,
   kCheckpointInterrupted,
   kQueuedGroupCommit,
+  kQueuedMixedReadWrite,
   kLfsOnVld,
 };
 

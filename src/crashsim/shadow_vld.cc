@@ -124,11 +124,74 @@ common::Status ShadowVld::WriteAtomic(std::span<const core::Vld::AtomicWrite> wr
 }
 
 common::Status ShadowVld::WriteQueuedBatch(std::span<const core::Vld::AtomicWrite> writes) {
-  for (const core::Vld::AtomicWrite& w : writes) {
-    RETURN_IF_ERROR(vld_->SubmitWrite(w.lba, w.data).status());
-  }
-  RETURN_IF_ERROR(vld_->FlushQueue().status());
+  return QueuedMixedBatch(writes, {});
+}
+
+common::Status ShadowVld::QueuedMixedBatch(std::span<const core::Vld::AtomicWrite> writes,
+                                           std::span<const uint32_t> read_blocks) {
   const uint32_t bs = vld_->block_sectors();
+  struct PendingRead {
+    uint64_t id = 0;
+    uint32_t block = 0;
+    size_t writes_before = 0;  // This batch's writes submitted ahead of the read.
+  };
+  std::vector<PendingRead> reads;
+  reads.reserve(read_blocks.size());
+  size_t wi = 0;
+  size_t ri = 0;
+  while (wi < writes.size() || ri < read_blocks.size()) {
+    if (wi < writes.size()) {
+      RETURN_IF_ERROR(vld_->SubmitWrite(writes[wi].lba, writes[wi].data).status());
+      ++wi;
+    }
+    if (ri < read_blocks.size()) {
+      ASSIGN_OR_RETURN(const uint64_t id,
+                       vld_->SubmitRead(static_cast<simdisk::Lba>(read_blocks[ri]) * bs, bs));
+      reads.push_back({id, read_blocks[ri], wi});
+      ++ri;
+    }
+  }
+  const uint64_t trace_before = trace_->size();
+  ASSIGN_OR_RETURN(const std::vector<core::Vld::QueuedCompletion> done, vld_->FlushQueue());
+  if (writes.empty() && trace_->size() != trace_before) {
+    return common::Corruption("QueuedMixedBatch: read-only batch emitted media writes");
+  }
+  for (const PendingRead& r : reads) {
+    // Expected bytes: the shadow, overlaid with the last earlier-submitted write of this batch
+    // that covers the block. Later-submitted writes commit with the same batch but must stay
+    // invisible to this read.
+    std::vector<std::byte> expect =
+        shadow_[r.block].empty() ? std::vector<std::byte>(block_bytes_) : shadow_[r.block];
+    for (size_t j = 0; j < r.writes_before; ++j) {
+      const core::Vld::AtomicWrite& w = writes[j];
+      const uint32_t first = static_cast<uint32_t>(w.lba / bs);
+      const uint32_t count = static_cast<uint32_t>(w.data.size() / block_bytes_);
+      if (r.block >= first && r.block < first + count) {
+        const size_t off = static_cast<size_t>(r.block - first) * block_bytes_;
+        expect.assign(w.data.begin() + static_cast<ptrdiff_t>(off),
+                      w.data.begin() + static_cast<ptrdiff_t>(off + block_bytes_));
+      }
+    }
+    const core::Vld::QueuedCompletion* c = nullptr;
+    for (const core::Vld::QueuedCompletion& d : done) {
+      if (d.id == r.id) {
+        c = &d;
+        break;
+      }
+    }
+    if (c == nullptr || c->is_write) {
+      return common::Corruption("QueuedMixedBatch: no read completion for id " +
+                                std::to_string(r.id));
+    }
+    if (c->data.size() != expect.size() ||
+        std::memcmp(c->data.data(), expect.data(), expect.size()) != 0) {
+      return common::Corruption("QueuedMixedBatch: queued read of block " +
+                                std::to_string(r.block) + " diverged from shadow");
+    }
+  }
+  if (writes.empty()) {
+    return common::OkStatus();  // Reads dirty nothing: no op to record.
+  }
   std::vector<uint32_t> blocks;
   std::vector<std::vector<std::byte>> after;
   for (const core::Vld::AtomicWrite& w : writes) {

@@ -56,6 +56,16 @@ class ShadowVld : public simdisk::BlockDevice {
   // so across a crash it is all-old-or-all-new; it is recorded as ONE op and the sweep verifies
   // exactly that. Extents must be whole aligned blocks (like WriteAtomic).
   common::Status WriteQueuedBatch(std::span<const core::Vld::AtomicWrite> writes);
+  // Mixed queued batch: interleaves SubmitRead with SubmitWrite through one FlushQueue (read i
+  // is submitted right after write i, so it must observe this batch's writes 0..i via the
+  // same-batch RAW forwarding path and must NOT observe writes i+1.. regardless of SPTF service
+  // order). Each read's returned bytes are verified against the shadow with those earlier
+  // writes overlaid. Only the writes are recorded (as ONE op, like WriteQueuedBatch): read
+  // traffic must leave crash-visible state untouched — a read-only batch that emits any media
+  // write fails here, and the sweep then re-verifies the recorded history as if the reads had
+  // never happened. Writes must be whole aligned blocks; reads are whole single blocks.
+  common::Status QueuedMixedBatch(std::span<const core::Vld::AtomicWrite> writes,
+                                  std::span<const uint32_t> read_blocks);
   common::Status Checkpoint();
   common::Status Park();
   void RunIdle(common::Duration budget);

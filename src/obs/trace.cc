@@ -23,6 +23,18 @@ const char* LayerName(Layer layer) {
   return "?";
 }
 
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOther:
+      return "other";
+    case SpanKind::kWrite:
+      return "write";
+    case SpanKind::kRead:
+      return "read";
+  }
+  return "?";
+}
+
 const char* EventTypeName(EventType type) {
   switch (type) {
     case EventType::kSubmit:
@@ -47,6 +59,8 @@ const char* EventTypeName(EventType type) {
       return "bus_xfer";
     case EventType::kDestage:
       return "destage";
+    case EventType::kReadForward:
+      return "read_forward";
     case EventType::kFlush:
       return "flush";
     case EventType::kMapAppend:
@@ -93,17 +107,18 @@ TraceRecorder::TraceRecorder(const common::Clock* clock, size_t event_capacity)
   ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
 }
 
-uint64_t TraceRecorder::BeginSpan(Layer layer, uint64_t a, uint64_t b) {
-  const uint64_t id = BeginSpanDetached(layer, a, b);
+uint64_t TraceRecorder::BeginSpan(Layer layer, uint64_t a, uint64_t b, SpanKind kind) {
+  const uint64_t id = BeginSpanDetached(layer, a, b, kind);
   current_ = id;
   return id;
 }
 
-uint64_t TraceRecorder::BeginSpanDetached(Layer layer, uint64_t a, uint64_t b) {
+uint64_t TraceRecorder::BeginSpanDetached(Layer layer, uint64_t a, uint64_t b, SpanKind kind) {
   const uint64_t id = next_span_++;
   Span& s = spans_[id];
   s.submit = clock_->Now();
   s.layer = layer;
+  s.kind = kind;
   s.a = a;
   s.b = b;
   Push({s.submit, 0, id, EventType::kSubmit, layer, a, b});
@@ -213,6 +228,8 @@ std::string TraceRecorder::TraceJson() const {
     w.UInt(id);
     w.Key("layer");
     w.String(LayerName(s.layer));
+    w.Key("kind");
+    w.String(SpanKindName(s.kind));
     w.Key("submit");
     w.Int(s.submit);
     w.Key("complete");

@@ -40,6 +40,10 @@ class MetricsRegistry;
 // Which layer of the stack emitted an event.
 enum class Layer : uint8_t { kHost, kFs, kVld, kVlog, kQueue, kDisk };
 
+// What a span's request is doing. Reads and writes take different paths through a queued
+// device (reads are position-schedulable, writes are eager), so tooling wants them apart.
+enum class SpanKind : uint8_t { kOther, kWrite, kRead };
+
 enum class EventType : uint8_t {
   // Span lifecycle (markers).
   kSubmit,    // A request entered the stack: the root of a span.
@@ -56,6 +60,8 @@ enum class EventType : uint8_t {
   kDestage,     // Write-cache destage: mechanical time writing one dirty extent (a=lba,
                 // b=sectors). Emitted by Flush and by capacity-pressure drains.
   // Markers (dur == 0).
+  kReadForward,   // A queued read served sectors from a pending (unserviced) write's payload
+                  // instead of the media (a=first lba forwarded, b=sectors forwarded).
   kFlush,         // A Flush command completed (a=extents destaged, b=sectors destaged).
   kMapAppend,     // Map sector(s) joined the virtual log (a=piece, or packed count; b=lba).
   kGroupCommit,   // A packed group commit covering a whole queue (a=requests, b=staged blocks).
@@ -65,6 +71,7 @@ enum class EventType : uint8_t {
 };
 
 const char* LayerName(Layer layer);
+const char* SpanKindName(SpanKind kind);
 const char* EventTypeName(EventType type);
 
 struct TraceEvent {
@@ -104,6 +111,7 @@ class TraceRecorder {
     common::Time submit = 0;
     common::Time complete = 0;
     Layer layer = Layer::kHost;
+    SpanKind kind = SpanKind::kOther;
     uint64_t a = 0;
     uint64_t b = 0;
     bool open = true;
@@ -116,10 +124,12 @@ class TraceRecorder {
   // --- Span lifecycle ---
 
   // Opens a span and makes it current (records kSubmit). Returns its id.
-  uint64_t BeginSpan(Layer layer, uint64_t a = 0, uint64_t b = 0);
+  uint64_t BeginSpan(Layer layer, uint64_t a = 0, uint64_t b = 0,
+                     SpanKind kind = SpanKind::kOther);
   // Opens a span without touching the current span — for requests that are queued now and
   // serviced later (SpanScope re-enters them at service time).
-  uint64_t BeginSpanDetached(Layer layer, uint64_t a = 0, uint64_t b = 0);
+  uint64_t BeginSpanDetached(Layer layer, uint64_t a = 0, uint64_t b = 0,
+                             SpanKind kind = SpanKind::kOther);
   // Closes a span at the current sim-time: records kComplete, derives the queueing residual,
   // and feeds the per-component histograms and totals.
   void EndSpan(uint64_t id);
@@ -195,14 +205,15 @@ class TraceRecorder {
 //     - makes `id` current without owning it (the caller calls EndSpan explicitly).
 class SpanScope {
  public:
-  SpanScope(TraceRecorder* tracer, Layer layer, uint64_t a = 0, uint64_t b = 0)
+  SpanScope(TraceRecorder* tracer, Layer layer, uint64_t a = 0, uint64_t b = 0,
+            SpanKind kind = SpanKind::kOther)
       : tracer_(tracer) {
     if (tracer_ == nullptr) {
       return;
     }
     prev_ = tracer_->current_span();
     if (prev_ == 0) {
-      id_ = tracer_->BeginSpan(layer, a, b);
+      id_ = tracer_->BeginSpan(layer, a, b, kind);
       owns_ = true;
     } else {
       id_ = prev_;

@@ -1,5 +1,7 @@
 #include "src/simdisk/request_queue.h"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 namespace vlog::simdisk {
@@ -17,7 +19,9 @@ common::StatusOr<uint64_t> RequestQueue::Enqueue(Request req) {
     // ServiceOne re-enters and closes at completion time.
     req.span = tracer->current_span() != 0
                    ? tracer->current_span()
-                   : tracer->BeginSpanDetached(obs::Layer::kQueue, req.lba, req.sectors);
+                   : tracer->BeginSpanDetached(
+                         obs::Layer::kQueue, req.lba, req.sectors,
+                         req.is_write ? obs::SpanKind::kWrite : obs::SpanKind::kRead);
   }
   pending_.push_back(std::move(req));
   return id;
@@ -40,22 +44,45 @@ common::StatusOr<uint64_t> RequestQueue::SubmitWrite(Lba lba, std::span<const st
   return Enqueue(std::move(req));
 }
 
+bool RequestQueue::Eligible(size_t index) const {
+  if (!pending_[index].is_write) {
+    return true;
+  }
+  for (size_t j = 0; j < index; ++j) {
+    if (Overlaps(pending_[index], pending_[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 size_t RequestQueue::PickNext() const {
   if (config_.policy == SchedulerPolicy::kFcfs || pending_.size() == 1) {
     return 0;
   }
-  // SPTF: cheapest seek + rotational wait from the current arm position and clock phase. Ties
-  // break toward the older request, which also keeps the policy starvation-averse in practice.
   const common::Time now = disk_->clock()->Now();
-  size_t best = 0;
-  common::Duration best_cost = disk_->EstimatePosition(pending_[0].lba, now);
-  for (size_t i = 1; i < pending_.size(); ++i) {
+  // Bounded-age promotion: the oldest request (front of pending_, which is submission order
+  // and always hazard-eligible) jumps the positional ordering once it has waited long enough.
+  if (config_.starvation_bound > 0 &&
+      now - pending_[0].submit_time >= config_.starvation_bound) {
+    return 0;
+  }
+  // SPTF: cheapest seek + rotational wait from the current arm position and clock phase, over
+  // the hazard-eligible requests. Ties break toward the older request, which also keeps the
+  // policy starvation-averse in practice.
+  size_t best = pending_.size();
+  common::Duration best_cost = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!Eligible(i)) {
+      continue;
+    }
     const common::Duration cost = disk_->EstimatePosition(pending_[i].lba, now);
-    if (cost < best_cost) {
+    if (best == pending_.size() || cost < best_cost) {
       best = i;
       best_cost = cost;
     }
   }
+  // pending_[0] has no older requests, so at least one request is always eligible.
   return best;
 }
 
@@ -83,6 +110,38 @@ common::StatusOr<IoCompletion> RequestQueue::ServiceOne() {
   } else {
     done.data.resize(req.sectors * disk_->SectorBytes());
     done.status = disk_->InternalRead(req.lba, done.data);
+    if (done.status.ok()) {
+      // RAW forwarding: sectors covered by older still-pending writes are served from their
+      // payloads (newest older write wins — pending_ keeps submission order). The media access
+      // above still pays the mechanical time for the whole extent; only the bytes change.
+      const uint32_t sector_bytes = disk_->SectorBytes();
+      std::vector<bool> forwarded(req.sectors, false);
+      for (const Request& w : pending_) {
+        if (!w.is_write || w.id > req.id || !Overlaps(w, req)) {
+          continue;
+        }
+        const Lba lo = std::max(w.lba, req.lba);
+        const Lba hi = std::min(w.lba + w.sectors, req.lba + req.sectors);
+        std::memcpy(done.data.data() + (lo - req.lba) * sector_bytes,
+                    w.data.data() + (lo - w.lba) * sector_bytes, (hi - lo) * sector_bytes);
+        for (Lba s = lo; s < hi; ++s) {
+          forwarded[s - req.lba] = true;
+        }
+      }
+      Lba first = 0;
+      for (uint64_t s = 0; s < req.sectors; ++s) {
+        if (forwarded[s]) {
+          if (done.forwarded_sectors == 0) {
+            first = req.lba + s;
+          }
+          ++done.forwarded_sectors;
+        }
+      }
+      if (done.forwarded_sectors > 0 && disk_->tracer() != nullptr) {
+        disk_->tracer()->Annotate(obs::EventType::kReadForward, obs::Layer::kQueue, first,
+                                  done.forwarded_sectors);
+      }
+    }
   }
   done.complete_time = disk_->clock()->Now();
   if (obs::TraceRecorder* tracer = disk_->tracer();

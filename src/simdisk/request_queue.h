@@ -10,6 +10,14 @@
 //           estimate from the current arm position and clock (the classic queued-disk policy).
 // With depth 1 both policies degenerate to the synchronous path and charge identical time.
 //
+// Reordering respects data hazards: a write is never serviced before an older request it
+// overlaps (WAR/WAW), and a read serviced before an older overlapping write forwards the
+// overlapping sectors from that write's still-pending payload (RAW) — so completions always
+// carry the bytes the submission order implies, under either policy. SPTF additionally takes a
+// `starvation_bound`: once the oldest pending request has waited that long it is serviced
+// next regardless of position, so a request parked far from a hot region cannot be bypassed
+// indefinitely (0 disables the guard).
+//
 // All submitted payloads are copied; completions carry per-request submit/dispatch/complete
 // timestamps on the shared virtual clock (read completions also carry the data).
 #ifndef SRC_SIMDISK_REQUEST_QUEUE_H_
@@ -33,6 +41,9 @@ enum class SchedulerPolicy : uint8_t {
 struct RequestQueueConfig {
   uint32_t depth = 8;  // Maximum outstanding requests.
   SchedulerPolicy policy = SchedulerPolicy::kFcfs;
+  // SPTF bounded-age promotion: when the oldest pending request has waited at least this long
+  // it is serviced next, position notwithstanding. 0 disables the guard.
+  common::Duration starvation_bound = 0;
 };
 
 struct IoCompletion {
@@ -45,6 +56,7 @@ struct IoCompletion {
   common::Time complete_time = 0;  // When its media work finished.
   uint64_t span_id = 0;            // Trace span (0 when the disk has no tracer attached).
   std::vector<std::byte> data;     // Read payload (empty for writes).
+  uint64_t forwarded_sectors = 0;  // Read sectors served from older pending writes' payloads.
 
   common::Duration Latency() const { return complete_time - submit_time; }
   common::Duration QueueDelay() const { return dispatch_time - submit_time; }
@@ -85,6 +97,14 @@ class RequestQueue {
   common::StatusOr<uint64_t> Enqueue(Request req);
   // Index into pending_ of the request the policy services next.
   size_t PickNext() const;
+  // Whether pending_[index] may be serviced ahead of the older requests before it. Reads may
+  // pass anything (RAW is satisfied by forwarding); a write may not pass an older request it
+  // overlaps, else a later read would see it too early (WAR) or an older write would land on
+  // top of it (WAW).
+  bool Eligible(size_t index) const;
+  static bool Overlaps(const Request& x, const Request& y) {
+    return x.lba < y.lba + y.sectors && y.lba < x.lba + x.sectors;
+  }
 
   SimDisk* disk_;
   RequestQueueConfig config_;

@@ -1,7 +1,10 @@
 #include "src/workload/queue_sweep.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <limits>
+#include <map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -94,6 +97,191 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
   }
   if (tracer != nullptr) {
     result.breakdown = tracer->totals() - totals_before;
+  }
+  return result;
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double sum = 0;
+  for (uint32_t i = 0; i < cdf_.size(); ++i) {
+    sum += theta == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) {
+    c /= sum;
+  }
+}
+
+uint32_t ZipfSampler::Sample(common::Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(std::min<size_t>(static_cast<size_t>(it - cdf_.begin()),
+                                                cdf_.size() - 1));
+}
+
+double MixedStreamResult::FairnessRatio() const {
+  double min_iops = std::numeric_limits<double>::infinity();
+  double max_iops = 0;
+  for (const StreamResult& s : streams) {
+    min_iops = std::min(min_iops, s.iops);
+    max_iops = std::max(max_iops, s.iops);
+  }
+  if (max_iops <= 0) {
+    return 1.0;
+  }
+  if (min_iops <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return max_iops / min_iops;
+}
+
+common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
+                                                    const MixedStreamOptions& options) {
+  if (options.streams == 0 || options.streams > vld.queue_depth()) {
+    return common::InvalidArgument("mixed streams: stream count out of range");
+  }
+  if (!options.stream_configs.empty() && options.stream_configs.size() != 1 &&
+      options.stream_configs.size() != options.streams) {
+    return common::InvalidArgument("mixed streams: bad stream_configs size");
+  }
+  const uint32_t block_sectors = kUpdateBytes / vld.SectorBytes();
+  const uint32_t blocks = vld.logical_blocks() / 2;
+  common::Clock* clock = vld.disk().clock();
+
+  // Per-stream state: behavior, decorrelated rng, a rotated Zipf hot spot, and the time the
+  // stream's think interval ends (it resubmits then).
+  struct Stream {
+    StreamConfig config;
+    common::Rng rng{0};
+    ZipfSampler zipf{1, 0};
+    uint32_t hot_offset = 0;
+    common::Time next_ready = 0;
+    bool outstanding = false;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    obs::LatencyHistogram hist;
+  };
+  std::vector<Stream> streams(options.streams);
+  for (uint32_t s = 0; s < options.streams; ++s) {
+    if (options.stream_configs.size() == options.streams) {
+      streams[s].config = options.stream_configs[s];
+    } else if (options.stream_configs.size() == 1) {
+      streams[s].config = options.stream_configs[0];
+    }
+    streams[s].rng = common::Rng(options.seed * 1000003ull + 17ull * s + 1);
+    streams[s].zipf = ZipfSampler(blocks, streams[s].config.zipf_theta);
+    streams[s].hot_offset =
+        static_cast<uint32_t>((static_cast<uint64_t>(s) * blocks) / options.streams);
+  }
+
+  std::vector<std::byte> payload(kUpdateBytes);
+  const auto fill_payload = [&](uint32_t block, uint32_t stream) {
+    for (size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::byte>((block * 131u + j * 7u + stream * 29u) & 0xFF);
+    }
+  };
+  if (options.prepopulate) {
+    for (uint32_t b = 0; b < blocks; ++b) {
+      fill_payload(b, 0);
+      RETURN_IF_ERROR(vld.Write(static_cast<simdisk::Lba>(b) * block_sectors, payload));
+    }
+  }
+
+  MixedStreamResult result;
+  obs::TraceRecorder* tracer = vld.disk().tracer();
+  obs::TimeBreakdown totals_start = tracer != nullptr ? tracer->totals() : obs::TimeBreakdown{};
+  common::Time window_start = clock->Now();
+  std::map<uint64_t, uint32_t> inflight;  // Completion id -> stream.
+  int discarded = 0;
+  int recorded = 0;
+  bool measuring = options.warmup == 0;
+  // Closed loop, whole batches: submit every ready stream's next op, group-service the queue,
+  // retire completions. The measured window opens at a batch boundary once `warmup`
+  // completions have been discarded, so the tracer-totals diff covers exactly the recorded
+  // spans and the breakdown-sums-to-latency identity carries over to mixed runs.
+  while (recorded < options.ops) {
+    common::Time earliest = std::numeric_limits<common::Time>::max();
+    bool submitted = false;
+    for (uint32_t s = 0; s < options.streams; ++s) {
+      Stream& st = streams[s];
+      if (st.outstanding) {
+        continue;
+      }
+      earliest = std::min(earliest, st.next_ready);
+      if (st.next_ready > clock->Now()) {
+        continue;
+      }
+      const bool is_read = st.rng.Chance(st.config.read_fraction);
+      const uint32_t rank = st.config.zipf_theta > 0 ? st.zipf.Sample(st.rng)
+                                                     : static_cast<uint32_t>(st.rng.Below(blocks));
+      const uint32_t block = (rank + st.hot_offset) % blocks;
+      const simdisk::Lba lba = static_cast<simdisk::Lba>(block) * block_sectors;
+      uint64_t id = 0;
+      if (is_read) {
+        ASSIGN_OR_RETURN(id, vld.SubmitRead(lba, block_sectors));
+      } else {
+        fill_payload(block, s);
+        ASSIGN_OR_RETURN(id, vld.SubmitWrite(lba, payload));
+      }
+      inflight[id] = s;
+      st.outstanding = true;
+      submitted = true;
+    }
+    if (!submitted) {
+      // Every idle stream is thinking: jump to the first wakeup.
+      clock->AdvanceTo(earliest);
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<core::Vld::QueuedCompletion> done, vld.FlushQueue());
+    for (const core::Vld::QueuedCompletion& c : done) {
+      const auto it = inflight.find(c.id);
+      if (it == inflight.end()) {
+        return common::FailedPrecondition("mixed streams: unknown completion id");
+      }
+      Stream& st = streams[it->second];
+      inflight.erase(it);
+      st.outstanding = false;
+      st.next_ready = c.complete_time + st.config.think_time;
+      if (!measuring) {
+        ++discarded;
+        continue;
+      }
+      ++recorded;
+      st.hist.Record(c.Latency());
+      result.latency_hist.Record(c.Latency());
+      if (c.is_write) {
+        ++st.writes;
+      } else {
+        ++st.reads;
+      }
+    }
+    if (!measuring && discarded >= options.warmup) {
+      measuring = true;
+      window_start = clock->Now();
+      if (tracer != nullptr) {
+        totals_start = tracer->totals();
+      }
+    }
+  }
+
+  const common::Duration elapsed = clock->Now() - window_start;
+  result.ops = static_cast<uint64_t>(recorded);
+  result.iops = elapsed > 0 ? static_cast<double>(recorded) / common::ToSeconds(elapsed) : 0;
+  if (tracer != nullptr) {
+    result.breakdown = tracer->totals() - totals_start;
+  }
+  result.streams.resize(options.streams);
+  for (uint32_t s = 0; s < options.streams; ++s) {
+    StreamResult& r = result.streams[s];
+    r.stream = s;
+    r.reads = streams[s].reads;
+    r.writes = streams[s].writes;
+    const uint64_t ops = r.reads + r.writes;
+    r.iops = elapsed > 0 ? static_cast<double>(ops) / common::ToSeconds(elapsed) : 0;
+    r.latency_hist = streams[s].hist;
+    r.p50_latency = static_cast<common::Duration>(streams[s].hist.Percentile(50));
+    r.p99_latency = static_cast<common::Duration>(streams[s].hist.Percentile(99));
   }
   return result;
 }

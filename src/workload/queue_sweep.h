@@ -10,7 +10,9 @@
 #define SRC_WORKLOAD_QUEUE_SWEEP_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/core/vld.h"
@@ -44,6 +46,67 @@ struct QueueDepthResult {
 common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32_t depth,
                                                           int updates, int warmup,
                                                           uint64_t seed = 2);
+
+// --- Mixed read/write multi-stream driver (SubmitRead + SubmitWrite through one queue) ---
+
+// Deterministic Zipf(theta) sampler over ranks [0, n): rank 0 is hottest, p(i) ~ 1/(i+1)^theta.
+// theta 0 degenerates to uniform. Sampling is a binary search over a precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta);
+  uint32_t Sample(common::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// One stream's behavior in a mixed run.
+struct StreamConfig {
+  double read_fraction = 0.5;       // P(next op is a read).
+  common::Duration think_time = 0;  // Idle time between a completion and the next submission.
+  double zipf_theta = 0.0;          // Block-address skew (0 = uniform over the region).
+};
+
+struct StreamResult {
+  uint32_t stream = 0;
+  uint64_t reads = 0;   // Measured ops.
+  uint64_t writes = 0;
+  double iops = 0;      // Measured ops over the shared measured window.
+  common::Duration p50_latency = 0;
+  common::Duration p99_latency = 0;
+  obs::LatencyHistogram latency_hist;  // Per-request latencies (ns), reads and writes.
+};
+
+struct MixedStreamResult {
+  uint64_t ops = 0;  // Measured ops across all streams.
+  double iops = 0;
+  obs::LatencyHistogram latency_hist;
+  obs::TimeBreakdown breakdown;  // Tracer totals over the measured window (zero untraced).
+  std::vector<StreamResult> streams;
+
+  // Max/min per-stream throughput over the shared window — 1.0 is perfectly fair; a scheduler
+  // that feasts on near requests and starves a far stream drives this up.
+  double FairnessRatio() const;
+};
+
+struct MixedStreamOptions {
+  uint32_t streams = 4;  // Also the queue depth driven (one outstanding op per stream).
+  int ops = 1000;        // Measured completions (across streams; excludes warmup).
+  int warmup = 100;
+  uint64_t seed = 2;
+  // Per-stream behavior: size streams(), or size 1 to apply to every stream, or empty for
+  // defaults. Each stream's Zipf hot spot is rotated so hot sets do not collide.
+  std::vector<StreamConfig> stream_configs;
+  // Write every block in the region once before warmup so reads hit mapped blocks.
+  bool prepopulate = true;
+};
+
+// Runs a closed-loop mixed read/write workload over the first half of the logical space:
+// each stream keeps one 4 KB op outstanding (submitted when its think time expires), the
+// queue group-services via FlushQueue, and per-stream latency histograms are collected over
+// the measured window. The Vld must be freshly formatted with queue_depth >= streams.
+common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
+                                                    const MixedStreamOptions& options);
 
 }  // namespace vlog::workload
 

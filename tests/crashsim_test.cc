@@ -322,6 +322,21 @@ TEST(CrashSweepTest, QueuedGroupCommitScenarioHasNoViolations) {
   EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
 }
 
+// Queued reads interleaved with queued writes: reads are verified against the shadow at record
+// time (same-batch RAW forwarding, unmapped and freshly-trimmed blocks reading zeros) and are
+// recorded as nothing, so a green sweep proves read traffic never dirtied crash-visible state.
+TEST(CrashSweepTest, QueuedMixedReadWriteScenarioHasNoViolations) {
+  VldCrashSim sim(CrashSimDiskParams(), CrashSimVldConfig());
+  const common::Status recorded = RecordVldScenario(VldScenario::kQueuedMixedReadWrite, sim);
+  ASSERT_TRUE(recorded.ok()) << recorded.ToString();
+  const CrashSweepReport report = sim.Sweep(CrashSweepOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 150u) << report.Summary();
+  EXPECT_GE(report.torn_points, 30u) << report.Summary();
+  EXPECT_GT(report.park_recoveries, 0u) << report.Summary();
+  EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
+}
+
 // Satellite (b): the §4.4 LFS stack (log-structured logical disk + fs) running on the VLD, so
 // the swept traffic is multi-block segment writes.
 TEST(CrashSweepTest, LfsOnVldScenarioHasNoViolations) {
@@ -385,6 +400,15 @@ TEST(ReorderSweepTest, CheckpointInterruptedScenarioHasNoViolations) {
 
 TEST(ReorderSweepTest, QueuedGroupCommitScenarioHasNoViolations) {
   const CrashSweepReport report = SweepCachedVldScenario(VldScenario::kQueuedGroupCommit);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.reorder_points, 100u) << report.Summary();
+}
+
+// Same mixed scenario on the write-back cached disk: queued reads of cache-dirty extents see
+// the volatile acknowledged bytes at record time, and the kReorder sweep then re-verifies the
+// write-only op history across destage subsets/orderings — reads must not have perturbed it.
+TEST(ReorderSweepTest, QueuedMixedReadWriteScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepCachedVldScenario(VldScenario::kQueuedMixedReadWrite);
   EXPECT_TRUE(report.ok()) << report.Summary();
   EXPECT_GE(report.reorder_points, 100u) << report.Summary();
 }

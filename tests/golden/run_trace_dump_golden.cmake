@@ -1,14 +1,17 @@
-# Golden-output check for `trace_dump --json`: runs the canned cached workload and requires the
-# vlog-trace/1 dump to be byte-identical to the checked-in golden file. Catches accidental schema
-# or determinism regressions (new fields, reordered keys, nondeterministic ids/timestamps).
+# Golden-output check for `trace_dump --json`: runs a canned workload (shape given by FLAGS)
+# and requires the vlog-trace/1 dump to be byte-identical to the checked-in golden file.
+# Catches accidental schema or determinism regressions (new fields, reordered keys,
+# nondeterministic ids/timestamps).
 #
 # Invoked by ctest as:
-#   cmake -DTOOL=<trace_dump> -DGOLDEN=<golden.json> -DOUT=<scratch.json> -P this_file
+#   cmake -DTOOL=<trace_dump> -DFLAGS="--depth=2 ..." -DGOLDEN=<golden.json> -DOUT=<scratch.json>
+#         -P this_file
 #
-# Regenerate the golden after an intentional schema change with:
-#   build/tools/trace_dump --depth=2 --rounds=2 --cache=256 --json > tests/golden/trace_dump_cached.json
+# Regenerate a golden after an intentional schema change with:
+#   build/tools/trace_dump <flags> --json > tests/golden/<name>.json
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
 execute_process(
-  COMMAND ${TOOL} --depth=2 --rounds=2 --cache=256 --json
+  COMMAND ${TOOL} ${flag_list} --json
   OUTPUT_FILE ${OUT}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

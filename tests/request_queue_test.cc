@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -191,6 +192,165 @@ TEST(RequestQueueTest, QueuedWritesCheaperThanSynchronous) {
 
   const common::Time queued_done = DrainAll(SchedulerPolicy::kFcfs, lbas);
   EXPECT_LT(queued_done, sync_done);
+}
+
+// Finds a write start on cylinder 1 whose positional cost is the track's maximum (the head's
+// projected angle just passed it), so sectors a little further along the track are almost a
+// full rotation cheaper. That cost gap is what lets these tests force a specific SPTF choice
+// deterministically: same cylinder, so seek time is identical and only rotation differs.
+Lba ExpensiveTrackSector(const SimDisk& disk, uint64_t* cheap_offset) {
+  const DiskGeometry& geometry = disk.geometry();
+  const Lba track = geometry.ToLba({.cylinder = 1, .head = 0, .sector = 0});
+  Lba worst = track;
+  common::Duration worst_cost = 0;
+  for (uint32_t s = 0; s + 16 < geometry.sectors_per_track; ++s) {
+    const common::Duration cost = disk.EstimatePosition(track + s, 0);
+    if (cost > worst_cost) {
+      worst = track + s;
+      worst_cost = cost;
+    }
+  }
+  // The cheapest sector strictly inside (worst, worst + 8): rotationally just past the head.
+  *cheap_offset = 1;
+  common::Duration best_cost = disk.EstimatePosition(worst + 1, 0);
+  for (uint64_t k = 2; k < 8; ++k) {
+    const common::Duration cost = disk.EstimatePosition(worst + k, 0);
+    if (cost < best_cost) {
+      *cheap_offset = k;
+      best_cost = cost;
+    }
+  }
+  EXPECT_LT(best_cost, worst_cost) << "the track must offer a rotationally cheaper sector";
+  return worst;
+}
+
+// Satellite (b): partial-overlap RAW forwarding. The read starts at a rotationally cheap
+// sector inside a pending write's extent, so SPTF provably services it while the write is
+// still queued — the overlapping sectors must come from the pending payload, the tail from
+// the media.
+TEST(RequestQueueTest, ReadForwardsPartialOverlapFromOlderPendingWrite) {
+  common::Clock clock;
+  SimDisk disk(Hp97560(), &clock);
+  uint64_t cheap = 0;
+  const Lba w = ExpensiveTrackSector(disk, &cheap);
+  const auto media = Pattern(3);  // 8 sectors of pre-existing media under the read tail.
+  disk.PokeMedia(w + 8, media);
+  const auto payload = Pattern(7);  // The pending 8-sector write [w, w+8).
+
+  RequestQueue queue(&disk, {.depth = 4, .policy = SchedulerPolicy::kSptf});
+  ASSERT_TRUE(queue.SubmitWrite(w, payload).ok());
+  auto read_id = queue.SubmitRead(w + cheap, 8);  // Overlap [w+cheap, w+8), tail off media.
+  ASSERT_TRUE(read_id.ok());
+
+  auto first = queue.ServiceOne();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->id, *read_id) << "the rotationally cheaper read must be serviced first";
+  const uint64_t overlap = 8 - cheap;
+  EXPECT_EQ(first->forwarded_sectors, overlap);
+  EXPECT_EQ(std::memcmp(first->data.data(), payload.data() + cheap * 512, overlap * 512), 0)
+      << "overlapping sectors must be forwarded from the pending write payload";
+  EXPECT_EQ(std::memcmp(first->data.data() + overlap * 512, media.data(), cheap * 512), 0)
+      << "the non-overlapping tail must come from the media";
+
+  auto second = queue.ServiceOne();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->is_write);
+  std::vector<std::byte> on_media(kBlockBytes);
+  disk.PeekMedia(w, on_media);
+  EXPECT_EQ(on_media, payload) << "the forwarded-from write must still reach the media";
+}
+
+// WAR hazard: a newer write may not be reordered past an older overlapping read, even when
+// its position is cheaper — the read must be serviced first and see the pre-write media.
+// Without overlap the same cheaper write does jump ahead, proving the hazard check (not the
+// scheduler) is what held it back.
+TEST(RequestQueueTest, WriteMayNotPassOlderOverlappingRead) {
+  uint64_t cheap = 0;
+  {
+    common::Clock clock;
+    SimDisk disk(Hp97560(), &clock);
+    const Lba r = ExpensiveTrackSector(disk, &cheap);
+    const auto media = Pattern(5);
+    disk.PokeMedia(r, media);
+    RequestQueue queue(&disk, {.depth = 4, .policy = SchedulerPolicy::kSptf});
+    auto read_id = queue.SubmitRead(r, 8);
+    ASSERT_TRUE(read_id.ok());
+    ASSERT_TRUE(queue.SubmitWrite(r + cheap, Pattern(6)).ok());  // Cheaper but overlapping.
+    auto first = queue.ServiceOne();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->id, *read_id) << "an overlapped older read blocks the newer write";
+    EXPECT_EQ(first->data, media) << "the read must see pre-write media bytes";
+    ASSERT_TRUE(queue.Drain().ok());
+  }
+  {
+    common::Clock clock;
+    SimDisk disk(Hp97560(), &clock);
+    const Lba r = ExpensiveTrackSector(disk, &cheap);
+    RequestQueue queue(&disk, {.depth = 4, .policy = SchedulerPolicy::kSptf});
+    ASSERT_TRUE(queue.SubmitRead(r, 8).ok());
+    auto write_id = queue.SubmitWrite(r + 16, Pattern(6));  // Cheaper and non-overlapping.
+    ASSERT_TRUE(write_id.ok());
+    auto first = queue.ServiceOne();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->id, *write_id)
+        << "without overlap the cheaper newer write is free to go first";
+    ASSERT_TRUE(queue.Drain().ok());
+  }
+}
+
+// WAW hazard: a newer write may not pass an older overlapping write, so the overlap region
+// ends up with the newer data (submission order), not whichever landed last by position.
+TEST(RequestQueueTest, WriteMayNotPassOlderOverlappingWrite) {
+  common::Clock clock;
+  SimDisk disk(Hp97560(), &clock);
+  uint64_t cheap = 0;
+  const Lba w = ExpensiveTrackSector(disk, &cheap);
+  const auto older = Pattern(8);
+  const auto newer = Pattern(9);
+  RequestQueue queue(&disk, {.depth = 4, .policy = SchedulerPolicy::kSptf});
+  auto first_id = queue.SubmitWrite(w, older);
+  ASSERT_TRUE(first_id.ok());
+  ASSERT_TRUE(queue.SubmitWrite(w + cheap, newer).ok());  // Cheaper, overlapping, newer.
+  auto first = queue.ServiceOne();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->id, *first_id) << "the older overlapping write must be serviced first";
+  ASSERT_TRUE(queue.Drain().ok());
+  std::vector<std::byte> on_media(kBlockBytes);
+  disk.PeekMedia(w + cheap, on_media);
+  EXPECT_EQ(on_media, newer) << "the overlap must hold the newer write's bytes";
+}
+
+// Satellite (d): bounded-age starvation promotion. A far request stuck behind a stream of
+// near ones is serviced first once its wait crosses the bound; without a bound SPTF leaves
+// it for last.
+TEST(RequestQueueTest, StarvationBoundPromotesOldestRequest) {
+  auto far_service_rank = [](common::Duration bound) {
+    common::Clock clock;
+    SimDisk disk(Hp97560(), &clock);
+    const DiskGeometry& geometry = disk.geometry();
+    const Lba far = geometry.ToLba({.cylinder = geometry.cylinders - 1, .head = 0, .sector = 0});
+    RequestQueue queue(&disk,
+                       {.depth = 8, .policy = SchedulerPolicy::kSptf,
+                        .starvation_bound = bound});
+    auto far_id = queue.SubmitWrite(far, Pattern(0));
+    EXPECT_TRUE(far_id.ok());
+    clock.Advance(common::Milliseconds(6));
+    for (uint32_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(queue.SubmitWrite(i * 16, Pattern(i + 1)).ok());
+    }
+    auto done = queue.Drain();
+    EXPECT_TRUE(done.ok());
+    for (size_t i = 0; i < done->size(); ++i) {
+      if ((*done)[i].id == *far_id) {
+        return i;
+      }
+    }
+    return done->size();
+  };
+
+  EXPECT_EQ(far_service_rank(0), 4u) << "pure SPTF leaves the far request for last";
+  EXPECT_EQ(far_service_rank(common::Milliseconds(5)), 0u)
+      << "a 5 ms bound promotes the 6 ms-old far request to the front";
 }
 
 TEST(RequestQueueTest, ReadCompletionCarriesDataAndTimestamps) {

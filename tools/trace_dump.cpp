@@ -8,6 +8,9 @@
 //   --depth=D --rounds=R       workload shape (defaults: depth 4, 8 rounds)
 //   --cache=N                  volatile write-back cache of N sectors (default 0 = off); the
 //                              VLD's barriers then destage it, so flush/destage events appear
+//   --reads=P                  fraction of queued ops that are reads (default 0 = all writes);
+//                              the region is prepopulated untraced first, so read spans and
+//                              any same-batch RAW forwarding markers show up in the dump
 //
 // The workload is deterministic (fixed seed on the virtual clock), so every mode's output is
 // stable run to run — the same property the trace determinism test asserts.
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
   uint32_t depth = 4;
   int rounds = 8;
   uint64_t cache_sectors = 0;
+  double read_fraction = 0.0;
   uint64_t show_span = 0;
   bool show_events = false;
   bool show_json = false;
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
       rounds = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
       cache_sectors = static_cast<uint64_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--reads=", 8) == 0) {
+      read_fraction = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--span=", 7) == 0) {
       show_span = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--events") == 0) {
@@ -67,13 +73,13 @@ int main(int argc, char** argv) {
       show_json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] "
+                   "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
                    "[--span=N|--events|--json]\n");
       return 2;
     }
   }
-  if (depth == 0 || depth > 32 || rounds <= 0) {
-    std::fprintf(stderr, "trace_dump: depth must be 1..32, rounds > 0\n");
+  if (depth == 0 || depth > 32 || rounds <= 0 || read_fraction < 0 || read_fraction > 1) {
+    std::fprintf(stderr, "trace_dump: depth must be 1..32, rounds > 0, reads in [0, 1]\n");
     return 2;
   }
 
@@ -90,10 +96,35 @@ int main(int argc, char** argv) {
   common::Rng rng(2);
   const uint32_t blocks = vld.logical_blocks() / 2;
   std::vector<std::byte> payload(4096, std::byte{0x42});
+  if (read_fraction > 0) {
+    // Prepopulate the region with the tracer detached, so reads hit mapped blocks without
+    // hundreds of setup spans bloating the dump.
+    disk.set_tracer(nullptr);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      Fatal(vld.Write(static_cast<simdisk::Lba>(b) * 8, payload), "prepopulate");
+    }
+    disk.set_tracer(&tracer);
+  }
   for (int round = 0; round < rounds; ++round) {
+    simdisk::Lba raw_lba = 0;
+    bool have_write = false;
     for (uint32_t i = 0; i < depth; ++i) {
-      Fatal(vld.SubmitWrite(static_cast<simdisk::Lba>(rng.Below(blocks)) * 8, payload).status(),
-            "submit");
+      if (read_fraction > 0 && i + 1 == depth && have_write) {
+        // The round's last op re-reads its first write: a guaranteed same-batch RAW, so the
+        // forwarding markers are part of the mixed fixture.
+        Fatal(vld.SubmitRead(raw_lba, 8).status(), "submit raw read");
+        continue;
+      }
+      const simdisk::Lba lba = static_cast<simdisk::Lba>(rng.Below(blocks)) * 8;
+      if (read_fraction > 0 && rng.Chance(read_fraction)) {
+        Fatal(vld.SubmitRead(lba, 8).status(), "submit read");
+      } else {
+        Fatal(vld.SubmitWrite(lba, payload).status(), "submit");
+        if (!have_write) {
+          have_write = true;
+          raw_lba = lba;
+        }
+      }
     }
     Fatal(vld.FlushQueue().status(), "flush");
   }
