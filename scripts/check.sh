@@ -24,3 +24,10 @@ if [ -x build/bench/bench_queue_depth ]; then
   echo "=== bench smoke: queue_depth ==="
   ./build/bench/bench_queue_depth --smoke --json=BENCH_queue_depth.json
 fi
+
+# Array smoke: striped N=1..8 scaling with the N=1-equals-bare-VLD identity, monotone-IOPS,
+# and mirrored degraded-read payload gates.
+if [ -x build/bench/bench_array ]; then
+  echo "=== bench smoke: array ==="
+  ./build/bench/bench_array --smoke --json=BENCH_array.json
+fi

@@ -416,36 +416,48 @@ common::Status Vld::ServiceQueuedRead(const std::vector<QueuedRequest>& batch, s
 }
 
 common::Duration Vld::QueuedReadCost(const std::vector<QueuedRequest>& batch, size_t index,
-                                     common::Time now) const {
-  const QueuedRequest& req = batch[index];
-  // Positioning cost of the first sector the media will actually serve: skip sectors that are
-  // forwarded from earlier batch writes or unmapped (those cost no mechanical time).
-  for (uint64_t i = 0; i < req.sectors; ++i) {
-    bool covered = false;
-    for (size_t j = 0; j < index; ++j) {
-      const QueuedRequest& w = batch[j];
-      if (w.is_write && req.lba + i >= w.lba && req.lba + i < w.lba + w.sectors) {
-        covered = true;
-        break;
+                                     common::Time now, std::vector<int64_t>& first_media) const {
+  // The first media-served sector is a property of the batch, not of the dispatch: same-batch
+  // coverage is fixed at submission order and the map recommits only when the batch ends, so
+  // the coverage/translation scan runs once per candidate and later dispatches reuse it —
+  // only the positioning estimate itself depends on the clock and arm.
+  if (first_media[index] == kCostUnknown) {
+    first_media[index] = kCostNoMedia;
+    const QueuedRequest& req = batch[index];
+    // First sector the media will actually serve: skip sectors that are forwarded from earlier
+    // batch writes or unmapped (those cost no mechanical time).
+    for (uint64_t i = 0; i < req.sectors; ++i) {
+      bool covered = false;
+      for (size_t j = 0; j < index; ++j) {
+        const QueuedRequest& w = batch[j];
+        if (w.is_write && req.lba + i >= w.lba && req.lba + i < w.lba + w.sectors) {
+          covered = true;
+          break;
+        }
       }
+      if (covered) {
+        continue;
+      }
+      const simdisk::Lba logical_sector = req.lba + i;
+      const uint32_t lblock = static_cast<uint32_t>(logical_sector / config_.block_sectors);
+      if (map_[lblock] == kUnmappedBlock) {
+        continue;
+      }
+      first_media[index] =
+          static_cast<int64_t>(space_.BlockToLba(map_[lblock]) +
+                               static_cast<uint32_t>(logical_sector % config_.block_sectors));
+      break;
     }
-    if (covered) {
-      continue;
-    }
-    const simdisk::Lba logical_sector = req.lba + i;
-    const uint32_t lblock = static_cast<uint32_t>(logical_sector / config_.block_sectors);
-    if (map_[lblock] == kUnmappedBlock) {
-      continue;
-    }
-    const simdisk::Lba phys = space_.BlockToLba(map_[lblock]) +
-                              static_cast<uint32_t>(logical_sector % config_.block_sectors);
-    return disk_->EstimatePosition(phys, now);
   }
-  return 0;  // Fully forwarded/unmapped: a pure controller-RAM service.
+  if (first_media[index] == kCostNoMedia) {
+    return 0;  // Fully forwarded/unmapped: a pure controller-RAM service.
+  }
+  return disk_->EstimatePosition(static_cast<simdisk::Lba>(first_media[index]), now);
 }
 
 size_t Vld::PickNextQueued(const std::vector<QueuedRequest>& batch,
-                           const std::vector<bool>& serviced) const {
+                           const std::vector<bool>& serviced,
+                           std::vector<int64_t>& first_media) const {
   size_t oldest = batch.size();
   for (size_t i = 0; i < batch.size(); ++i) {
     if (!serviced[i]) {
@@ -478,7 +490,8 @@ size_t Vld::PickNextQueued(const std::vector<QueuedRequest>& batch,
       continue;
     }
     write_seen |= batch[i].is_write;
-    const common::Duration cost = batch[i].is_write ? 0 : QueuedReadCost(batch, i, now);
+    const common::Duration cost =
+        batch[i].is_write ? 0 : QueuedReadCost(batch, i, now, first_media);
     if (best == batch.size() || cost < best_cost) {
       best = i;
       best_cost = cost;
@@ -504,9 +517,10 @@ common::StatusOr<std::vector<Vld::QueuedCompletion>> Vld::FlushQueue() {
   std::vector<common::Time> read_done(batch.size(), 0);
   std::vector<std::vector<std::byte>> read_data(batch.size());
   std::vector<bool> serviced(batch.size(), false);
+  std::vector<int64_t> first_media(batch.size(), kCostUnknown);
   size_t write_count = 0;
   for (size_t n = 0; n < batch.size(); ++n) {
-    const size_t i = PickNextQueued(batch, serviced);
+    const size_t i = PickNextQueued(batch, serviced, first_media);
     serviced[i] = true;
     const QueuedRequest& req = batch[i];
     obs::SpanScope span(req.span != 0 ? tracer : nullptr, req.span);

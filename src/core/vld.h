@@ -255,12 +255,18 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   common::Status ServiceQueuedRead(const std::vector<QueuedRequest>& batch, size_t index,
                                    std::span<std::byte> out, uint64_t* forwarded_sectors);
   // SPTF positioning cost of batch[index]'s first media-served sector (0 when every sector is
-  // forwarded or unmapped — a pure controller-RAM service).
+  // forwarded or unmapped — a pure controller-RAM service). `first_media` caches that sector's
+  // physical LBA per candidate across the batch's dispatches (kCostUnknown = not yet scanned,
+  // kCostNoMedia = fully forwarded/unmapped): batch coverage and the map are both fixed until
+  // the end-of-batch commit, so the scan runs once per candidate instead of once per dispatch.
+  static constexpr int64_t kCostUnknown = -2;
+  static constexpr int64_t kCostNoMedia = -1;
   common::Duration QueuedReadCost(const std::vector<QueuedRequest>& batch, size_t index,
-                                  common::Time now) const;
+                                  common::Time now, std::vector<int64_t>& first_media) const;
   // The next unserviced batch index to service under config_.read_policy.
   size_t PickNextQueued(const std::vector<QueuedRequest>& batch,
-                        const std::vector<bool>& serviced) const;
+                        const std::vector<bool>& serviced,
+                        std::vector<int64_t>& first_media) const;
   std::vector<QueuedRequest> queue_;
   uint64_t next_queued_id_ = 1;
   common::Time ctrl_free_ = 0;  // Controller pipeline state for queued commands.

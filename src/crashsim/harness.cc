@@ -13,9 +13,8 @@
 #include "src/ufs/layout.h"
 
 namespace vlog::crashsim {
-namespace {
 
-std::string PointName(const CrashPoint& point) {
+std::string CrashPointName(const CrashPoint& point) {
   std::ostringstream os;
   os << "crash point #" << point.ordinal << " n=" << point.writes_applied
      << " kind=" << CrashKindName(point.kind);
@@ -36,6 +35,7 @@ std::string PointName(const CrashPoint& point) {
 // ordered by writes_applied, with stable per-sweep ordinals for failure messages.
 std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
                                        const CrashSweepOptions& options) {
+  // (Shared with the array sweep in array_harness.cc, which replays the same ordinals.)
   std::vector<CrashPoint> points = EnumerateCrashPoints(trace, sector_bytes, options.enumerate);
   std::vector<CrashPoint> reorder = EnumerateReorderPoints(trace, options.reorder);
   points.insert(points.end(), std::make_move_iterator(reorder.begin()),
@@ -48,6 +48,8 @@ std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_
   }
   return points;
 }
+
+namespace {
 
 bool IsZero(std::span<const std::byte> bytes) {
   return std::all_of(bytes.begin(), bytes.end(), [](std::byte b) { return b == std::byte{0}; });
@@ -76,8 +78,11 @@ common::Duration Percentile(std::vector<common::Duration> sorted, double p) {
 void CrashSweepReport::AddViolation(const CrashPoint& point, const std::string& what,
                                     size_t max_details) {
   ++violations;
+  if (first_violation_ordinal < 0) {
+    first_violation_ordinal = static_cast<int64_t>(point.ordinal);
+  }
   if (violation_details.size() < max_details) {
-    violation_details.push_back(PointName(point) + ": " + what);
+    violation_details.push_back(CrashPointName(point) + ": " + what);
   }
 }
 
@@ -98,7 +103,11 @@ std::string CrashSweepReport::Summary() const {
        << common::ToMilliseconds(sorted.back());
   }
   if (violations > 0) {
-    os << "\n  replay with --seed=" << seed << " (crash-point ordinals above identify the cut)";
+    // The full replay command: --seed reproduces the point list, --point narrows the sweep to
+    // the first violating ordinal. The same pair of flags works for the single-disk and array
+    // sweep binaries alike.
+    os << "\n  replay: <sweep test binary> --seed=" << seed << " --point="
+       << first_violation_ordinal << " (reruns exactly that crash point)";
   }
   for (const std::string& detail : violation_details) {
     os << "\n  " << detail;
@@ -188,6 +197,10 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
         break;
       default:
         ++report.torn_points;
+    }
+    if (options.only_ordinal >= 0 &&
+        static_cast<int64_t>(point.ordinal) != options.only_ordinal) {
+      continue;  // Replay mode: count every point but recover/check only the requested one.
     }
 
     // Reconstruct the crashed media and recover a fresh instance over it.
@@ -493,6 +506,10 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
         break;
       default:
         ++report.torn_points;
+    }
+    if (options.only_ordinal >= 0 &&
+        static_cast<int64_t>(point.ordinal) != options.only_ordinal) {
+      continue;  // Replay mode: count every point but recover/check only the requested one.
     }
 
     std::vector<std::byte> crashed = image;

@@ -42,6 +42,10 @@ struct CrashSweepOptions {
   // smoke-test allocator and map consistency.
   bool probe_after_recovery = true;
   size_t max_violation_details = 8;
+  // Replay mode: when >= 0, the sweep still reconstructs its rolling state over every point
+  // (ordinals and images are deterministic) but runs recovery and the invariant checks only at
+  // the point with this ordinal — the (seed, ordinal) pair a failure message prints.
+  int64_t only_ordinal = -1;
 };
 
 struct CrashSweepReport {
@@ -54,6 +58,7 @@ struct CrashSweepReport {
 
   uint64_t violations = 0;
   std::vector<std::string> violation_details;  // First few, for diagnosis.
+  int64_t first_violation_ordinal = -1;        // Ordinal of the first violating point.
 
   uint64_t park_recoveries = 0;
   uint64_t scan_recoveries = 0;
@@ -67,6 +72,14 @@ struct CrashSweepReport {
   // Human-readable one-paragraph summary (for test failure messages and the bench).
   std::string Summary() const;
 };
+
+// Shared by every sweep implementation (single-disk, VLFS, array): regular prefix/torn points
+// plus (for write-back traces) reorder points, merged into one list ordered by writes_applied,
+// with stable per-sweep ordinals — the ordinal a replay names via --point=.
+std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_bytes,
+                                       const CrashSweepOptions& options);
+// "crash point #<ordinal> n=<writes> kind=..." — the prefix AddViolation puts on details.
+std::string CrashPointName(const CrashPoint& point);
 
 // Device-level harness: a workload drives a ShadowVld; the sweep replays its media history.
 class VldCrashSim {

@@ -1,5 +1,6 @@
 #include "src/crashsim/scenarios.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/common/rng.h"
@@ -212,6 +213,82 @@ common::Status QueuedMixedReadWriteWorkload(ShadowVld& dev) {
   return dev.Park();
 }
 
+// Striped array: base fill, then queued multi-block batches whose blocks scatter across both
+// members (cross-disk group commit: one packed map transaction per member per batch), then a
+// sync overwrite and record-time read checks. No park, so every recovery scans.
+common::Status StripedArrayWorkload(ArrayCrashSim::Workload& w) {
+  const uint32_t blocks = w.array_blocks();
+  const uint32_t block_sectors = w.block_sectors();
+  for (uint32_t b = 0; b < 12; ++b) {
+    RETURN_IF_ERROR(w.WriteBlock(b, Pattern(b, 1)));
+  }
+  common::Rng rng(17);
+  uint32_t version = 2;
+  for (int round = 0; round < 4; ++round) {
+    const size_t depth = 2 + rng.Below(5);
+    std::vector<uint32_t> chosen;
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<core::Vld::AtomicWrite> writes;
+    payloads.reserve(depth);
+    writes.reserve(depth);
+    while (chosen.size() < depth) {
+      // Unique random blocks over the whole array space, so one batch usually lands runs on
+      // both members and on several map pieces per member.
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      if (std::find(chosen.begin(), chosen.end(), b) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(b);
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * block_sectors,
+                                              payloads.back()});
+    }
+    RETURN_IF_ERROR(w.QueuedBatch(writes));
+    ++version;
+  }
+  RETURN_IF_ERROR(w.WriteBlock(3, Pattern(3, 90)));
+  RETURN_IF_ERROR(w.ReadVerify(0));
+  return w.ReadVerify(3);
+}
+
+// Mirrored array: every write fans to both replicas; crash points that cut between the two
+// member commits leave one replica ahead, which stitched recovery must resync.
+common::Status MirroredArrayWorkload(ArrayCrashSim::Workload& w) {
+  const uint32_t blocks = w.array_blocks();
+  const uint32_t block_sectors = w.block_sectors();
+  for (uint32_t b = 0; b < 8; ++b) {
+    RETURN_IF_ERROR(w.WriteBlock(b, Pattern(b, 1)));
+  }
+  common::Rng rng(23);
+  uint32_t version = 2;
+  for (int round = 0; round < 3; ++round) {
+    const size_t depth = 2 + rng.Below(3);
+    std::vector<uint32_t> chosen;
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<core::Vld::AtomicWrite> writes;
+    payloads.reserve(depth);
+    writes.reserve(depth);
+    while (chosen.size() < depth) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      if (std::find(chosen.begin(), chosen.end(), b) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(b);
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * block_sectors,
+                                              payloads.back()});
+    }
+    RETURN_IF_ERROR(w.QueuedBatch(writes));
+    ++version;
+  }
+  // Overwrite a base block (the resync-relevant case: a lagging replica must roll forward to
+  // this version, not back to version 1) and a fresh block.
+  RETURN_IF_ERROR(w.WriteBlock(1, Pattern(1, 50)));
+  RETURN_IF_ERROR(w.WriteBlock(blocks - 1, Pattern(blocks - 1, 51)));
+  RETURN_IF_ERROR(w.ReadVerify(1));
+  return w.ReadVerify(blocks - 1);
+}
+
 common::Status LfsOnVldWorkload(ShadowVld& dev) {
   simdisk::HostModel host(simdisk::ZeroCostHost(), dev.vld().disk().clock());
   // Small segments and caches so the truncated disk sees several sealed-segment writes plus
@@ -299,6 +376,34 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
       return sim.Record(LfsOnVldWorkload);
   }
   return common::InvalidArgument("unknown scenario");
+}
+
+const char* ArrayScenarioName(ArrayScenario scenario) {
+  switch (scenario) {
+    case ArrayScenario::kStripedGroupCommit:
+      return "striped-group-commit";
+    case ArrayScenario::kMirroredResync:
+      return "mirrored-resync";
+  }
+  return "?";
+}
+
+array::VldArrayConfig CrashSimStripedArrayConfig() {
+  return array::VldArrayConfig{.mode = array::ArrayMode::kStriped, .stripe_blocks = 2};
+}
+
+array::VldArrayConfig CrashSimMirroredArrayConfig() {
+  return array::VldArrayConfig{.mode = array::ArrayMode::kMirrored};
+}
+
+common::Status RecordArrayScenario(ArrayScenario scenario, ArrayCrashSim& sim) {
+  switch (scenario) {
+    case ArrayScenario::kStripedGroupCommit:
+      return sim.Record(StripedArrayWorkload);
+    case ArrayScenario::kMirroredResync:
+      return sim.Record(MirroredArrayWorkload);
+  }
+  return common::InvalidArgument("unknown array scenario");
 }
 
 std::vector<VlfsOp> VlfsScenarioScript() {

@@ -23,9 +23,14 @@
 //                           device traffic being crash-swept.
 // The VLFS scenario exercises file-level recovery: namespace ops, sync writes, checkpoint,
 // idle compaction, and park.
+//
+// The array scenarios run the same traffic shapes through a 2-member VldArray (striped with a
+// 2-block stripe unit so batches span both members, or mirrored), on the direct disk for torn
+// per-member crash points and on the cached disk for reordered mid-destage subsets.
 #ifndef SRC_CRASHSIM_SCENARIOS_H_
 #define SRC_CRASHSIM_SCENARIOS_H_
 
+#include "src/crashsim/array_harness.h"
 #include "src/crashsim/harness.h"
 #include "src/simdisk/disk_params.h"
 
@@ -56,6 +61,24 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim);
 
 // The scripted VLFS workload.
 std::vector<VlfsOp> VlfsScenarioScript();
+
+// --- Array scenarios ---
+
+enum class ArrayScenario {
+  kStripedGroupCommit,  // Queued batches spanning both members: cross-disk group commit.
+  kMirroredResync,      // Mirrored writes; recovery must resync replicas that crashed mid-op.
+};
+
+const char* ArrayScenarioName(ArrayScenario scenario);
+
+// 2-member array configs. The striped unit is 2 blocks so multi-block batches regularly
+// straddle the member boundary (that is the cross-disk case under test).
+array::VldArrayConfig CrashSimStripedArrayConfig();
+array::VldArrayConfig CrashSimMirroredArrayConfig();
+
+// Records the scenario's workload into `sim` (which must be freshly constructed with a
+// matching mode: striped for kStripedGroupCommit, mirrored for kMirroredResync).
+common::Status RecordArrayScenario(ArrayScenario scenario, ArrayCrashSim& sim);
 
 }  // namespace vlog::crashsim
 

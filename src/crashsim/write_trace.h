@@ -21,9 +21,14 @@ namespace vlog::crashsim {
 // writes acknowledged into a volatile write-back cache — those may be lost or reordered by a
 // crash until the next durability barrier.
 struct WriteRecord {
-  simdisk::Lba lba = 0;
+  simdisk::Lba lba = 0;  // Member-local LBA (arrays record each member's own address space).
   std::vector<std::byte> data;
   bool durable = true;
+  // Which member disk committed the write. 0 for single-disk traces; an array sweep replays
+  // each record onto images[disk]. Barrier-delimited epochs still work globally because every
+  // member drains its own cache at each commit, so an epoch only ever holds one member's
+  // volatile writes.
+  uint32_t disk = 0;
 
   uint64_t Sectors(uint32_t sector_bytes) const { return data.size() / sector_bytes; }
 };
@@ -33,8 +38,9 @@ class WriteTrace {
   void set_base(std::vector<std::byte> image) { base_ = std::move(image); }
   const std::vector<std::byte>& base() const { return base_; }
 
-  void Append(simdisk::Lba lba, std::span<const std::byte> data, bool durable = true) {
-    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}, durable});
+  void Append(simdisk::Lba lba, std::span<const std::byte> data, bool durable = true,
+              uint32_t disk = 0) {
+    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}, durable, disk});
   }
 
   // Marks a durability barrier: every record appended so far is on stable media. Recorded at

@@ -119,6 +119,7 @@ uint64_t TraceRecorder::BeginSpanDetached(Layer layer, uint64_t a, uint64_t b, S
   s.submit = clock_->Now();
   s.layer = layer;
   s.kind = kind;
+  s.disk = disk_index_;
   s.a = a;
   s.b = b;
   Push({s.submit, 0, id, EventType::kSubmit, layer, a, b});
@@ -191,7 +192,8 @@ const TraceRecorder::Span* TraceRecorder::span(uint64_t id) const {
   return it == spans_.end() ? nullptr : &it->second;
 }
 
-void TraceRecorder::Push(const TraceEvent& event) {
+void TraceRecorder::Push(TraceEvent event) {
+  event.disk = disk_index_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
     return;
@@ -230,6 +232,8 @@ std::string TraceRecorder::TraceJson() const {
     w.String(LayerName(s.layer));
     w.Key("kind");
     w.String(SpanKindName(s.kind));
+    w.Key("disk");
+    w.UInt(s.disk);
     w.Key("submit");
     w.Int(s.submit);
     w.Key("complete");
@@ -276,6 +280,8 @@ std::string TraceRecorder::TraceJson() const {
     w.String(EventTypeName(e.type));
     w.Key("layer");
     w.String(LayerName(e.layer));
+    w.Key("disk");
+    w.UInt(e.disk);
     w.Key("a");
     w.UInt(e.a);
     w.Key("b");

@@ -82,6 +82,8 @@ struct TraceEvent {
   Layer layer = Layer::kHost;
   uint64_t a = 0;  // Type-specific (usually an LBA, piece, or count).
   uint64_t b = 0;
+  // Member disk index; stamped by the recorder from set_disk_index() (0 = single-disk stack).
+  uint32_t disk = 0;
 };
 
 // Where one request's simulated service time went. All fields are exact integral nanoseconds;
@@ -112,6 +114,7 @@ class TraceRecorder {
     common::Time complete = 0;
     Layer layer = Layer::kHost;
     SpanKind kind = SpanKind::kOther;
+    uint32_t disk = 0;  // Member disk index at the time the span was opened.
     uint64_t a = 0;
     uint64_t b = 0;
     bool open = true;
@@ -136,6 +139,12 @@ class TraceRecorder {
 
   uint64_t current_span() const { return current_; }
   void SetCurrentSpan(uint64_t id) { current_ = id; }
+
+  // Member disk index stamped on every subsequently opened span and pushed event. An array
+  // driving N member disks through one shared recorder sets this before touching member i;
+  // single-disk stacks leave it 0. Purely a label: no effect on time, spans, or totals.
+  void set_disk_index(uint32_t disk) { disk_index_ = disk; }
+  uint32_t disk_index() const { return disk_index_; }
 
   // --- Event emission (all attributed to the current span) ---
 
@@ -174,7 +183,7 @@ class TraceRecorder {
   void PublishTo(MetricsRegistry& registry, const std::string& prefix = "span") const;
 
  private:
-  void Push(const TraceEvent& event);
+  void Push(TraceEvent event);  // Stamps disk_index_ before buffering.
 
   const common::Clock* clock_;
   size_t capacity_;
@@ -183,6 +192,7 @@ class TraceRecorder {
   uint64_t dropped_ = 0;
   uint64_t next_span_ = 1;
   uint64_t current_ = 0;
+  uint32_t disk_index_ = 0;
   std::map<uint64_t, Span> spans_;
   uint64_t completed_spans_ = 0;
   TimeBreakdown totals_;

@@ -13,6 +13,7 @@ common::StatusOr<uint64_t> RequestQueue::Enqueue(Request req) {
   const uint64_t id = next_id_++;
   req.id = id;
   req.submit_time = disk_->clock()->Now();
+  req.phys = disk_->geometry().ToPhys(req.lba);
   if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
     // If an upper layer already opened a span for this request (e.g. a file system issuing a
     // queued read), inherit it; otherwise the queue is the root and opens a detached span that
@@ -56,7 +57,7 @@ bool RequestQueue::Eligible(size_t index) const {
   return true;
 }
 
-size_t RequestQueue::PickNext() const {
+size_t RequestQueue::PickNext() {
   if (config_.policy == SchedulerPolicy::kFcfs || pending_.size() == 1) {
     return 0;
   }
@@ -69,14 +70,25 @@ size_t RequestQueue::PickNext() const {
   }
   // SPTF: cheapest seek + rotational wait from the current arm position and clock phase, over
   // the hazard-eligible requests. Ties break toward the older request, which also keeps the
-  // policy starvation-averse in practice.
+  // policy starvation-averse in practice. The seek + head-switch component is memoized per
+  // request against the arm position (the arm only moves when a request is serviced), so a
+  // dispatch pays one curve evaluation per candidate only after a seek — the rotational wait
+  // is recomputed from the cached geometry decomposition every time, because it depends on
+  // the clock. Identical arithmetic to EstimatePosition(lba, now).
+  const PhysAddr& arm = disk_->ArmPosition();
   size_t best = pending_.size();
   common::Duration best_cost = 0;
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (!Eligible(i)) {
       continue;
     }
-    const common::Duration cost = disk_->EstimatePosition(pending_[i].lba, now);
+    Request& req = pending_[i];
+    if (req.move_cost < 0 || !(req.move_arm == arm)) {
+      req.move_arm = arm;
+      req.move_cost = disk_->ArmMoveCost(req.phys);
+    }
+    const common::Duration cost =
+        req.move_cost + disk_->RotationalWait(req.phys.sector, now + req.move_cost);
     if (best == pending_.size() || cost < best_cost) {
       best = i;
       best_cost = cost;

@@ -92,11 +92,21 @@ class RequestQueue {
     common::Time submit_time = 0;
     uint64_t span = 0;            // Trace span opened at submission (0 = tracing off).
     std::vector<std::byte> data;  // Write payload.
+    // SPTF positioning cache. The geometry decomposition of `lba` is computed once at
+    // submission; the arm-move (seek + head-switch) component is memoized against the arm
+    // position it was computed at, so a dispatch re-evaluates it only after the arm actually
+    // moved — only the cheap rotational wait depends on the clock. The cached cost is
+    // arithmetically identical to EstimatePosition(lba, now), so schedules are unchanged
+    // (gated by the golden traces and the brute-force reference test).
+    PhysAddr phys{};
+    PhysAddr move_arm{};               // Arm position `move_cost` was computed at.
+    common::Duration move_cost = -1;   // Cached ArmMoveCost; -1 = not yet computed.
   };
 
   common::StatusOr<uint64_t> Enqueue(Request req);
-  // Index into pending_ of the request the policy services next.
-  size_t PickNext() const;
+  // Index into pending_ of the request the policy services next (refreshes the per-request
+  // positioning caches, hence non-const).
+  size_t PickNext();
   // Whether pending_[index] may be serviced ahead of the older requests before it. Reads may
   // pass anything (RAW is satisfied by forwarding); a write may not pass an older request it
   // overlaps, else a later read would see it too early (WAR) or an older write would land on

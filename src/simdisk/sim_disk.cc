@@ -48,8 +48,7 @@ common::Duration SimDisk::RotationalWait(uint32_t sector, common::Time at) const
   return wait;
 }
 
-common::Duration SimDisk::ArmMoveCost(Lba lba) const {
-  const PhysAddr target = params_.geometry.ToPhys(lba);
+common::Duration SimDisk::ArmMoveCost(const PhysAddr& target) const {
   const uint32_t dist = target.cylinder > arm_.cylinder ? target.cylinder - arm_.cylinder
                                                         : arm_.cylinder - target.cylinder;
   const common::Duration seek = params_.seek.SeekTime(dist);
@@ -58,10 +57,17 @@ common::Duration SimDisk::ArmMoveCost(Lba lba) const {
   return std::max(seek, head_switch);
 }
 
-common::Duration SimDisk::EstimatePosition(Lba lba, common::Time at) const {
-  const common::Duration move = ArmMoveCost(lba);
-  const PhysAddr target = params_.geometry.ToPhys(lba);
+common::Duration SimDisk::ArmMoveCost(Lba lba) const {
+  return ArmMoveCost(params_.geometry.ToPhys(lba));
+}
+
+common::Duration SimDisk::EstimatePosition(const PhysAddr& target, common::Time at) const {
+  const common::Duration move = ArmMoveCost(target);
   return move + RotationalWait(target.sector, at + move);
+}
+
+common::Duration SimDisk::EstimatePosition(Lba lba, common::Time at) const {
+  return EstimatePosition(params_.geometry.ToPhys(lba), at);
 }
 
 void SimDisk::Position(Lba lba, bool sequential) {

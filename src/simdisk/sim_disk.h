@@ -81,11 +81,14 @@ class SimDisk : public BlockDevice {
   common::Duration RotationalWait(uint32_t sector, common::Time at) const;
 
   // Seek + head-switch cost from the current arm position to the track holding `lba`
-  // (0 when already there). Excludes rotation.
+  // (0 when already there). Excludes rotation. The PhysAddr overload skips the LBA->geometry
+  // decomposition, for callers that cache the decomposition per request (SPTF schedulers).
   common::Duration ArmMoveCost(Lba lba) const;
+  common::Duration ArmMoveCost(const PhysAddr& target) const;
 
   // Full positioning estimate: arm move plus rotational wait, starting at time `at`.
   common::Duration EstimatePosition(Lba lba, common::Time at) const;
+  common::Duration EstimatePosition(const PhysAddr& target, common::Time at) const;
 
   const DiskParams& params() const { return params_; }
   const DiskGeometry& geometry() const { return params_.geometry; }

@@ -1,0 +1,183 @@
+#include "src/workload/array_sweep.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace vlog::workload {
+
+namespace {
+
+// The deterministic block payload both drivers agree on: byte j of block b is
+// (b * 131 + j * 7) & 0xFF — the same tag queue_sweep uses, so goldens stay familiar.
+void FillPattern(uint32_t block, std::vector<std::byte>& payload) {
+  for (size_t j = 0; j < payload.size(); ++j) {
+    payload[j] = static_cast<std::byte>((block * 131u + j * 7u) & 0xFF);
+  }
+}
+
+void Summarize(std::vector<common::Duration> latencies, common::Duration elapsed,
+               ArraySweepResult* result) {
+  result->updates = latencies.size();
+  result->iops =
+      elapsed > 0 ? static_cast<double>(latencies.size()) / common::ToSeconds(elapsed) : 0;
+  common::Duration total = 0;
+  for (const common::Duration lat : latencies) {
+    total += lat;
+    result->latency_hist.Record(lat);
+  }
+  result->mean_latency =
+      latencies.empty() ? 0 : total / static_cast<common::Duration>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const auto exact_pct = [&](size_t pct) {
+      return latencies[std::min(latencies.size() - 1, latencies.size() * pct / 100)];
+    };
+    result->p50_latency = exact_pct(50);
+    result->p99_latency = exact_pct(99);
+    result->max_latency = latencies.back();
+  }
+}
+
+// The shared closed-loop driver. `Device` is VldArray or Vld: both expose SectorCount,
+// SectorBytes, block_sectors, queue_depth, SubmitWrite, and FlushQueue with Latency()-bearing
+// completions, and `now` reads the device's notion of current time (array barrier time for the
+// array, the member clock for a bare Vld) so elapsed — and therefore IOPS — is measured the
+// same way on both sides of the N = 1 identity gate.
+template <typename Device, typename NowFn>
+common::StatusOr<ArraySweepResult> RunUpdates(Device& dev, NowFn now, uint32_t depth,
+                                              int updates, int warmup, uint64_t seed,
+                                              uint32_t region_blocks) {
+  if (depth == 0 || depth > dev.queue_depth()) {
+    return common::InvalidArgument("array sweep: depth out of range");
+  }
+  const uint32_t block_sectors = dev.block_sectors();
+  const uint32_t device_blocks = static_cast<uint32_t>(dev.SectorCount() / block_sectors);
+  const uint32_t blocks = region_blocks != 0 ? region_blocks : device_blocks / 2;
+  if (blocks == 0 || blocks > device_blocks) {
+    return common::InvalidArgument("array sweep: region out of range");
+  }
+  common::Rng rng(seed);
+  std::vector<std::byte> payload(static_cast<size_t>(block_sectors) * dev.SectorBytes());
+
+  auto run_round = [&](int n, std::vector<common::Duration>* latencies) -> common::Status {
+    for (int i = 0; i < n; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      FillPattern(b, payload);
+      RETURN_IF_ERROR(
+          dev.SubmitWrite(static_cast<simdisk::Lba>(b) * block_sectors, payload).status());
+    }
+    auto done = dev.FlushQueue();
+    RETURN_IF_ERROR(done.status());
+    if (latencies != nullptr) {
+      for (const auto& c : done.value()) {
+        latencies->push_back(c.Latency());
+      }
+    }
+    return common::OkStatus();
+  };
+
+  for (int remaining = warmup; remaining > 0;) {
+    const int n = std::min<int>(remaining, static_cast<int>(depth));
+    RETURN_IF_ERROR(run_round(n, nullptr));
+    remaining -= n;
+  }
+
+  std::vector<common::Duration> latencies;
+  latencies.reserve(static_cast<size_t>(updates));
+  const common::Time start = now();
+  for (int remaining = updates; remaining > 0;) {
+    const int n = std::min<int>(remaining, static_cast<int>(depth));
+    RETURN_IF_ERROR(run_round(n, &latencies));
+    remaining -= n;
+  }
+  const common::Duration elapsed = now() - start;
+
+  ArraySweepResult result;
+  result.depth = depth;
+  Summarize(std::move(latencies), elapsed, &result);
+  return result;
+}
+
+}  // namespace
+
+common::StatusOr<ArraySweepResult> RunArrayRandomUpdates(array::VldArray& array, uint32_t depth,
+                                                         int updates, int warmup, uint64_t seed,
+                                                         uint32_t region_blocks) {
+  return RunUpdates(
+      array, [&] { return array.now(); }, depth, updates, warmup, seed, region_blocks);
+}
+
+common::StatusOr<ArraySweepResult> RunArrayRandomUpdates(core::Vld& vld, uint32_t depth,
+                                                         int updates, int warmup, uint64_t seed,
+                                                         uint32_t region_blocks) {
+  return RunUpdates(
+      vld, [&] { return vld.disk().clock()->Now(); }, depth, updates, warmup, seed,
+      region_blocks);
+}
+
+common::Status PrepopulateArray(array::VldArray& array, uint32_t region_blocks) {
+  const uint32_t block_sectors = array.block_sectors();
+  const uint32_t device_blocks = static_cast<uint32_t>(array.SectorCount() / block_sectors);
+  const uint32_t blocks = region_blocks != 0 ? region_blocks : device_blocks / 2;
+  if (blocks == 0 || blocks > device_blocks) {
+    return common::InvalidArgument("array prepopulate: region out of range");
+  }
+  std::vector<std::byte> payload(static_cast<size_t>(block_sectors) * array.SectorBytes());
+  for (uint32_t b = 0; b < blocks; ++b) {
+    FillPattern(b, payload);
+    RETURN_IF_ERROR(array.Write(static_cast<simdisk::Lba>(b) * block_sectors, payload));
+  }
+  return common::OkStatus();
+}
+
+common::StatusOr<ArrayReadResult> RunArrayRandomReads(array::VldArray& array, int reads,
+                                                      uint64_t seed, uint32_t region_blocks) {
+  const uint32_t block_sectors = array.block_sectors();
+  const uint32_t device_blocks = static_cast<uint32_t>(array.SectorCount() / block_sectors);
+  const uint32_t blocks = region_blocks != 0 ? region_blocks : device_blocks / 2;
+  if (blocks == 0 || blocks > device_blocks) {
+    return common::InvalidArgument("array reads: region out of range");
+  }
+  common::Rng rng(seed);
+  std::vector<std::byte> got(static_cast<size_t>(block_sectors) * array.SectorBytes());
+  std::vector<std::byte> want(got.size());
+
+  ArrayReadResult result;
+  std::vector<common::Duration> latencies;
+  latencies.reserve(static_cast<size_t>(reads));
+  const common::Time start = array.now();
+  for (int i = 0; i < reads; ++i) {
+    const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+    const common::Time before = array.now();
+    RETURN_IF_ERROR(array.Read(static_cast<simdisk::Lba>(b) * block_sectors, got));
+    latencies.push_back(array.now() - before);
+    FillPattern(b, want);
+    result.payloads_ok &= got == want;
+  }
+  const common::Duration elapsed = array.now() - start;
+
+  result.reads = latencies.size();
+  result.iops =
+      elapsed > 0 ? static_cast<double>(latencies.size()) / common::ToSeconds(elapsed) : 0;
+  common::Duration total = 0;
+  for (const common::Duration lat : latencies) {
+    total += lat;
+    result.latency_hist.Record(lat);
+  }
+  result.mean_latency =
+      latencies.empty() ? 0 : total / static_cast<common::Duration>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const auto exact_pct = [&](size_t pct) {
+      return latencies[std::min(latencies.size() - 1, latencies.size() * pct / 100)];
+    };
+    result.p50_latency = exact_pct(50);
+    result.p99_latency = exact_pct(99);
+  }
+  return result;
+}
+
+}  // namespace vlog::workload

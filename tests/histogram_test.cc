@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -152,6 +154,49 @@ TEST(HistogramMerge, Associative) {
   EXPECT_EQ(left.Min(), right.Min());
   EXPECT_EQ(left.Max(), right.Max());
   EXPECT_EQ(left.Percentile(99), right.Percentile(99));
+}
+
+TEST(HistogramMerge, ArrayScaleMemberMergeMatchesConcatenation) {
+  // The array-reporting contract: an N-member array keeps one per-member latency histogram and
+  // merges them for the array-wide view. Simulate 8 members with realistic ms-scale request
+  // latencies (each member skewed differently, the way a mirrored read balance or an uneven
+  // stripe would skew them); the merged histogram must be bucket-for-bucket the histogram of
+  // the concatenated samples, and its percentiles must stay clamped to the true observed
+  // extremes across every member.
+  constexpr uint32_t kMembers = 8;
+  common::Rng rng(13);
+  std::vector<LatencyHistogram> member(kMembers);
+  LatencyHistogram whole;
+  int64_t true_min = std::numeric_limits<int64_t>::max();
+  int64_t true_max = 0;
+  for (uint32_t m = 0; m < kMembers; ++m) {
+    // Member m centers around (m+1) * ~2 ms with a long tail, in nanoseconds.
+    for (int i = 0; i < 4000; ++i) {
+      int64_t v = static_cast<int64_t>((m + 1) * 2'000'000 + rng.Below(1'500'000));
+      if (rng.Below(100) < 2) {
+        v += static_cast<int64_t>(rng.Below(50'000'000));  // p99-ish tail.
+      }
+      member[m].Record(v);
+      whole.Record(v);
+      true_min = std::min(true_min, v);
+      true_max = std::max(true_max, v);
+    }
+  }
+  LatencyHistogram merged;
+  for (uint32_t m = 0; m < kMembers; ++m) {
+    merged.Merge(member[m]);
+  }
+  EXPECT_EQ(merged.buckets(), whole.buckets());
+  EXPECT_EQ(merged.Count(), whole.Count());
+  EXPECT_EQ(merged.Sum(), whole.Sum());
+  EXPECT_EQ(merged.Min(), true_min);
+  EXPECT_EQ(merged.Max(), true_max);
+  for (const double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(merged.Percentile(p), whole.Percentile(p)) << p;
+  }
+  // Percentile clamping survives the merge: the extremes are exact, not bucket bounds.
+  EXPECT_EQ(merged.Percentile(0), static_cast<double>(true_min));
+  EXPECT_EQ(merged.Percentile(100), static_cast<double>(true_max));
 }
 
 TEST(HistogramRecord, NegativeClampsToZero) {

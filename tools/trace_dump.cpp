@@ -11,15 +11,25 @@
 //   --reads=P                  fraction of queued ops that are reads (default 0 = all writes);
 //                              the region is prepopulated untraced first, so read spans and
 //                              any same-batch RAW forwarding markers show up in the dump
+//   --array=N                  drive the same workload through an N-member striped VldArray
+//                              (each member disk gets its own recorder; events and spans carry
+//                              the member index in their `disk` field). --json with no --disk
+//                              emits a vlog-array-trace/1 wrapper with one vlog-trace/1 dump
+//                              per member, in member order.
+//   --disk=D                   restrict every output mode to member D's recorder (0 is the
+//                              only valid value without --array)
 //
 // The workload is deterministic (fixed seed on the virtual clock), so every mode's output is
 // stable run to run — the same property the trace determinism test asserts.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/array/vld_array.h"
 #include "src/common/rng.h"
 #include "src/core/vld.h"
 #include "src/obs/trace.h"
@@ -40,11 +50,20 @@ void Fatal(const common::Status& status, const char* what) {
 }
 
 void PrintEvent(const obs::TraceEvent& e) {
-  std::printf("  %12.3f ms  %-12s %-6s span=%llu dur=%.3f ms a=%llu b=%llu\n", Ms(e.at),
-              obs::EventTypeName(e.type), obs::LayerName(e.layer),
+  std::printf("  %12.3f ms  d=%u %-12s %-6s span=%llu dur=%.3f ms a=%llu b=%llu\n", Ms(e.at),
+              e.disk, obs::EventTypeName(e.type), obs::LayerName(e.layer),
               static_cast<unsigned long long>(e.span_id), Ms(e.dur),
               static_cast<unsigned long long>(e.a), static_cast<unsigned long long>(e.b));
 }
+
+// One member's full stack: its own clock, disk, recorder, and VLD. A bare (non-array) run is
+// simply the one-member case without the array layer on top.
+struct Stack {
+  common::Clock clock;
+  std::unique_ptr<simdisk::SimDisk> disk;
+  std::unique_ptr<obs::TraceRecorder> tracer;
+  std::unique_ptr<core::Vld> vld;
+};
 
 }  // namespace
 
@@ -53,6 +72,8 @@ int main(int argc, char** argv) {
   int rounds = 8;
   uint64_t cache_sectors = 0;
   double read_fraction = 0.0;
+  uint32_t array_members = 0;  // 0 = bare VLD (no array layer).
+  int show_disk = -1;          // -1 = every member.
   uint64_t show_span = 0;
   bool show_events = false;
   bool show_json = false;
@@ -65,6 +86,10 @@ int main(int argc, char** argv) {
       cache_sectors = static_cast<uint64_t>(std::atoll(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--reads=", 8) == 0) {
       read_fraction = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--array=", 8) == 0) {
+      array_members = static_cast<uint32_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--disk=", 7) == 0) {
+      show_disk = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--span=", 7) == 0) {
       show_span = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--events") == 0) {
@@ -74,36 +99,77 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
-                   "[--span=N|--events|--json]\n");
+                   "[--array=N] [--disk=D] [--span=N|--events|--json]\n");
       return 2;
     }
   }
-  if (depth == 0 || depth > 32 || rounds <= 0 || read_fraction < 0 || read_fraction > 1) {
-    std::fprintf(stderr, "trace_dump: depth must be 1..32, rounds > 0, reads in [0, 1]\n");
+  const uint32_t members = array_members == 0 ? 1 : array_members;
+  if (depth == 0 || depth > 32 || rounds <= 0 || read_fraction < 0 || read_fraction > 1 ||
+      members > 8) {
+    std::fprintf(stderr,
+                 "trace_dump: depth must be 1..32, rounds > 0, reads in [0, 1], array 1..8\n");
+    return 2;
+  }
+  if (show_disk >= static_cast<int>(members)) {
+    std::fprintf(stderr, "trace_dump: --disk=%d but only members 0..%u exist\n", show_disk,
+                 members - 1);
     return 2;
   }
 
   // The canned workload: `rounds` closed-loop rounds of `depth` random 4 KB updates through
-  // the queued VLD engine (group commit), traced end to end.
-  common::Clock clock;
-  simdisk::DiskParams params = simdisk::Truncated(simdisk::Hp97560(), 36);
-  params.cache.capacity_sectors = cache_sectors;
-  simdisk::SimDisk disk(params, &clock);
-  obs::TraceRecorder tracer(&clock);
-  disk.set_tracer(&tracer);
-  core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
-  Fatal(vld.Format(), "format");
-  common::Rng rng(2);
-  const uint32_t blocks = vld.logical_blocks() / 2;
-  std::vector<std::byte> payload(4096, std::byte{0x42});
-  if (read_fraction > 0) {
-    // Prepopulate the region with the tracer detached, so reads hit mapped blocks without
-    // hundreds of setup spans bloating the dump.
-    disk.set_tracer(nullptr);
-    for (uint32_t b = 0; b < blocks; ++b) {
-      Fatal(vld.Write(static_cast<simdisk::Lba>(b) * 8, payload), "prepopulate");
+  // the queued engine (group commit) — the bare VLD, or an N-member striped array whose
+  // FlushQueue fans each round out as one packed commit per touched member.
+  std::vector<std::unique_ptr<Stack>> stacks;
+  for (uint32_t m = 0; m < members; ++m) {
+    auto s = std::make_unique<Stack>();
+    simdisk::DiskParams params = simdisk::Truncated(simdisk::Hp97560(), 36);
+    params.cache.capacity_sectors = cache_sectors;
+    s->disk = std::make_unique<simdisk::SimDisk>(params, &s->clock);
+    s->tracer = std::make_unique<obs::TraceRecorder>(&s->clock);
+    s->disk->set_tracer(s->tracer.get());
+    s->vld = std::make_unique<core::Vld>(s->disk.get(), core::VldConfig{.queue_depth = 32});
+    stacks.push_back(std::move(s));
+  }
+  std::unique_ptr<array::VldArray> array;
+  if (array_members > 0) {
+    std::vector<core::Vld*> vlds;
+    for (const auto& s : stacks) {
+      vlds.push_back(s->vld.get());
     }
-    disk.set_tracer(&tracer);
+    array = std::make_unique<array::VldArray>(std::move(vlds),
+                                              array::VldArrayConfig{.mode = array::ArrayMode::kStriped});
+    Fatal(array->Format(), "format");
+  } else {
+    Fatal(stacks[0]->vld->Format(), "format");
+  }
+
+  const uint64_t sectors =
+      array != nullptr ? array->SectorCount() : stacks[0]->vld->SectorCount();
+  const uint32_t blocks = static_cast<uint32_t>(sectors / 8) / 2;
+  common::Rng rng(2);
+  std::vector<std::byte> payload(4096, std::byte{0x42});
+  const auto submit_write = [&](simdisk::Lba lba) {
+    return array != nullptr ? array->SubmitWrite(lba, payload).status()
+                            : stacks[0]->vld->SubmitWrite(lba, payload).status();
+  };
+  const auto submit_read = [&](simdisk::Lba lba) {
+    return array != nullptr ? array->SubmitRead(lba, 8).status()
+                            : stacks[0]->vld->SubmitRead(lba, 8).status();
+  };
+  if (read_fraction > 0) {
+    // Prepopulate the region with the tracers detached, so reads hit mapped blocks without
+    // hundreds of setup spans bloating the dump.
+    for (const auto& s : stacks) {
+      s->disk->set_tracer(nullptr);
+    }
+    for (uint32_t b = 0; b < blocks; ++b) {
+      Fatal(array != nullptr ? array->Write(static_cast<simdisk::Lba>(b) * 8, payload)
+                             : stacks[0]->vld->Write(static_cast<simdisk::Lba>(b) * 8, payload),
+            "prepopulate");
+    }
+    for (const auto& s : stacks) {
+      s->disk->set_tracer(s->tracer.get());
+    }
   }
   for (int round = 0; round < rounds; ++round) {
     simdisk::Lba raw_lba = 0;
@@ -112,50 +178,85 @@ int main(int argc, char** argv) {
       if (read_fraction > 0 && i + 1 == depth && have_write) {
         // The round's last op re-reads its first write: a guaranteed same-batch RAW, so the
         // forwarding markers are part of the mixed fixture.
-        Fatal(vld.SubmitRead(raw_lba, 8).status(), "submit raw read");
+        Fatal(submit_read(raw_lba), "submit raw read");
         continue;
       }
       const simdisk::Lba lba = static_cast<simdisk::Lba>(rng.Below(blocks)) * 8;
       if (read_fraction > 0 && rng.Chance(read_fraction)) {
-        Fatal(vld.SubmitRead(lba, 8).status(), "submit read");
+        Fatal(submit_read(lba), "submit read");
       } else {
-        Fatal(vld.SubmitWrite(lba, payload).status(), "submit");
+        Fatal(submit_write(lba), "submit");
         if (!have_write) {
           have_write = true;
           raw_lba = lba;
         }
       }
     }
-    Fatal(vld.FlushQueue().status(), "flush");
+    Fatal(array != nullptr ? array->FlushQueue().status()
+                           : stacks[0]->vld->FlushQueue().status(),
+          "flush");
+  }
+
+  // The members whose recorders the chosen output mode renders (--disk narrows to one).
+  std::vector<uint32_t> shown;
+  for (uint32_t m = 0; m < members; ++m) {
+    if (show_disk < 0 || show_disk == static_cast<int>(m)) {
+      shown.push_back(m);
+    }
   }
 
   if (show_json) {
-    std::printf("%s\n", tracer.TraceJson().c_str());
+    if (shown.size() == 1) {
+      std::printf("%s\n", stacks[shown[0]]->tracer->TraceJson().c_str());
+      return 0;
+    }
+    // Multi-member wrapper: one vlog-trace/1 dump per member, in member order.
+    std::printf("{\"schema\":\"vlog-array-trace/1\",\"members\":%u,\"disks\":[", members);
+    for (uint32_t m : shown) {
+      std::printf("%s%s", m == 0 ? "" : ",", stacks[m]->tracer->TraceJson().c_str());
+    }
+    std::printf("]}\n");
     return 0;
   }
   if (show_events) {
-    std::printf("events (%zu buffered, %llu dropped):\n", tracer.event_count(),
-                static_cast<unsigned long long>(tracer.dropped_events()));
-    for (const obs::TraceEvent& e : tracer.Events()) {
+    // Merge the shown members' (individually chronological) event logs by time; ties keep
+    // member order, so the merged log is deterministic.
+    std::vector<obs::TraceEvent> events;
+    size_t buffered = 0;
+    uint64_t dropped = 0;
+    for (uint32_t m : shown) {
+      buffered += stacks[m]->tracer->event_count();
+      dropped += stacks[m]->tracer->dropped_events();
+      for (const obs::TraceEvent& e : stacks[m]->tracer->Events()) {
+        events.push_back(e);
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const obs::TraceEvent& x, const obs::TraceEvent& y) { return x.at < y.at; });
+    std::printf("events (%zu buffered, %llu dropped):\n", buffered,
+                static_cast<unsigned long long>(dropped));
+    for (const obs::TraceEvent& e : events) {
       PrintEvent(e);
     }
     return 0;
   }
   if (show_span != 0) {
-    const obs::TraceRecorder::Span* span = tracer.span(show_span);
+    // Span ids are per-member recorder; --disk picks whose (default member 0).
+    const Stack& s = *stacks[shown[0]];
+    const obs::TraceRecorder::Span* span = s.tracer->span(show_span);
     if (span == nullptr) {
-      std::fprintf(stderr, "trace_dump: no span %llu (have 1..%llu)\n",
-                   static_cast<unsigned long long>(show_span),
-                   static_cast<unsigned long long>(tracer.spans().size()));
+      std::fprintf(stderr, "trace_dump: no span %llu on disk %u (have 1..%llu)\n",
+                   static_cast<unsigned long long>(show_span), shown[0],
+                   static_cast<unsigned long long>(s.tracer->spans().size()));
       return 1;
     }
-    std::printf("span %llu (%s, lba=%llu sectors=%llu): submit %.3f ms, complete %.3f ms, "
-                "latency %.3f ms\n",
-                static_cast<unsigned long long>(show_span), obs::LayerName(span->layer),
-                static_cast<unsigned long long>(span->a),
+    std::printf("span %llu (disk %u, %s, lba=%llu sectors=%llu): submit %.3f ms, "
+                "complete %.3f ms, latency %.3f ms\n",
+                static_cast<unsigned long long>(show_span), span->disk,
+                obs::LayerName(span->layer), static_cast<unsigned long long>(span->a),
                 static_cast<unsigned long long>(span->b), Ms(span->submit), Ms(span->complete),
                 Ms(span->Latency()));
-    for (const obs::TraceEvent& e : tracer.Events()) {
+    for (const obs::TraceEvent& e : s.tracer->Events()) {
       if (e.span_id == show_span) {
         PrintEvent(e);
       }
@@ -168,19 +269,27 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%u-deep queued VLD writes, %d rounds: %llu spans, %zu events\n", depth, rounds,
-              static_cast<unsigned long long>(tracer.spans().size()), tracer.event_count());
-  std::printf("%6s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "layer", "submit ms",
-              "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
-  for (const auto& [id, span] : tracer.spans()) {
-    if (span.open) {
-      continue;
+  size_t total_spans = 0;
+  size_t total_events = 0;
+  for (uint32_t m : shown) {
+    total_spans += stacks[m]->tracer->spans().size();
+    total_events += stacks[m]->tracer->event_count();
+  }
+  std::printf("%u-deep queued %s writes, %d rounds: %zu spans, %zu events\n", depth,
+              array != nullptr ? "array" : "VLD", rounds, total_spans, total_events);
+  std::printf("%6s %4s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "disk", "layer",
+              "submit ms", "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
+  for (uint32_t m : shown) {
+    for (const auto& [id, span] : stacks[m]->tracer->spans()) {
+      if (span.open) {
+        continue;
+      }
+      const obs::TimeBreakdown& bd = span.breakdown;
+      std::printf("%6llu %4u %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                  static_cast<unsigned long long>(id), span.disk, obs::LayerName(span.layer),
+                  Ms(span.submit), Ms(span.Latency()), Ms(bd.queueing), Ms(bd.controller),
+                  Ms(bd.seek), Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.Total()));
     }
-    const obs::TimeBreakdown& bd = span.breakdown;
-    std::printf("%6llu %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
-                static_cast<unsigned long long>(id), obs::LayerName(span.layer),
-                Ms(span.submit), Ms(span.Latency()), Ms(bd.queueing), Ms(bd.controller),
-                Ms(bd.seek), Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.Total()));
   }
   std::printf("(rerun with --span=N for one span's event tree, --events for the full log,\n"
               " --json for the machine-readable vlog-trace/1 dump)\n");
