@@ -31,3 +31,18 @@ if [ -x build/bench/bench_array ]; then
   echo "=== bench smoke: array ==="
   ./build/bench/bench_array --smoke --json=BENCH_array.json
 fi
+
+# Engine smoke: end-to-end wall-clock throughput over the three hot legs (deep-queue mixed
+# R/W, striped array, crash sweep) with ops/wall-second floors. A gate failure means an engine
+# performance regression; the bench prints the offending vlog-bench/1 leg and its measured
+# rate before exiting nonzero, and we stop the whole check right there.
+if [ -x build/bench/bench_engine ]; then
+  echo "=== bench smoke: engine ==="
+  if ! ./build/bench/bench_engine --smoke --json=BENCH_engine.json; then
+    echo "FAIL: engine throughput gate regressed." >&2
+    echo "The offending vlog-bench/1 metric (leg + measured ops/wall-s + floor) is printed" >&2
+    echo "in the FATAL line above; full rates are in BENCH_engine.json (rows[].label," >&2
+    echo "rows[].extra.ops_per_wall_s). Profile the named leg before re-running." >&2
+    exit 1
+  fi
+fi

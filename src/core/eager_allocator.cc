@@ -19,6 +19,9 @@ std::optional<EagerAllocator::Candidate> EagerAllocator::BestInTrack(
   if (excluded_track_ && *excluded_track_ == track) {
     return std::nullopt;
   }
+  if (space_->FreeInTrack(track) == 0) {
+    return std::nullopt;  // Skip the head-position math for packed tracks.
+  }
   const common::Time ready = disk_->clock()->Now() + arm_move;
   const uint32_t from = disk_->SectorUnderHead(ready);
   uint32_t skip = 0;
@@ -67,6 +70,9 @@ std::optional<EagerAllocator::Candidate> EagerAllocator::GreedyPick() {
   // Cylinder seeks in one direction only (wrapping), to the nearest cylinder with free space.
   for (uint32_t d = 1; d <= geom.cylinders; ++d) {
     const uint32_t cyl = (arm.cylinder + d) % geom.cylinders;
+    if (space_->FreeInCylinder(cyl) == 0) {
+      continue;  // Fully packed cylinder: no track probe can succeed.
+    }
     const uint64_t base = static_cast<uint64_t>(cyl) * geom.tracks_per_cylinder;
     // Seek distance honours the one-direction sweep: wrapping costs a long reverse seek.
     const uint32_t dist = cyl >= arm.cylinder ? cyl - arm.cylinder : arm.cylinder - cyl;
@@ -95,6 +101,13 @@ std::optional<uint64_t> EagerAllocator::NextEmptyTrack() {
     if (space_->TrackEmpty(t) && !(excluded_track_ && *excluded_track_ == t)) {
       return t;
     }
+  }
+  // O(1) bail-out on a packed disk: the linear scan below cannot succeed when no track is
+  // empty (or the only empty track is the excluded one), which is the steady state once the
+  // disk fills — and exactly when this function is called the most.
+  if (space_->EmptyTrackCount() == 0 ||
+      (space_->EmptyTrackCount() == 1 && excluded_track_ && space_->TrackEmpty(*excluded_track_))) {
+    return std::nullopt;
   }
   const uint64_t tracks = space_->total_tracks();
   for (uint64_t i = 0; i < tracks; ++i) {

@@ -7,22 +7,29 @@ namespace vlog::core {
 FreeSpaceMap::FreeSpaceMap(const simdisk::DiskGeometry& geometry, uint32_t block_sectors)
     : block_sectors_(block_sectors),
       blocks_per_track_(geometry.sectors_per_track / block_sectors),
-      sectors_per_track_(geometry.sectors_per_track) {
+      sectors_per_track_(geometry.sectors_per_track),
+      tracks_per_cylinder_(geometry.tracks_per_cylinder) {
   assert(geometry.sectors_per_track % block_sectors == 0 &&
          "physical block size must divide the track");
   const uint64_t tracks = geometry.TotalTracks();
   states_.assign(tracks * blocks_per_track_, BlockState::kFree);
+  cyl_free_.assign(geometry.cylinders, tracks_per_cylinder_ * blocks_per_track_);
   track_free_.assign(tracks, blocks_per_track_);
   track_live_.assign(tracks, 0);
   track_system_.assign(tracks, 0);
   free_blocks_ = states_.size();
+  empty_tracks_ = tracks;
 }
 
 void FreeSpaceMap::MarkSystem(uint32_t block) {
   assert(states_[block] == BlockState::kFree);
   states_[block] = BlockState::kSystem;
   const uint64_t track = TrackOfBlock(block);
+  if (TrackEmpty(track)) {
+    --empty_tracks_;
+  }
   --track_free_[track];
+  --cyl_free_[CylinderOfTrack(track)];
   ++track_system_[track];
   --free_blocks_;
   ++system_blocks_;
@@ -32,7 +39,11 @@ void FreeSpaceMap::MarkLive(uint32_t block) {
   assert(states_[block] == BlockState::kFree);
   states_[block] = BlockState::kLive;
   const uint64_t track = TrackOfBlock(block);
+  if (TrackEmpty(track)) {
+    --empty_tracks_;
+  }
   --track_free_[track];
+  --cyl_free_[CylinderOfTrack(track)];
   ++track_live_[track];
   --free_blocks_;
   ++live_blocks_;
@@ -43,9 +54,13 @@ void FreeSpaceMap::Free(uint32_t block) {
   states_[block] = BlockState::kFree;
   const uint64_t track = TrackOfBlock(block);
   ++track_free_[track];
+  ++cyl_free_[CylinderOfTrack(track)];
   --track_live_[track];
   ++free_blocks_;
   --live_blocks_;
+  if (TrackEmpty(track)) {
+    ++empty_tracks_;
+  }
 }
 
 bool FreeSpaceMap::TrackEmpty(uint64_t track) const {

@@ -45,8 +45,14 @@ class FreeSpaceMap {
 
   uint32_t FreeInTrack(uint64_t track) const { return track_free_[track]; }
   uint32_t LiveInTrack(uint64_t track) const { return track_live_[track]; }
+  // Free blocks across the whole cylinder, so the allocator's cylinder-seek search can skip
+  // fully packed cylinders without probing each of their tracks.
+  uint32_t FreeInCylinder(uint32_t cylinder) const { return cyl_free_[cylinder]; }
   // True when the track holds no live and no system blocks.
   bool TrackEmpty(uint64_t track) const;
+  // Number of tracks for which TrackEmpty() holds. Maintained incrementally so the allocator's
+  // empty-track search can bail out O(1) on a packed disk instead of scanning every track.
+  uint64_t EmptyTrackCount() const { return empty_tracks_; }
   // True when any block of the track is reserved (such tracks are not compaction victims).
   bool TrackHasSystem(uint64_t track) const { return track_system_[track] != 0; }
 
@@ -60,16 +66,21 @@ class FreeSpaceMap {
   double Utilization() const;
 
  private:
+  uint64_t CylinderOfTrack(uint64_t track) const { return track / tracks_per_cylinder_; }
+
   uint32_t block_sectors_;
   uint32_t blocks_per_track_;
   uint32_t sectors_per_track_;
+  uint32_t tracks_per_cylinder_;
   std::vector<BlockState> states_;
+  std::vector<uint32_t> cyl_free_;
   std::vector<uint32_t> track_free_;
   std::vector<uint32_t> track_live_;
   std::vector<uint32_t> track_system_;
   uint64_t free_blocks_ = 0;
   uint64_t live_blocks_ = 0;
   uint64_t system_blocks_ = 0;
+  uint64_t empty_tracks_ = 0;
 };
 
 }  // namespace vlog::core

@@ -1,5 +1,7 @@
 #include "src/core/map_sector.h"
 
+#include <algorithm>
+
 #include "src/common/bytes.h"
 #include "src/common/crc32.h"
 
@@ -33,7 +35,13 @@ uint32_t EpochSeed(uint64_t epoch) {
 
 std::vector<std::byte> MapSector::Serialize(uint64_t epoch) const {
   std::vector<std::byte> raw(kMapSectorBytes);
-  std::span<std::byte> out(raw);
+  SerializeInto(raw, epoch);
+  return raw;
+}
+
+void MapSector::SerializeInto(std::span<std::byte> out, uint64_t epoch) const {
+  out = out.first(kMapSectorBytes);
+  std::fill(out.begin(), out.end(), std::byte{0});
   common::StoreLe<uint64_t>(out, kOffMagic, kMapSectorMagic);
   common::StoreLe<uint64_t>(out, kOffSeq, seq);
   common::StoreLe<uint32_t>(out, kOffPiece, piece);
@@ -48,10 +56,9 @@ std::vector<std::byte> MapSector::Serialize(uint64_t epoch) const {
   for (size_t i = 0; i < entries.size() && i < kEntriesPerSector; ++i) {
     common::StoreLe<uint32_t>(out, kOffEntries + i * 4, entries[i]);
   }
-  const uint32_t crc =
-      common::Crc32c(std::span<const std::byte>(raw).first(kOffCrc), EpochSeed(epoch));
+  const uint32_t crc = common::Crc32c(
+      std::span<const std::byte>(out.data(), kOffCrc), EpochSeed(epoch));
   common::StoreLe<uint32_t>(out, kOffCrc, crc);
-  return raw;
 }
 
 common::StatusOr<MapSector> MapSector::Parse(std::span<const std::byte> raw, uint64_t epoch) {

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/simdisk/geometry.h"
 
@@ -54,6 +55,17 @@ struct MapSector {
   // `epoch` (the format generation): sectors signed under one generation fail the CRC under any
   // other, so a post-reformat scan can never resurrect an old generation's map.
   std::vector<std::byte> Serialize(uint64_t epoch = 0) const;
+  // Same bytes as Serialize, written into `out` (>= kMapSectorBytes) — the append path reuses
+  // one scratch buffer instead of allocating a fresh vector per map write.
+  void SerializeInto(std::span<std::byte> out, uint64_t epoch = 0) const;
+
+  // Cheap pre-filter: does `raw` start with the map-sector magic? Full-disk scans call this
+  // per sector before paying for Parse's StatusOr (most sectors are data and fail here);
+  // inline because those scans hit every sector on the disk. The magic sits at offset 0.
+  static bool HasMagic(std::span<const std::byte> raw) {
+    return raw.size() >= kMapSectorBytes &&
+           common::LoadLe<uint64_t>(raw, 0) == kMapSectorMagic;
+  }
 
   // Parses and validates magic + CRC (seeded with `epoch`; must match the serializing
   // generation). Returns kCorruption for anything that is not a well-formed map sector of this

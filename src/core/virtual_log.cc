@@ -131,11 +131,14 @@ common::Status VirtualLog::Format() {
   checkpoint_seq_ = 0;
   next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
-  chain_.clear();
+  ChainClear();
   block_sector_count_.clear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
+  chain_.reserve(config_.pieces * 2);
+  cover_of_.reserve(config_.pieces * 2);
+  carrier_load_.reserve(config_.pieces * 2);
   // Stamp both checkpoint slots with the new epoch and seq 0 ("no checkpoint"): this both
   // invalidates any stale checkpoint from a previous life of the media (a scan would otherwise
   // trust an old map over the new log) and makes the new epoch recoverable even if a later
@@ -148,21 +151,67 @@ common::Status VirtualLog::Format() {
 }
 
 DiskPtr VirtualLog::ChainHead() const {
-  if (chain_.empty()) {
+  if (chain_newest_ == 0) {
     return DiskPtr{};
   }
-  const auto& [seq, node] = *chain_.rbegin();
-  return DiskPtr{node.lba, seq};
+  return DiskPtr{chain_.at(chain_newest_).lba, chain_newest_};
 }
 
 DiskPtr VirtualLog::ChainSuccessorOf(uint64_t seq) const {
-  auto it = chain_.find(seq);
+  const auto it = chain_.find(seq);
   assert(it != chain_.end());
-  if (it == chain_.begin()) {
+  const uint64_t older = it->second.older;
+  if (older == 0) {
     return DiskPtr{};
   }
-  --it;
-  return DiskPtr{it->second.lba, it->first};
+  return DiskPtr{chain_.at(older).lba, older};
+}
+
+void VirtualLog::ChainPushNewest(uint64_t seq, uint32_t piece, simdisk::Lba lba) {
+  assert(seq > chain_newest_);
+  chain_.emplace(seq, ChainNode{piece, lba, chain_newest_, 0});
+  if (chain_newest_ != 0) {
+    chain_.at(chain_newest_).newer = seq;
+  } else {
+    chain_oldest_ = seq;
+  }
+  chain_newest_ = seq;
+}
+
+void VirtualLog::ChainPushOldest(uint64_t seq, uint32_t piece, simdisk::Lba lba) {
+  assert(chain_oldest_ == 0 || seq < chain_oldest_);
+  chain_.emplace(seq, ChainNode{piece, lba, 0, chain_oldest_});
+  if (chain_oldest_ != 0) {
+    chain_.at(chain_oldest_).older = seq;
+  } else {
+    chain_newest_ = seq;
+  }
+  chain_oldest_ = seq;
+}
+
+void VirtualLog::ChainErase(uint64_t seq) {
+  const auto it = chain_.find(seq);
+  if (it == chain_.end()) {
+    return;
+  }
+  const ChainNode node = it->second;
+  chain_.erase(it);
+  if (node.older != 0) {
+    chain_.at(node.older).newer = node.newer;
+  } else {
+    chain_oldest_ = node.newer;
+  }
+  if (node.newer != 0) {
+    chain_.at(node.newer).older = node.older;
+  } else {
+    chain_newest_ = node.older;
+  }
+}
+
+void VirtualLog::ChainClear() {
+  chain_.clear();
+  chain_oldest_ = 0;
+  chain_newest_ = 0;
 }
 
 void VirtualLog::FreeLogBlock(uint32_t block) {
@@ -216,7 +265,7 @@ void VirtualLog::DecrementLoad(uint64_t carrier_seq) {
 }
 
 void VirtualLog::RemoveObsolete(uint32_t block, uint64_t seq) {
-  chain_.erase(seq);
+  ChainErase(seq);
   if (carrier_load_.contains(seq)) {
     // Still the designated cover of a younger removal's bypass target: keep the sector readable
     // until every dependent has been re-covered or removed. Its block refcount is kept too.
@@ -254,8 +303,9 @@ common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>
     return common::OutOfSpace("virtual log: no free block for map sector");
   }
   const simdisk::Lba lba = allocator_->space().BlockToLba(*block);
-  const auto raw = sector.Serialize(epoch_);
-  RETURN_IF_ERROR(disk_->InternalWrite(lba, raw));
+  append_scratch_.resize(kMapSectorBytes);
+  sector.SerializeInto(append_scratch_, epoch_);
+  RETURN_IF_ERROR(disk_->InternalWrite(lba, append_scratch_));
   if (obs::TraceRecorder* tracer = disk_->tracer(); tracer != nullptr) {
     tracer->Annotate(obs::EventType::kMapAppend, obs::Layer::kVlog, piece, lba);
   }
@@ -278,7 +328,7 @@ common::Status VirtualLog::AppendOne(uint32_t piece, const std::vector<uint32_t>
       RemoveObsolete(old_block, old.loc.seq);
     }
   }
-  chain_.emplace(sector.seq, ChainNode{piece, lba});
+  ChainPushNewest(sector.seq, piece, lba);
   NoteSectorInBlock(*block);
   piece_state_[piece] = PieceState{DiskPtr{lba, sector.seq}, false};
   ++next_seq_;
@@ -405,9 +455,10 @@ common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate
     const uint32_t block = blocks[i / per_block];
     const simdisk::Lba lba =
         allocator_->space().BlockToLba(block) + static_cast<simdisk::Lba>(i % per_block);
-    const auto raw = sector.Serialize(epoch_);
-    std::copy(raw.begin(), raw.end(),
-              buffers[i / per_block].begin() + static_cast<size_t>(i % per_block) * kSectorBytes);
+    sector.SerializeInto(
+        std::span<std::byte>(buffers[i / per_block])
+            .subspan(static_cast<size_t>(i % per_block) * kSectorBytes, kSectorBytes),
+        epoch_);
     if (!head.IsNull()) {
       SetCover(head.seq, sector.seq);
     }
@@ -418,7 +469,7 @@ common::Status VirtualLog::AppendTransactionPacked(const std::vector<PieceUpdate
       deferred.push_back(
           DeferredFree{allocator_->space().LbaToBlock(old.loc.lba), old.loc.seq});
     }
-    chain_.emplace(sector.seq, ChainNode{piece, lba});
+    ChainPushNewest(sector.seq, piece, lba);
     NoteSectorInBlock(block);
     piece_state_[piece] = PieceState{DiskPtr{lba, sector.seq}, false};
     ++next_seq_;
@@ -455,15 +506,15 @@ common::Status VirtualLog::WriteCheckpoint(
   }
   const uint64_t seq = next_seq_++;
   const uint32_t slot = next_ckpt_slot_;
-  std::vector<std::byte> body;
-  body.reserve(static_cast<size_t>(config_.pieces) * kSectorBytes);
+  std::vector<std::byte> body(static_cast<size_t>(config_.pieces) * kSectorBytes);
   for (uint32_t k = 0; k < config_.pieces; ++k) {
     MapSector sector;
     sector.seq = seq;
     sector.piece = k;
     sector.entries = entries_of_piece[k];
-    const auto raw = sector.Serialize(epoch_);
-    body.insert(body.end(), raw.begin(), raw.end());
+    sector.SerializeInto(
+        std::span<std::byte>(body).subspan(static_cast<size_t>(k) * kSectorBytes, kSectorBytes),
+        epoch_);
   }
   // Piece sectors first, CRC-signed header last: the header write is the commit point. A crash
   // before it leaves the other slot's checkpoint (and the log it bounds) untouched. The barrier
@@ -487,7 +538,7 @@ common::Status VirtualLog::WriteCheckpoint(
     FreeLogBlock(block);
   }
   block_sector_count_.clear();
-  chain_.clear();
+  ChainClear();
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
@@ -523,8 +574,11 @@ common::StatusOr<RecoveryResult> VirtualLog::Recover() {
   // Reset in-memory state; it is rebuilt below (LoadCheckpoint re-derives next_ckpt_slot_).
   next_ckpt_slot_ = 0;
   piece_state_.assign(config_.pieces, PieceState{});
-  chain_.clear();
+  ChainClear();
   block_sector_count_.clear();
+  chain_.reserve(config_.pieces * 2);
+  cover_of_.reserve(config_.pieces * 2);
+  carrier_load_.reserve(config_.pieces * 2);
   cover_of_.clear();
   carrier_load_.clear();
   pinned_.clear();
@@ -612,20 +666,28 @@ common::StatusOr<RecoveryResult> VirtualLog::RecoverByScan() {
   const simdisk::Lba ckpt_end = config_.checkpoint_lba + CheckpointSectors();
   std::vector<std::pair<simdisk::Lba, MapSector>> collected;
   uint64_t sectors_read = 0;
-  std::vector<std::byte> track(static_cast<size_t>(geom.sectors_per_track) * geom.sector_bytes);
   for (uint64_t t = 0; t < geom.TotalTracks(); ++t) {
     const simdisk::Lba base = geom.TrackStart(t);
-    RETURN_IF_ERROR(disk_->InternalRead(base, track));
+    // Zero-copy track view: same charged mechanics as InternalRead, no per-track copy (the
+    // scan touches every sector on the disk, so the copies dominated sweep profiles).
+    const auto track = disk_->InternalReadView(base, geom.sectors_per_track);
+    if (track.empty()) {
+      return common::IoError("RecoverByScan: track read out of range");
+    }
     sectors_read += geom.sectors_per_track;
     for (uint32_t s = 0; s < geom.sectors_per_track; ++s) {
       const simdisk::Lba lba = base + s;
       if (lba == config_.park_lba || (lba >= ckpt_begin && lba < ckpt_end)) {
         continue;
       }
-      auto parsed = MapSector::Parse(
-          std::span<const std::byte>(track).subspan(
-              static_cast<size_t>(s) * geom.sector_bytes, geom.sector_bytes),
-          epoch_);
+      const auto sector_bytes =
+          track.subspan(static_cast<size_t>(s) * geom.sector_bytes, geom.sector_bytes);
+      // Almost every sector on disk is data, not map: reject on the 8-byte magic before
+      // paying for Parse's CRC pass and StatusOr construction.
+      if (!MapSector::HasMagic(sector_bytes)) {
+        continue;
+      }
+      auto parsed = MapSector::Parse(sector_bytes, epoch_);
       if (parsed.ok() && parsed->seq > checkpoint_seq) {
         collected.emplace_back(lba, std::move(*parsed));
       }
@@ -681,7 +743,7 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
     }
     state.loc = DiskPtr{lba, sector.seq};
     result.pieces[sector.piece] = sector.entries;
-    chain_.emplace(sector.seq, ChainNode{sector.piece, lba});
+    ChainPushOldest(sector.seq, sector.piece, lba);
     NoteSectorInBlock(allocator_->space().LbaToBlock(lba));
     next_seq_ = std::max(next_seq_, sector.seq + 1);
   }
@@ -715,9 +777,10 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
 
     std::vector<DiskPtr> worklist;
     const DiskPtr tail = ChainHead();
-    for (const auto& [seq, node] : chain_) {
+    worklist.reserve(chain_.size());
+    for (uint64_t seq = chain_oldest_; seq != 0; seq = chain_.at(seq).newer) {
       if (seq != tail.seq) {
-        worklist.push_back(DiskPtr{node.lba, seq});
+        worklist.push_back(DiskPtr{chain_.at(seq).lba, seq});
       }
     }
     std::unordered_set<uint64_t> queued;
@@ -764,9 +827,9 @@ common::StatusOr<RecoveryResult> VirtualLog::ApplyRecovered(
       safe[seq] = ok;
       return ok;
     };
-    for (const auto& [seq, node] : chain_) {
+    for (uint64_t seq = chain_oldest_; seq != 0; seq = chain_.at(seq).newer) {
       if (!is_safe(seq)) {
-        result.uncovered_pieces.push_back(node.piece);
+        result.uncovered_pieces.push_back(chain_.at(seq).piece);
       }
     }
   }
@@ -825,7 +888,8 @@ std::optional<uint32_t> VirtualLog::LiveBlockOfPiece(uint32_t piece) const {
 
 std::vector<uint32_t> VirtualLog::PiecesAtBlock(uint32_t block) const {
   std::vector<uint32_t> pieces;
-  for (const auto& [seq, node] : chain_) {
+  for (uint64_t seq = chain_oldest_; seq != 0; seq = chain_.at(seq).newer) {
+    const ChainNode& node = chain_.at(seq);
     if (allocator_->space().LbaToBlock(node.lba) == block) {
       pieces.push_back(node.piece);
     }

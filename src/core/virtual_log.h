@@ -186,6 +186,10 @@ class VirtualLog {
   struct ChainNode {
     uint32_t piece;
     simdisk::Lba lba;
+    // Intrusive age-ordered list links: the next-older / next-newer live sequence (0 = none;
+    // sequences start at 1 so 0 is a safe sentinel).
+    uint64_t older = 0;
+    uint64_t newer = 0;
   };
   struct DeferredFree {
     uint32_t block;
@@ -195,6 +199,14 @@ class VirtualLog {
   DiskPtr ChainHead() const;
   // Chain successor (next older live sector) of the live sector with sequence `seq`.
   DiskPtr ChainSuccessorOf(uint64_t seq) const;
+
+  // --- Intrusive chain list maintenance ---
+  // Appends carry the largest sequence so far (push at the newest end); recovery applies
+  // sectors youngest-first (push at the oldest end). Both are O(1).
+  void ChainPushNewest(uint64_t seq, uint32_t piece, simdisk::Lba lba);
+  void ChainPushOldest(uint64_t seq, uint32_t piece, simdisk::Lba lba);
+  void ChainErase(uint64_t seq);
+  void ChainClear();
 
   // --- Per-block sector refcounts (packed transactions share blocks) ---
   void NoteSectorInBlock(uint32_t block);
@@ -244,8 +256,13 @@ class VirtualLog {
   uint64_t epoch_ = 0;           // Format generation (CRC seed); 0 = never formatted.
   uint32_t next_ckpt_slot_ = 0;  // Slot the next checkpoint writes to (alternates).
   std::vector<PieceState> piece_state_;
-  // Live map sectors ordered by sequence (ascending).
-  std::map<uint64_t, ChainNode> chain_;
+  // Live map sectors keyed by sequence, threaded into a doubly-linked list ordered by age
+  // (chain_oldest_ .. chain_newest_ via ChainNode::older/newer). Replaces a std::map: the
+  // append path paid a red-black-tree node allocation and rebalance per map write, while every
+  // ordered use here only ever needs the two ends, a neighbor, or a full ascending walk.
+  std::unordered_map<uint64_t, ChainNode> chain_;
+  uint64_t chain_oldest_ = 0;  // Smallest live seq (0 = chain empty).
+  uint64_t chain_newest_ = 0;  // Largest live seq (0 = chain empty).
   // Physical block -> number of live or pinned map sectors it holds (absent = none). A block is
   // returned to the free pool only when its count reaches zero.
   std::unordered_map<uint32_t, uint32_t> block_sector_count_;
@@ -255,6 +272,9 @@ class VirtualLog {
   std::unordered_map<uint64_t, uint32_t> carrier_load_;  // carrier -> number of cover targets.
   std::unordered_map<uint64_t, uint32_t> pinned_;  // Obsolete carrier seq -> its physical block.
   std::function<std::vector<uint32_t>(uint32_t)> entries_provider_;
+  // Reused serialization buffer for the single-sector append path (one map write per update:
+  // a fresh vector per append showed up in profiles).
+  std::vector<std::byte> append_scratch_;
   VirtualLogStats stats_;
 };
 

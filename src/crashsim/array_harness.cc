@@ -1,6 +1,7 @@
 #include "src/crashsim/array_harness.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -14,8 +15,19 @@
 namespace vlog::crashsim {
 namespace {
 
+// Chunked memcmp against a static zero block; see harness.cc (the sweep's hottest loop).
 bool IsZero(std::span<const std::byte> bytes) {
-  return std::all_of(bytes.begin(), bytes.end(), [](std::byte b) { return b == std::byte{0}; });
+  static constexpr size_t kChunk = 4096;
+  static const std::array<std::byte, kChunk> kZeros{};
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const size_t n = std::min(kChunk, bytes.size() - off);
+    if (std::memcmp(bytes.data() + off, kZeros.data(), n) != 0) {
+      return false;
+    }
+    off += n;
+  }
+  return true;
 }
 
 bool ContentMatches(std::span<const std::byte> got, const std::vector<std::byte>& expect) {
@@ -181,13 +193,21 @@ common::Status ArrayCrashSim::Record(
 }
 
 CrashSweepReport ArrayCrashSim::Sweep(const CrashSweepOptions& options) const {
+  const std::vector<CrashPoint> points =
+      AllCrashPoints(trace_, params_.geometry.sector_bytes, options);
+  return RunShardedSweep(points.size(), options.enumerate.seed, options,
+                         [&](size_t begin, size_t end) {
+                           return SweepRange(points, begin, end, options);
+                         });
+}
+
+CrashSweepReport ArrayCrashSim::SweepRange(const std::vector<CrashPoint>& points, size_t begin,
+                                           size_t end, const CrashSweepOptions& options) const {
   CrashSweepReport report;
-  report.seed = options.enumerate.seed;
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
-  const std::vector<CrashPoint> points = AllCrashPoints(trace_, sector_bytes, options);
-  report.points = points.size();
 
   // Rolling per-member images plus the committed array-block shadow, advanced monotonically.
+  // A range starting mid-sweep catches up via the first iteration's replay loop.
   std::vector<std::vector<std::byte>> images = bases_;
   uint64_t applied = 0;
   size_t op_idx = 0;
@@ -195,10 +215,21 @@ CrashSweepReport ArrayCrashSim::Sweep(const CrashSweepOptions& options) const {
 
   std::vector<std::byte> probe_block(block_bytes_, std::byte{0xA5});
   std::vector<std::byte> readback(block_bytes_);
+  // Per-member crashed images, recycled through each point's member SimDisks (media-adopting
+  // constructor + TakeMedia) and kept in sync with the rolling images by *difference*: trace
+  // records are applied to both copies, and each member's divergences — crash-variant bytes
+  // plus every write its recovered stack made (via the disk's write observer) — are restored
+  // from the rolling image before the next point instead of re-copying whole media.
+  std::vector<std::vector<std::byte>> scratch(member_count_);
+  std::vector<std::vector<std::pair<size_t, size_t>>> dirty(member_count_);
 
-  for (const CrashPoint& point : points) {
+  for (size_t pi = begin; pi < end; ++pi) {
+    const CrashPoint& point = points[pi];
     while (applied < point.writes_applied) {
       ApplyWrite(images[trace_[applied].disk], trace_[applied], sector_bytes);
+      if (!scratch[trace_[applied].disk].empty()) {
+        ApplyWrite(scratch[trace_[applied].disk], trace_[applied], sector_bytes);
+      }
       ++applied;
     }
     while (op_idx < ops_.size() && ops_[op_idx].end_writes <= applied) {
@@ -245,13 +276,27 @@ CrashSweepReport ArrayCrashSim::Sweep(const CrashSweepOptions& options) const {
 
     // Reconstruct every member's crashed media. Only the member that owns the cut (or the
     // reordered epoch) diverges from its barrier state — the others are exactly clean.
-    std::vector<std::vector<std::byte>> crashed = images;
+    for (uint32_t m = 0; m < member_count_; ++m) {
+      if (scratch[m].empty()) {
+        scratch[m] = images[m];  // First recovered point in this range: one full copy.
+      } else {
+        for (const auto& [off, len] : dirty[m]) {
+          std::memcpy(scratch[m].data() + off, images[m].data() + off, len);
+        }
+      }
+      dirty[m].clear();
+    }
     if (point.kind == CrashKind::kReorder) {
       for (const uint64_t idx : point.extra) {
-        ApplyWrite(crashed[trace_[idx].disk], trace_[idx], sector_bytes);
+        ApplyWrite(scratch[trace_[idx].disk], trace_[idx], sector_bytes);
+        dirty[trace_[idx].disk].emplace_back(trace_[idx].lba * sector_bytes,
+                                             trace_[idx].data.size());
       }
     } else if (point.kind != CrashKind::kClean) {
-      ApplyCrashedWrite(crashed[trace_[applied].disk], trace_[applied], sector_bytes, point);
+      // Every crash variant mutates only bytes inside the record's own range.
+      ApplyCrashedWrite(scratch[trace_[applied].disk], trace_[applied], sector_bytes, point);
+      dirty[trace_[applied].disk].emplace_back(trace_[applied].lba * sector_bytes,
+                                               trace_[applied].data.size());
     }
 
     // Fresh member stacks over the crashed images, then the array's stitched recovery.
@@ -259,17 +304,30 @@ CrashSweepReport ArrayCrashSim::Sweep(const CrashSweepOptions& options) const {
     std::vector<core::Vld*> members;
     for (uint32_t m = 0; m < member_count_; ++m) {
       stacks[m].clock = std::make_unique<common::Clock>();
-      stacks[m].disk = std::make_unique<simdisk::SimDisk>(params_, stacks[m].clock.get());
-      stacks[m].disk->PokeMedia(0, crashed[m]);
+      stacks[m].disk = std::make_unique<simdisk::SimDisk>(params_, stacks[m].clock.get(),
+                                                          std::move(scratch[m]));
+      stacks[m].disk->set_write_observer(
+          [&dirty, m, sector_bytes](simdisk::Lba lba, std::span<const std::byte> data,
+                                    bool /*durable*/) {
+            dirty[m].emplace_back(lba * sector_bytes, data.size());
+          });
       stacks[m].vld = std::make_unique<core::Vld>(stacks[m].disk.get(), member_config_);
       members.push_back(stacks[m].vld.get());
     }
+    // Reclaims every member's media buffer before the stacks die, whatever path exits the
+    // point's checks.
+    const auto reclaim = [&] {
+      for (uint32_t m = 0; m < member_count_; ++m) {
+        scratch[m] = std::move(*stacks[m].disk).TakeMedia();
+      }
+    };
     array::VldArray array(members, array_config_);
     auto info = array.Recover();
     report.recovery_times.push_back(array.now());  // Fresh clocks start at zero.
     if (!info.ok()) {
       report.AddViolation(point, "array recovery failed: " + info.status().ToString(),
                           options.max_violation_details);
+      reclaim();
       continue;
     }
     for (const core::VldRecoveryInfo& mi : info->members) {
@@ -395,6 +453,7 @@ CrashSweepReport ArrayCrashSim::Sweep(const CrashSweepOptions& options) const {
                             options.max_violation_details);
       }
     }
+    reclaim();
   }
   return report;
 }

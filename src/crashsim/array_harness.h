@@ -88,6 +88,11 @@ class ArrayCrashSim {
     std::vector<Group> groups;
   };
 
+  // The serial sweep over points[begin, end): rebuilds its rolling per-member images from the
+  // trace bases, so contiguous ordinal ranges run independently on worker threads.
+  CrashSweepReport SweepRange(const std::vector<CrashPoint>& points, size_t begin, size_t end,
+                              const CrashSweepOptions& options) const;
+
   // Member indexes that hold array block `block`.
   std::vector<uint32_t> MembersOfBlock(uint32_t block) const;
   void RecordOp(Workload& w, const std::vector<uint32_t>& blocks,

@@ -1,9 +1,11 @@
 #include "src/crashsim/harness.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <iterator>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -51,8 +53,20 @@ std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_
 
 namespace {
 
+// Chunked memcmp against a static zero block: the sweep compares every logical block at every
+// crash point and most blocks are never written, so this is the hottest loop in a sweep.
 bool IsZero(std::span<const std::byte> bytes) {
-  return std::all_of(bytes.begin(), bytes.end(), [](std::byte b) { return b == std::byte{0}; });
+  static constexpr size_t kChunk = 4096;
+  static const std::array<std::byte, kChunk> kZeros{};
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const size_t n = std::min(kChunk, bytes.size() - off);
+    if (std::memcmp(bytes.data() + off, kZeros.data(), n) != 0) {
+      return false;
+    }
+    off += n;
+  }
+  return true;
 }
 
 // Does `got` equal `expect`, where an empty `expect` means all zeros?
@@ -115,6 +129,79 @@ std::string CrashSweepReport::Summary() const {
   return os.str();
 }
 
+uint32_t ResolveSweepWorkers(uint32_t requested, size_t points) {
+  uint32_t workers = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (workers == 0) {
+    workers = 1;
+  }
+  if (points > 0 && workers > points) {
+    workers = static_cast<uint32_t>(points);
+  }
+  return workers;
+}
+
+CrashSweepReport RunShardedSweep(
+    size_t points, uint64_t seed, const CrashSweepOptions& options,
+    const std::function<CrashSweepReport(size_t, size_t)>& sweep_range) {
+  const uint32_t workers = ResolveSweepWorkers(options.workers, points);
+  std::vector<CrashSweepReport> shards(workers);
+  if (workers <= 1) {
+    shards[0] = sweep_range(0, points);
+  } else {
+    // Contiguous ascending ordinal ranges, sizes within one point of each other. Shard w
+    // catches its rolling state up from the trace base (one pass over the write records), so
+    // the only cross-thread state is the read-only trace and point list.
+    const size_t base = points / workers;
+    const size_t rem = points % workers;
+    std::vector<std::pair<size_t, size_t>> ranges(workers);
+    size_t begin = 0;
+    for (uint32_t w = 0; w < workers; ++w) {
+      const size_t size = base + (w < rem ? 1 : 0);
+      ranges[w] = {begin, begin + size};
+      begin += size;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (uint32_t w = 1; w < workers; ++w) {
+      threads.emplace_back(
+          [&shards, &sweep_range, &ranges, w] { shards[w] = sweep_range(ranges[w].first, ranges[w].second); });
+    }
+    shards[0] = sweep_range(ranges[0].first, ranges[0].second);
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  // Merge in shard (= ordinal) order: counters sum, details/recovery times concatenate, and
+  // the first shard reporting a violation owns first_violation_ordinal — exactly what the
+  // serial loop would have produced.
+  CrashSweepReport merged;
+  merged.points = points;
+  merged.seed = seed;
+  for (CrashSweepReport& s : shards) {
+    merged.clean_points += s.clean_points;
+    merged.torn_points += s.torn_points;
+    merged.corrupt_points += s.corrupt_points;
+    merged.reorder_points += s.reorder_points;
+    merged.violations += s.violations;
+    if (merged.first_violation_ordinal < 0) {
+      merged.first_violation_ordinal = s.first_violation_ordinal;
+    }
+    for (std::string& detail : s.violation_details) {
+      if (merged.violation_details.size() < options.max_violation_details) {
+        merged.violation_details.push_back(std::move(detail));
+      }
+    }
+    merged.park_recoveries += s.park_recoveries;
+    merged.scan_recoveries += s.scan_recoveries;
+    merged.checkpoint_recoveries += s.checkpoint_recoveries;
+    merged.rolled_back_recoveries += s.rolled_back_recoveries;
+    merged.repaired_pieces += s.repaired_pieces;
+    merged.recovery_times.insert(merged.recovery_times.end(), s.recovery_times.begin(),
+                                 s.recovery_times.end());
+  }
+  return merged;
+}
+
 // --- VldCrashSim ---
 
 VldCrashSim::VldCrashSim(simdisk::DiskParams params, core::VldConfig config)
@@ -144,15 +231,23 @@ common::Status VldCrashSim::Record(
 }
 
 CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
+  const std::vector<CrashPoint> points =
+      AllCrashPoints(trace_, params_.geometry.sector_bytes, options);
+  return RunShardedSweep(points.size(), options.enumerate.seed, options,
+                         [&](size_t begin, size_t end) {
+                           return SweepRange(points, begin, end, options);
+                         });
+}
+
+CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, size_t begin,
+                                         size_t end, const CrashSweepOptions& options) const {
   CrashSweepReport report;
-  report.seed = options.enumerate.seed;
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
   const uint32_t block_sectors = block_bytes_ / sector_bytes;
-  const std::vector<CrashPoint> points = AllCrashPoints(trace_, sector_bytes, options);
-  report.points = points.size();
 
   // Rolling state, advanced monotonically since points are ordered by writes_applied: the
   // reconstructed image and the committed shadow (contents after every fully-persisted op).
+  // A range that starts mid-sweep catches up via the first iteration's replay loop.
   std::vector<std::byte> image = trace_.base();
   uint64_t applied = 0;
   size_t op_idx = 0;
@@ -160,10 +255,23 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
 
   std::vector<std::byte> probe_block(block_bytes_, std::byte{0xA5});
   std::vector<std::byte> readback(block_bytes_);
+  // The crashed image, recycled through each point's SimDisk (media-adopting constructor +
+  // TakeMedia). It is kept in sync with the rolling image by *difference*: trace records are
+  // applied to both copies, and the only places the two diverge — the point's crash-variant
+  // bytes plus every write the recovered instance made (tracked via the disk's write
+  // observer) — are listed in `dirty` and restored from `image` before the next point. The
+  // dirty footprint is a few KB against a media image ~500x that, so this replaces the
+  // full-media copy per point that used to dominate sweep wall time.
+  std::vector<std::byte> scratch;
+  std::vector<std::pair<size_t, size_t>> dirty;  // (byte offset, length) of divergences.
 
-  for (const CrashPoint& point : points) {
+  for (size_t pi = begin; pi < end; ++pi) {
+    const CrashPoint& point = points[pi];
     while (applied < point.writes_applied) {
       ApplyWrite(image, trace_[applied], sector_bytes);
+      if (!scratch.empty()) {
+        ApplyWrite(scratch, trace_[applied], sector_bytes);
+      }
       ++applied;
     }
     while (op_idx < ops_.size() && ops_[op_idx].end_writes <= applied) {
@@ -203,18 +311,32 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
       continue;  // Replay mode: count every point but recover/check only the requested one.
     }
 
-    // Reconstruct the crashed media and recover a fresh instance over it.
-    std::vector<std::byte> crashed = image;
+    // Reconstruct the crashed media and recover a fresh instance over it. The scratch buffer
+    // becomes the disk's media directly; TakeMedia reclaims it at the end of the point.
+    if (scratch.empty()) {
+      scratch = image;  // First recovered point in this range: the one full media copy.
+    } else {
+      for (const auto& [off, len] : dirty) {
+        std::memcpy(scratch.data() + off, image.data() + off, len);
+      }
+    }
+    dirty.clear();
     if (point.kind == CrashKind::kReorder) {
       for (const uint64_t idx : point.extra) {
-        ApplyWrite(crashed, trace_[idx], sector_bytes);
+        ApplyWrite(scratch, trace_[idx], sector_bytes);
+        dirty.emplace_back(trace_[idx].lba * sector_bytes, trace_[idx].data.size());
       }
     } else if (point.kind != CrashKind::kClean) {
-      ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
+      // Every crash variant mutates only bytes inside the record's own range.
+      ApplyCrashedWrite(scratch, trace_[applied], sector_bytes, point);
+      dirty.emplace_back(trace_[applied].lba * sector_bytes, trace_[applied].data.size());
     }
     common::Clock clock;
-    simdisk::SimDisk disk(params_, &clock);
-    disk.PokeMedia(0, crashed);
+    simdisk::SimDisk disk(params_, &clock, std::move(scratch));
+    disk.set_write_observer(
+        [&](simdisk::Lba lba, std::span<const std::byte> data, bool /*durable*/) {
+          dirty.emplace_back(lba * sector_bytes, data.size());
+        });
     core::Vld vld(&disk, config_);
     const common::Time start = clock.Now();
     auto info = vld.Recover();
@@ -222,6 +344,7 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
     if (!info.ok()) {
       report.AddViolation(point, "recovery failed: " + info.status().ToString(),
                           options.max_violation_details);
+      scratch = std::move(disk).TakeMedia();
       continue;
     }
     (info->used_scan ? report.scan_recoveries : report.park_recoveries) += 1;
@@ -328,6 +451,7 @@ CrashSweepReport VldCrashSim::Sweep(const CrashSweepOptions& options) const {
                             options.max_violation_details);
       }
     }
+    scratch = std::move(disk).TakeMedia();
   }
   return report;
 }
@@ -413,16 +537,27 @@ common::Status VlfsCrashSim::Record(const std::vector<VlfsOp>& script) {
 }
 
 CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
+  const std::vector<CrashPoint> points =
+      AllCrashPoints(trace_, params_.geometry.sector_bytes, options);
+  return RunShardedSweep(points.size(), options.enumerate.seed, options,
+                         [&](size_t begin, size_t end) {
+                           return SweepRange(points, begin, end, options);
+                         });
+}
+
+CrashSweepReport VlfsCrashSim::SweepRange(const std::vector<CrashPoint>& points, size_t begin,
+                                          size_t end, const CrashSweepOptions& options) const {
   CrashSweepReport report;
-  report.seed = options.enumerate.seed;
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
-  const std::vector<CrashPoint> points = AllCrashPoints(trace_, sector_bytes, options);
-  report.points = points.size();
 
   std::vector<std::byte> image = trace_.base();
   uint64_t applied = 0;
   size_t op_idx = 0;
   std::unordered_map<std::string, FileState> committed;
+  // Recycled through each point's SimDisk and synced by dirty-range restore; see
+  // VldCrashSim::SweepRange.
+  std::vector<std::byte> scratch;
+  std::vector<std::pair<size_t, size_t>> dirty;
 
   // Checks one path against an expected state (nullopt = absent). Returns a description of the
   // mismatch, or an empty string.
@@ -455,9 +590,13 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
     return "";
   };
 
-  for (const CrashPoint& point : points) {
+  for (size_t pi = begin; pi < end; ++pi) {
+    const CrashPoint& point = points[pi];
     while (applied < point.writes_applied) {
       ApplyWrite(image, trace_[applied], sector_bytes);
+      if (!scratch.empty()) {
+        ApplyWrite(scratch, trace_[applied], sector_bytes);
+      }
       ++applied;
     }
     while (op_idx < ops_.size() && ops_[op_idx].end_writes <= applied) {
@@ -512,17 +651,30 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
       continue;  // Replay mode: count every point but recover/check only the requested one.
     }
 
-    std::vector<std::byte> crashed = image;
+    if (scratch.empty()) {
+      scratch = image;  // First recovered point in this range: the one full media copy.
+    } else {
+      for (const auto& [off, len] : dirty) {
+        std::memcpy(scratch.data() + off, image.data() + off, len);
+      }
+    }
+    dirty.clear();
     if (point.kind == CrashKind::kReorder) {
       for (const uint64_t idx : point.extra) {
-        ApplyWrite(crashed, trace_[idx], sector_bytes);
+        ApplyWrite(scratch, trace_[idx], sector_bytes);
+        dirty.emplace_back(trace_[idx].lba * sector_bytes, trace_[idx].data.size());
       }
     } else if (point.kind != CrashKind::kClean) {
-      ApplyCrashedWrite(crashed, trace_[applied], sector_bytes, point);
+      // Every crash variant mutates only bytes inside the record's own range.
+      ApplyCrashedWrite(scratch, trace_[applied], sector_bytes, point);
+      dirty.emplace_back(trace_[applied].lba * sector_bytes, trace_[applied].data.size());
     }
     common::Clock clock;
-    simdisk::SimDisk disk(params_, &clock);
-    disk.PokeMedia(0, crashed);
+    simdisk::SimDisk disk(params_, &clock, std::move(scratch));
+    disk.set_write_observer(
+        [&](simdisk::Lba lba, std::span<const std::byte> data, bool /*durable*/) {
+          dirty.emplace_back(lba * sector_bytes, data.size());
+        });
     simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
     vlfs::Vlfs fs(&disk, &host, config_);
     const common::Time start = clock.Now();
@@ -531,6 +683,7 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
     if (!info.ok()) {
       report.AddViolation(point, "recovery failed: " + info.status().ToString(),
                           options.max_violation_details);
+      scratch = std::move(disk).TakeMedia();
       continue;
     }
     (info->used_scan ? report.scan_recoveries : report.park_recoveries) += 1;
@@ -657,6 +810,7 @@ CrashSweepReport VlfsCrashSim::Sweep(const CrashSweepOptions& options) const {
                             options.max_violation_details);
       }
     }
+    scratch = std::move(disk).TakeMedia();
   }
   return report;
 }

@@ -46,6 +46,10 @@ struct CrashSweepOptions {
   // (ordinals and images are deterministic) but runs recovery and the invariant checks only at
   // the point with this ordinal — the (seed, ordinal) pair a failure message prints.
   int64_t only_ordinal = -1;
+  // Worker threads for the sweep. Every crash point's image and seed are fixed at enumeration
+  // time, so points shard across workers by contiguous ordinal range and the merged report is
+  // byte-identical to workers=1 at any count. 0 means hardware_concurrency.
+  uint32_t workers = 1;
 };
 
 struct CrashSweepReport {
@@ -81,6 +85,20 @@ std::vector<CrashPoint> AllCrashPoints(const WriteTrace& trace, uint32_t sector_
 // "crash point #<ordinal> n=<writes> kind=..." — the prefix AddViolation puts on details.
 std::string CrashPointName(const CrashPoint& point);
 
+// Resolves CrashSweepOptions.workers: 0 means hardware concurrency, and the result is clamped
+// to [1, points] (a shard with no points would be pure overhead).
+uint32_t ResolveSweepWorkers(uint32_t requested, size_t points);
+
+// Runs `sweep_range(begin, end)` over `workers` contiguous ordinal ranges covering
+// [0, points), one range per thread, and merges the per-range reports in range order. Every
+// crash point's variant seed, ordinal, and image are fixed at enumeration time and each range
+// rebuilds its own rolling state from the trace base, so the merged report — counters,
+// violation details, recovery times, Summary() text — is byte-identical to a single serial
+// range at any worker count.
+CrashSweepReport RunShardedSweep(
+    size_t points, uint64_t seed, const CrashSweepOptions& options,
+    const std::function<CrashSweepReport(size_t, size_t)>& sweep_range);
+
 // Device-level harness: a workload drives a ShadowVld; the sweep replays its media history.
 class VldCrashSim {
  public:
@@ -95,6 +113,11 @@ class VldCrashSim {
   const std::vector<ShadowVld::Op>& ops() const { return ops_; }
 
  private:
+  // The serial sweep over points[begin, end): rebuilds its rolling state from the trace base
+  // (the first iteration's catch-up loop), so ranges are independent and thread-safe.
+  CrashSweepReport SweepRange(const std::vector<CrashPoint>& points, size_t begin, size_t end,
+                              const CrashSweepOptions& options) const;
+
   simdisk::DiskParams params_;
   core::VldConfig config_;
   WriteTrace trace_;
@@ -130,6 +153,9 @@ class VlfsCrashSim {
     bool is_dir = false;
     std::vector<std::byte> content;
   };
+
+  CrashSweepReport SweepRange(const std::vector<CrashPoint>& points, size_t begin, size_t end,
+                              const CrashSweepOptions& options) const;
   // One committed namespace transition: `path` went from `before` to `after` (nullopt =
   // absent) at trace position end_writes. Ops with no namespace effect have an empty path.
   struct FsOpRecord {

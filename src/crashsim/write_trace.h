@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,7 +23,10 @@ namespace vlog::crashsim {
 // crash until the next durability barrier.
 struct WriteRecord {
   simdisk::Lba lba = 0;  // Member-local LBA (arrays record each member's own address space).
-  std::vector<std::byte> data;
+  // Payload bytes, viewing the owning WriteTrace's arena (valid for the trace's lifetime). A
+  // span, not a vector: a million-op trace allocates a handful of arena chunks instead of one
+  // heap payload per write.
+  std::span<const std::byte> data;
   bool durable = true;
   // Which member disk committed the write. 0 for single-disk traces; an array sweep replays
   // each record onto images[disk]. Barrier-delimited epochs still work globally because every
@@ -40,7 +44,10 @@ class WriteTrace {
 
   void Append(simdisk::Lba lba, std::span<const std::byte> data, bool durable = true,
               uint32_t disk = 0) {
-    records_.push_back(WriteRecord{lba, {data.begin(), data.end()}, durable, disk});
+    if (records_.empty()) {
+      records_.reserve(kInitialRecordCapacity);
+    }
+    records_.push_back(WriteRecord{lba, ArenaCopy(data), durable, disk});
   }
 
   // Marks a durability barrier: every record appended so far is on stable media. Recorded at
@@ -64,9 +71,20 @@ class WriteTrace {
   const WriteRecord& operator[](size_t i) const { return records_[i]; }
 
  private:
+  static constexpr size_t kInitialRecordCapacity = 4096;
+  static constexpr size_t kArenaChunkBytes = 1 << 20;
+
+  // Copies `data` into the payload arena and returns a view of the stored bytes. Chunks are
+  // never reallocated (only new ones appended), so returned spans stay valid for the trace's
+  // lifetime; payloads larger than a chunk get a dedicated chunk.
+  std::span<const std::byte> ArenaCopy(std::span<const std::byte> data);
+
   std::vector<std::byte> base_;
   std::vector<WriteRecord> records_;
   std::vector<uint64_t> barriers_;
+  std::vector<std::unique_ptr<std::byte[]>> arena_;
+  size_t arena_cap_ = 0;   // Capacity of arena_.back().
+  size_t arena_used_ = 0;  // Bytes of arena_.back() in use.
   bool write_back_ = false;
 };
 

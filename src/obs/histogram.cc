@@ -1,23 +1,8 @@
 #include "src/obs/histogram.h"
 
 #include <algorithm>
-#include <bit>
 
 namespace vlog::obs {
-
-uint32_t LatencyHistogram::BucketIndex(int64_t value) {
-  if (value < 0) {
-    value = 0;
-  }
-  const uint64_t v = static_cast<uint64_t>(value);
-  if (v < kSubBuckets) {
-    return static_cast<uint32_t>(v);
-  }
-  const uint32_t octave = static_cast<uint32_t>(std::bit_width(v)) - 1;  // 2^octave <= v.
-  const uint32_t sub = static_cast<uint32_t>((v - (uint64_t{1} << octave)) >>
-                                             (octave - kFirstOctave));
-  return kSubBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
-}
 
 int64_t LatencyHistogram::BucketLower(uint32_t index) {
   // The first two octaves' sub-buckets all have width 1, so indices below 2*kSubBuckets are

@@ -13,6 +13,7 @@
 #ifndef SRC_OBS_HISTOGRAM_H_
 #define SRC_OBS_HISTOGRAM_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -44,8 +45,19 @@ class LatencyHistogram {
   // and clamped to the observed range. 0 when empty.
   double Percentile(double p) const;
 
-  // Bucket layout, exposed for tests and serialization.
-  static uint32_t BucketIndex(int64_t value);
+  // Bucket layout, exposed for tests and serialization. BucketIndex is a single bit-scan
+  // (countl_zero) plus shifts — inline because Record() sits on every span completion, five
+  // histograms deep. Negative values clamp to bucket 0.
+  static uint32_t BucketIndex(int64_t value) {
+    if (value < static_cast<int64_t>(kSubBuckets)) {
+      return value < 0 ? 0u : static_cast<uint32_t>(value);
+    }
+    const uint64_t v = static_cast<uint64_t>(value);
+    const uint32_t octave = 63u - static_cast<uint32_t>(std::countl_zero(v));  // 2^octave <= v.
+    const uint32_t sub =
+        static_cast<uint32_t>((v - (uint64_t{1} << octave)) >> (octave - kFirstOctave));
+    return kSubBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
+  }
   static int64_t BucketLower(uint32_t index);   // Inclusive.
   static int64_t BucketUpper(uint32_t index);   // Exclusive.
   const std::vector<uint64_t>& buckets() const { return buckets_; }

@@ -1,8 +1,27 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/obs/json.h"
 
 namespace vlog::obs {
+namespace {
+
+// Deterministic export order over an unordered backing map.
+template <typename Map>
+std::vector<const typename Map::value_type*> SortedByName(const Map& map) {
+  std::vector<const typename Map::value_type*> entries;
+  entries.reserve(map.size());
+  for (const auto& entry : map) {
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return entries;
+}
+
+}  // namespace
 
 void WriteHistogramSummary(JsonWriter& w, const LatencyHistogram& h) {
   w.BeginObject();
@@ -28,23 +47,23 @@ std::string MetricsRegistry::Json() const {
   w.String("vlog-metrics/1");
   w.Key("counters");
   w.BeginObject();
-  for (const auto& [name, value] : counters_) {
-    w.Key(name);
-    w.UInt(value);
+  for (const auto* entry : SortedByName(counters_)) {
+    w.Key(entry->first);
+    w.UInt(entry->second);
   }
   w.EndObject();
   w.Key("gauges");
   w.BeginObject();
-  for (const auto& [name, fn] : gauges_) {
-    w.Key(name);
-    w.UInt(fn());
+  for (const auto* entry : SortedByName(gauges_)) {
+    w.Key(entry->first);
+    w.UInt(entry->second());
   }
   w.EndObject();
   w.Key("histograms");
   w.BeginObject();
-  for (const auto& [name, hist] : histograms_) {
-    w.Key(name);
-    WriteHistogramSummary(w, hist);
+  for (const auto* entry : SortedByName(histograms_)) {
+    w.Key(entry->first);
+    WriteHistogramSummary(w, entry->second);
   }
   w.EndObject();
   w.EndObject();

@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "src/obs/histogram.h"
 
@@ -38,14 +38,20 @@ class MetricsRegistry {
   // with each section's keys in sorted order.
   std::string Json() const;
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
-  const std::map<std::string, LatencyHistogram>& histograms() const { return histograms_; }
-  const std::map<std::string, std::function<uint64_t()>>& gauges() const { return gauges_; }
+  const std::unordered_map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::unordered_map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+  const std::unordered_map<std::string, std::function<uint64_t()>>& gauges() const {
+    return gauges_;
+  }
 
  private:
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, LatencyHistogram> histograms_;
-  std::map<std::string, std::function<uint64_t()>> gauges_;
+  // Hash maps: Counter()/Histogram() sit on per-request paths, so lookups must be O(1) in the
+  // name, not a string-comparing tree walk. Json() sorts the keys at export time instead.
+  std::unordered_map<std::string, uint64_t> counters_;
+  std::unordered_map<std::string, LatencyHistogram> histograms_;
+  std::unordered_map<std::string, std::function<uint64_t()>> gauges_;
 };
 
 // Renders one histogram summary object: {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,

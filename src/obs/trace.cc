@@ -114,8 +114,8 @@ uint64_t TraceRecorder::BeginSpan(Layer layer, uint64_t a, uint64_t b, SpanKind 
 }
 
 uint64_t TraceRecorder::BeginSpanDetached(Layer layer, uint64_t a, uint64_t b, SpanKind kind) {
-  const uint64_t id = next_span_++;
-  Span& s = spans_[id];
+  Span& s = spans_.emplace_back();
+  const uint64_t id = spans_.size();
   s.submit = clock_->Now();
   s.layer = layer;
   s.kind = kind;
@@ -127,11 +127,10 @@ uint64_t TraceRecorder::BeginSpanDetached(Layer layer, uint64_t a, uint64_t b, S
 }
 
 void TraceRecorder::EndSpan(uint64_t id) {
-  auto it = spans_.find(id);
-  if (it == spans_.end() || !it->second.open) {
+  if (id == 0 || id > spans_.size() || !spans_[id - 1].open) {
     return;
   }
-  Span& s = it->second;
+  Span& s = spans_[id - 1];
   s.complete = clock_->Now();
   s.open = false;
   // Everything the span waited for beyond its own charged activities is queueing: other
@@ -150,11 +149,10 @@ void TraceRecorder::EndSpan(uint64_t id) {
 void TraceRecorder::Charge(EventType type, Layer layer, common::Duration dur, uint64_t a,
                            uint64_t b) {
   Push({clock_->Now(), dur, current_, type, layer, a, b});
-  auto it = spans_.find(current_);
-  if (it == spans_.end() || !it->second.open) {
+  if (current_ == 0 || current_ > spans_.size() || !spans_[current_ - 1].open) {
     return;
   }
-  TimeBreakdown& bd = it->second.breakdown;
+  TimeBreakdown& bd = spans_[current_ - 1].breakdown;
   switch (type) {
     case EventType::kHostCpu:
       bd.host_cpu += dur;
@@ -188,8 +186,7 @@ void TraceRecorder::Annotate(EventType type, Layer layer, uint64_t a, uint64_t b
 }
 
 const TraceRecorder::Span* TraceRecorder::span(uint64_t id) const {
-  auto it = spans_.find(id);
-  return it == spans_.end() ? nullptr : &it->second;
+  return (id == 0 || id > spans_.size()) ? nullptr : &spans_[id - 1];
 }
 
 void TraceRecorder::Push(TraceEvent event) {
@@ -224,10 +221,11 @@ std::string TraceRecorder::TraceJson() const {
   w.UInt(dropped_);
   w.Key("spans");
   w.BeginArray();
-  for (const auto& [id, s] : spans_) {
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
     w.BeginObject();
     w.Key("id");
-    w.UInt(id);
+    w.UInt(i + 1);
     w.Key("layer");
     w.String(LayerName(s.layer));
     w.Key("kind");

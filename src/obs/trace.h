@@ -19,14 +19,13 @@
 // Tracing never advances the clock, so enabling it cannot change simulated time either.
 //
 // Determinism: events carry only integers derived from the simulation (times, ids, LBAs), the
-// ring buffer is drained in chronological order, and spans are kept in an ordered map — two
-// runs of the same seed produce byte-identical TraceJson() output.
+// ring buffer is drained in chronological order, and spans are stored densely in id order —
+// two runs of the same seed produce byte-identical TraceJson() output.
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -156,7 +155,8 @@ class TraceRecorder {
   // --- Introspection ---
 
   const Span* span(uint64_t id) const;
-  const std::map<uint64_t, Span>& spans() const { return spans_; }
+  // All spans ever opened, in id order; span id i lives at index i-1 (ids are dense from 1).
+  const std::vector<Span>& spans() const { return spans_; }
   uint64_t completed_spans() const { return completed_spans_; }
   // Sum of all completed spans' breakdowns (including queueing).
   const TimeBreakdown& totals() const { return totals_; }
@@ -190,10 +190,11 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;  // Next overwrite position once the ring is full.
   uint64_t dropped_ = 0;
-  uint64_t next_span_ = 1;
   uint64_t current_ = 0;
   uint32_t disk_index_ = 0;
-  std::map<uint64_t, Span> spans_;
+  // Dense span storage: ids are handed out sequentially from 1, so a vector indexed by id-1
+  // replaces the former std::map (which allocated a tree node per request on the hot path).
+  std::vector<Span> spans_;
   uint64_t completed_spans_ = 0;
   TimeBreakdown totals_;
   LatencyHistogram latency_hist_;

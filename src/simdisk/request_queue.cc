@@ -71,11 +71,11 @@ size_t RequestQueue::PickNext() {
   // SPTF: cheapest seek + rotational wait from the current arm position and clock phase, over
   // the hazard-eligible requests. Ties break toward the older request, which also keeps the
   // policy starvation-averse in practice. The seek + head-switch component is memoized per
-  // request against the arm position (the arm only moves when a request is serviced), so a
-  // dispatch pays one curve evaluation per candidate only after a seek — the rotational wait
-  // is recomputed from the cached geometry decomposition every time, because it depends on
-  // the clock. Identical arithmetic to EstimatePosition(lba, now).
-  const PhysAddr& arm = disk_->ArmPosition();
+  // request against the disk's arm-position epoch (the arm only moves when a request is
+  // serviced), so a dispatch pays one curve evaluation per candidate only after a seek — the
+  // rotational wait is recomputed from the cached geometry decomposition every time, because
+  // it depends on the clock. Identical arithmetic to EstimatePosition(lba, now).
+  const uint64_t arm_epoch = disk_->arm_epoch();
   size_t best = pending_.size();
   common::Duration best_cost = 0;
   for (size_t i = 0; i < pending_.size(); ++i) {
@@ -83,8 +83,8 @@ size_t RequestQueue::PickNext() {
       continue;
     }
     Request& req = pending_[i];
-    if (req.move_cost < 0 || !(req.move_arm == arm)) {
-      req.move_arm = arm;
+    if (req.move_cost < 0 || req.move_epoch != arm_epoch) {
+      req.move_epoch = arm_epoch;
       req.move_cost = disk_->ArmMoveCost(req.phys);
     }
     const common::Duration cost =

@@ -93,13 +93,14 @@ class RequestQueue {
     uint64_t span = 0;            // Trace span opened at submission (0 = tracing off).
     std::vector<std::byte> data;  // Write payload.
     // SPTF positioning cache. The geometry decomposition of `lba` is computed once at
-    // submission; the arm-move (seek + head-switch) component is memoized against the arm
-    // position it was computed at, so a dispatch re-evaluates it only after the arm actually
-    // moved — only the cheap rotational wait depends on the clock. The cached cost is
-    // arithmetically identical to EstimatePosition(lba, now), so schedules are unchanged
-    // (gated by the golden traces and the brute-force reference test).
+    // submission; the arm-move (seek + head-switch) component is memoized against the disk's
+    // arm-position epoch (bumped only when the arm changes track), so a dispatch re-evaluates
+    // it only after the arm actually moved — one integer compare per candidate instead of a
+    // PhysAddr compare, and only the cheap rotational wait depends on the clock. The cached
+    // cost is arithmetically identical to EstimatePosition(lba, now), so schedules are
+    // unchanged (gated by the golden traces and the brute-force reference test).
     PhysAddr phys{};
-    PhysAddr move_arm{};               // Arm position `move_cost` was computed at.
+    uint64_t move_epoch = 0;           // disk arm_epoch() `move_cost` was computed at.
     common::Duration move_cost = -1;   // Cached ArmMoveCost; -1 = not yet computed.
   };
 

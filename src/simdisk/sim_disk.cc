@@ -13,6 +13,11 @@ SimDisk::SimDisk(DiskParams params, common::Clock* clock)
   media_.resize(params_.geometry.CapacityBytes());
 }
 
+SimDisk::SimDisk(DiskParams params, common::Clock* clock, std::vector<std::byte> media)
+    : params_(std::move(params)), clock_(clock), media_(std::move(media)), cache_(params_.cache) {
+  media_.resize(params_.geometry.CapacityBytes());
+}
+
 common::Status SimDisk::CheckRange(Lba lba, size_t bytes, const char* op) const {
   const uint32_t sector_bytes = params_.geometry.sector_bytes;
   if (bytes == 0 || bytes % sector_bytes != 0) {
@@ -99,8 +104,11 @@ void SimDisk::Position(Lba lba, bool sequential) {
   }
   clock_->Advance(move + wait);
   last_request_.locate += move + wait;
-  arm_.cylinder = target.cylinder;
-  arm_.head = target.head;
+  if (arm_.cylinder != target.cylinder || arm_.head != target.head) {
+    arm_.cylinder = target.cylinder;
+    arm_.head = target.head;
+    ++arm_epoch_;
+  }
 }
 
 void SimDisk::CatchUpReadAhead() {
@@ -285,6 +293,15 @@ common::Status SimDisk::InternalRead(Lba lba, std::span<std::byte> out) {
          /*host_command=*/false);
   PeekMedia(lba, out);
   return common::OkStatus();
+}
+
+std::span<const std::byte> SimDisk::InternalReadView(Lba lba, uint64_t sectors) {
+  const uint64_t bytes = sectors * params_.geometry.sector_bytes;
+  if (!CheckRange(lba, bytes, "InternalRead").ok()) {
+    return {};
+  }
+  Access(lba, sectors, /*is_write=*/false, /*host_command=*/false);
+  return std::span<const std::byte>(media_).subspan(lba * params_.geometry.sector_bytes, bytes);
 }
 
 common::Status SimDisk::InternalWrite(Lba lba, std::span<const std::byte> in) {

@@ -31,6 +31,10 @@ namespace vlog::simdisk {
 class SimDisk : public BlockDevice {
  public:
   SimDisk(DiskParams params, common::Clock* clock);
+  // Adopts `media` as the initial platter contents (resized to capacity) instead of
+  // zero-filling a fresh allocation — sweeps that build thousands of short-lived disks from
+  // prebuilt images use this with TakeMedia() to recycle one buffer across points.
+  SimDisk(DiskParams params, common::Clock* clock, std::vector<std::byte> media);
 
   // BlockDevice: host commands. Each charges the SCSI command overhead. With a write-back
   // cache enabled, Write acknowledges after controller + bus time only and the mechanical work
@@ -52,6 +56,12 @@ class SimDisk : public BlockDevice {
   common::Status InternalRead(Lba lba, std::span<std::byte> out);
   common::Status InternalWrite(Lba lba, std::span<const std::byte> in);
   common::Status InternalWriteFua(Lba lba, std::span<const std::byte> in);
+  // Zero-copy InternalRead: charges exactly the same mechanics, stats, and clock time, but
+  // returns a read-only view into the media instead of copying it out. Always current — dirty
+  // write-cache sectors live in the media array too (the cache tracks only dirtiness). The
+  // view is invalidated by the next write. Used by recovery's full-disk scan, where copying
+  // every track dominated the sweep profile. Returns an empty span on a range error.
+  std::span<const std::byte> InternalReadView(Lba lba, uint64_t sectors);
 
   // Charges one SCSI command's controller overhead. The VLD calls this once per *host* command
   // before issuing however many internal operations the command expands to.
@@ -68,11 +78,19 @@ class SimDisk : public BlockDevice {
   // Zero-cost media access, for test setup and for modeling in-memory behaviour.
   void PeekMedia(Lba lba, std::span<std::byte> out) const;
   void PokeMedia(Lba lba, std::span<const std::byte> in);
+  // Surrenders the media buffer (the disk is dead afterwards — destroy it). Pairs with the
+  // media-adopting constructor so sweep loops reuse one allocation per worker.
+  std::vector<std::byte> TakeMedia() && { return std::move(media_); }
 
   // --- Introspection for eager writing (the VLD runs "inside" this disk) ---
 
   // Arm position (cylinder+surface). The rotational position is time-derived; see below.
   const PhysAddr& ArmPosition() const { return arm_; }
+
+  // Bumped whenever the arm actually moves to a different track. SPTF schedulers key their
+  // per-request positioning-cost memo on this: while the epoch is unchanged, every cached
+  // ArmMoveCost stays exact, so a dispatch loop re-estimates only after a move.
+  uint64_t arm_epoch() const { return arm_epoch_; }
 
   // The sector index whose leading edge is under the head at time t (fractional part dropped).
   uint32_t SectorUnderHead(common::Time t) const;
@@ -198,6 +216,7 @@ class SimDisk : public BlockDevice {
   common::Clock* clock_;
   std::vector<std::byte> media_;
   PhysAddr arm_{};
+  uint64_t arm_epoch_ = 0;
   DiskStats stats_;
   LatencyBreakdown last_request_;
   TrackBuffer buffer_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/workload/payload.h"
 
 namespace vlog::workload {
 
@@ -13,9 +14,7 @@ namespace {
 // The deterministic block payload both drivers agree on: byte j of block b is
 // (b * 131 + j * 7) & 0xFF — the same tag queue_sweep uses, so goldens stay familiar.
 void FillPattern(uint32_t block, std::vector<std::byte>& payload) {
-  for (size_t j = 0; j < payload.size(); ++j) {
-    payload[j] = static_cast<std::byte>((block * 131u + j * 7u) & 0xFF);
-  }
+  FillAffinePayload(payload, block * 131u);
 }
 
 void Summarize(std::vector<common::Duration> latencies, common::Duration elapsed,

@@ -4,10 +4,11 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/workload/payload.h"
 
 namespace vlog::workload {
 
@@ -33,9 +34,7 @@ common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32
                        std::vector<common::Duration>* latencies) -> common::Status {
     for (int i = 0; i < n; ++i) {
       const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
-      for (size_t j = 0; j < payload.size(); ++j) {
-        payload[j] = static_cast<std::byte>((b * 131u + j * 7u) & 0xFF);
-      }
+      FillAffinePayload(payload, b * 131u);
       RETURN_IF_ERROR(
           vld.SubmitWrite(static_cast<simdisk::Lba>(b) * block_sectors, payload).status());
     }
@@ -177,9 +176,7 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
 
   std::vector<std::byte> payload(kUpdateBytes);
   const auto fill_payload = [&](uint32_t block, uint32_t stream) {
-    for (size_t j = 0; j < payload.size(); ++j) {
-      payload[j] = static_cast<std::byte>((block * 131u + j * 7u + stream * 29u) & 0xFF);
-    }
+    FillAffinePayload(payload, block * 131u + stream * 29u);
   };
   if (options.prepopulate) {
     for (uint32_t b = 0; b < blocks; ++b) {
@@ -192,7 +189,10 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
   obs::TraceRecorder* tracer = vld.disk().tracer();
   obs::TimeBreakdown totals_start = tracer != nullptr ? tracer->totals() : obs::TimeBreakdown{};
   common::Time window_start = clock->Now();
-  std::map<uint64_t, uint32_t> inflight;  // Completion id -> stream.
+  // Completion id -> stream. At most `streams` entries at once, so a flat vector with linear
+  // find beats a node-allocating map on the per-op hot path.
+  std::vector<std::pair<uint64_t, uint32_t>> inflight;
+  inflight.reserve(options.streams);
   int discarded = 0;
   int recorded = 0;
   bool measuring = options.warmup == 0;
@@ -224,7 +224,7 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
         fill_payload(block, s);
         ASSIGN_OR_RETURN(id, vld.SubmitWrite(lba, payload));
       }
-      inflight[id] = s;
+      inflight.emplace_back(id, s);
       st.outstanding = true;
       submitted = true;
     }
@@ -235,12 +235,14 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
     }
     ASSIGN_OR_RETURN(std::vector<core::Vld::QueuedCompletion> done, vld.FlushQueue());
     for (const core::Vld::QueuedCompletion& c : done) {
-      const auto it = inflight.find(c.id);
+      const auto it = std::find_if(inflight.begin(), inflight.end(),
+                                   [&](const auto& e) { return e.first == c.id; });
       if (it == inflight.end()) {
         return common::FailedPrecondition("mixed streams: unknown completion id");
       }
       Stream& st = streams[it->second];
-      inflight.erase(it);
+      *it = inflight.back();
+      inflight.pop_back();
       st.outstanding = false;
       st.next_ready = c.complete_time + st.config.think_time;
       if (!measuring) {

@@ -350,7 +350,7 @@ TEST(VldArrayTest, QueuedSpansCarryMemberDiskIndex) {
   ASSERT_TRUE(array.SubmitWrite(chunk, Pattern(chunk * 512, 2)).ok());      // Member 1.
   ASSERT_TRUE(array.FlushQueue().ok());
   bool saw[2] = {false, false};
-  for (const auto& [id, span] : tracer.spans()) {
+  for (const auto& span : tracer.spans()) {
     if (span.layer == obs::Layer::kVld && span.kind == obs::SpanKind::kWrite) {
       ASSERT_LT(span.disk, 2u);
       saw[span.disk] = true;

@@ -344,6 +344,33 @@ TEST(CrashSweepTest, QueuedGroupCommitScenarioHasNoViolations) {
   }
 }
 
+// Golden trace equality: recording the same scenario twice must produce byte-identical
+// traces — every record's address, payload bytes, durability flag, and disk tag, plus the
+// barrier positions and the base image. This pins the arena-backed payload storage (records
+// hold views into the trace's arena, not their own vectors): any aliasing or copy bug in the
+// arena shows up here as payload bytes diverging between two identical recordings.
+TEST(WriteTraceGolden, SameScenarioRecordsByteIdenticalTraces) {
+  VldCrashSim a(CrashSimDiskParams(), CrashSimVldConfig());
+  VldCrashSim b(CrashSimDiskParams(), CrashSimVldConfig());
+  ASSERT_TRUE(RecordVldScenario(VldScenario::kQueuedGroupCommit, a).ok());
+  ASSERT_TRUE(RecordVldScenario(VldScenario::kQueuedGroupCommit, b).ok());
+  const WriteTrace& ta = a.trace();
+  const WriteTrace& tb = b.trace();
+  ASSERT_GT(ta.size(), 50u) << "golden scenario must exercise a real write volume";
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].lba, tb[i].lba) << "record " << i;
+    ASSERT_EQ(ta[i].durable, tb[i].durable) << "record " << i;
+    ASSERT_EQ(ta[i].disk, tb[i].disk) << "record " << i;
+    ASSERT_EQ(ta[i].data.size(), tb[i].data.size()) << "record " << i;
+    ASSERT_EQ(std::memcmp(ta[i].data.data(), tb[i].data.data(), ta[i].data.size()), 0)
+        << "payload bytes diverged at record " << i;
+  }
+  EXPECT_EQ(ta.barriers(), tb.barriers());
+  EXPECT_EQ(ta.write_back(), tb.write_back());
+  EXPECT_EQ(ta.base(), tb.base());
+}
+
 // Queued reads interleaved with queued writes: reads are verified against the shadow at record
 // time (same-batch RAW forwarding, unmapped and freshly-trimmed blocks reading zeros) and are
 // recorded as nothing, so a green sweep proves read traffic never dirtied crash-visible state.
@@ -463,6 +490,82 @@ TEST(ReorderSweepTest, SweepDetectsMissingBarriers) {
   EXPECT_GT(report.violations, 0u)
       << "a barrier-less device on a write-back cache must fail the reorder sweep\n"
       << report.Summary();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-sweep determinism: sharding a sweep across worker threads must be
+// invisible in the report. Every crash point's ordinal, image, and variant
+// seed are fixed at enumeration time, so the merged report at any worker
+// count has to be byte-identical to the serial one — same counters, same
+// violation details, same per-point recovery times, same Summary() text.
+// ---------------------------------------------------------------------------
+
+void ExpectIdenticalReports(const CrashSweepReport& serial, const CrashSweepReport& sharded,
+                            uint32_t workers) {
+  EXPECT_EQ(serial.points, sharded.points) << "workers=" << workers;
+  EXPECT_EQ(serial.clean_points, sharded.clean_points) << "workers=" << workers;
+  EXPECT_EQ(serial.torn_points, sharded.torn_points) << "workers=" << workers;
+  EXPECT_EQ(serial.corrupt_points, sharded.corrupt_points) << "workers=" << workers;
+  EXPECT_EQ(serial.reorder_points, sharded.reorder_points) << "workers=" << workers;
+  EXPECT_EQ(serial.seed, sharded.seed) << "workers=" << workers;
+  EXPECT_EQ(serial.violations, sharded.violations) << "workers=" << workers;
+  EXPECT_EQ(serial.violation_details, sharded.violation_details) << "workers=" << workers;
+  EXPECT_EQ(serial.first_violation_ordinal, sharded.first_violation_ordinal)
+      << "workers=" << workers;
+  EXPECT_EQ(serial.park_recoveries, sharded.park_recoveries) << "workers=" << workers;
+  EXPECT_EQ(serial.scan_recoveries, sharded.scan_recoveries) << "workers=" << workers;
+  EXPECT_EQ(serial.checkpoint_recoveries, sharded.checkpoint_recoveries)
+      << "workers=" << workers;
+  EXPECT_EQ(serial.rolled_back_recoveries, sharded.rolled_back_recoveries)
+      << "workers=" << workers;
+  EXPECT_EQ(serial.repaired_pieces, sharded.repaired_pieces) << "workers=" << workers;
+  ASSERT_EQ(serial.recovery_times.size(), sharded.recovery_times.size())
+      << "workers=" << workers;
+  for (size_t i = 0; i < serial.recovery_times.size(); ++i) {
+    EXPECT_EQ(serial.recovery_times[i], sharded.recovery_times[i])
+        << "workers=" << workers << " point " << i;
+  }
+  EXPECT_EQ(serial.Summary(), sharded.Summary()) << "workers=" << workers;
+}
+
+TEST(ParallelSweepTest, WorkerCountIsInvisibleInTheReport) {
+  if (Replaying()) {
+    GTEST_SKIP() << "determinism comparison needs the full point sweep, not a --point replay";
+  }
+  // Write-back cache so the sweep includes reorder points — the variant kind whose
+  // per-point seeding is easiest to get wrong under sharding.
+  VldCrashSim sim(CrashSimCachedDiskParams(), CrashSimVldConfig());
+  ASSERT_TRUE(RecordVldScenario(VldScenario::kQueuedGroupCommit, sim).ok());
+  CrashSweepOptions options = SeededSweepOptions();
+  options.workers = 1;
+  const CrashSweepReport serial = sim.Sweep(options);
+  ASSERT_GT(serial.points, 100u) << serial.Summary();
+  EXPECT_TRUE(serial.ok()) << serial.Summary();
+  for (const uint32_t workers : {2u, 8u}) {
+    options.workers = workers;
+    ExpectIdenticalReports(serial, sim.Sweep(options), workers);
+  }
+}
+
+TEST(ParallelSweepTest, WorkerCountIsInvisibleWhenViolationsFire) {
+  if (Replaying()) {
+    GTEST_SKIP() << "determinism comparison needs the full point sweep, not a --point replay";
+  }
+  // The violating negative-control configuration: barrier-less VLD on a cached disk. The
+  // details list, first ordinal, and detail truncation must all merge identically, which
+  // exercises the report-merge path the all-green test above never reaches.
+  core::VldConfig config = CrashSimVldConfig();
+  config.barriers = false;
+  VldCrashSim sim(CrashSimCachedDiskParams(), config);
+  ASSERT_TRUE(RecordVldScenario(VldScenario::kCheckpointInterrupted, sim).ok());
+  CrashSweepOptions options = SeededSweepOptions();
+  options.workers = 1;
+  const CrashSweepReport serial = sim.Sweep(options);
+  ASSERT_GT(serial.violations, 0u) << serial.Summary();
+  for (const uint32_t workers : {2u, 8u}) {
+    options.workers = workers;
+    ExpectIdenticalReports(serial, sim.Sweep(options), workers);
+  }
 }
 
 // ---------------------------------------------------------------------------

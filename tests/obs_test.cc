@@ -70,7 +70,7 @@ TEST(TraceRecorderTest, SpanScopeRootsThenInherits) {
   }
   EXPECT_EQ(tracer.current_span(), 0u);
   EXPECT_EQ(tracer.spans().size(), 1u);
-  EXPECT_FALSE(tracer.spans().begin()->second.open);
+  EXPECT_FALSE(tracer.spans().front().open);
 }
 
 TEST(TraceRecorderTest, NullTracerSpanScopeIsNoOp) {

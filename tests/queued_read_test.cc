@@ -97,7 +97,7 @@ TEST(QueuedReadTest, DepthOneMatchesSynchronousReadExactly) {
   // identity (accounted + queueing == latency).
   auto read_span = [](const obs::TraceRecorder& tracer) -> const obs::TraceRecorder::Span* {
     const obs::TraceRecorder::Span* found = nullptr;
-    for (const auto& [sid, span] : tracer.spans()) {
+    for (const auto& span : tracer.spans()) {
       if (span.layer == obs::Layer::kVld && span.kind == obs::SpanKind::kRead) {
         EXPECT_EQ(found, nullptr) << "exactly one VLD read span expected";
         found = &span;

@@ -280,7 +280,10 @@ int main(int argc, char** argv) {
   std::printf("%6s %4s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "disk", "layer",
               "submit ms", "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
   for (uint32_t m : shown) {
-    for (const auto& [id, span] : stacks[m]->tracer->spans()) {
+    const auto& spans = stacks[m]->tracer->spans();
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const uint64_t id = i + 1;
+      const auto& span = spans[i];
       if (span.open) {
         continue;
       }
