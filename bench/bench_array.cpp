@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
   double prev_iops = 0;
   double iops_n1 = 0;
   bool monotonic = true;
+  // The N = 2 leg carries the per-member timeline: array-level gauges plus every member's
+  // VLD/disk series under "m0."/"m1.", polled at each batch boundary with the barrier time.
+  std::string array_timeline_json;
+  size_t array_windows = 0;
   for (uint32_t n : {1u, 2u, 4u, 8u}) {
     auto stacks = MakeStacks(n);
     array::VldArray array(Members(stacks), {.mode = array::ArrayMode::kStriped});
@@ -81,9 +85,25 @@ int main(int argc, char** argv) {
       region_blocks =
           static_cast<uint32_t>(array.SectorCount() / array.block_sectors()) / 2;
     }
+    std::unique_ptr<obs::Timeline> timeline;
+    obs::WindowedHistogram* latency = nullptr;
+    if (n == 2) {
+      timeline = std::make_unique<obs::Timeline>(obs::TimelineConfig{
+          .window = common::Milliseconds(100), .start = array.now()});
+      latency = &timeline->AddHistogram("latency");
+      array.RegisterTimelineProbes(*timeline);
+      timeline->AddSteadySeries("m0.vld.free_blocks");
+      timeline->AddSteadySeries("m1.vld.free_blocks");
+    }
     const workload::ArraySweepResult r = bench::CheckOk(
-        workload::RunArrayRandomUpdates(array, kDepth, updates, warmup, kSeed, region_blocks),
+        workload::RunArrayRandomUpdates(array, kDepth, updates, warmup, kSeed, region_blocks,
+                                        timeline.get(), latency),
         "striped sweep");
+    if (timeline != nullptr) {
+      timeline->Finish(array.now());
+      array_timeline_json = timeline->Json();
+      array_windows = timeline->windows().size();
+    }
     char label[32];
     std::snprintf(label, sizeof(label), "striped/N=%u", n);
     bench::PrintPercentileRow(label, r.iops, r.latency_hist);
@@ -149,12 +169,15 @@ int main(int argc, char** argv) {
   bench::Note("");
   const bool n1_identity = iops_n1 == iops_bare;
   const bool payloads = healthy.payloads_ok && degraded.payloads_ok;
+  const bool timeline_ok = array_windows >= 1;
   std::printf("striped IOPS monotonically non-decreasing in N: %s\n", monotonic ? "yes" : "NO");
   std::printf("N=1 array IOPS == bare VLD exactly: %s (%.3f vs %.3f)\n",
               n1_identity ? "yes" : "NO", iops_n1, iops_bare);
   std::printf("mirrored read payloads correct (healthy and degraded): %s\n",
               payloads ? "yes" : "NO");
-  if (!monotonic || !n1_identity || !payloads) {
+  std::printf("N=2 per-member timeline has windows: %s (%zu)\n", timeline_ok ? "yes" : "NO",
+              array_windows);
+  if (!monotonic || !n1_identity || !payloads || !timeline_ok) {
     std::fprintf(stderr, "FATAL: array acceptance gates failed\n");
     return 1;
   }
@@ -163,5 +186,6 @@ int main(int argc, char** argv) {
   bench::Note("packed commit per member behind the cross-disk barrier; mirroring trades that");
   bench::Note("scaling for redundancy, and a failed replica only removes the read balance.");
   report.MaybeWrite(flags);
+  bench::MaybeWriteTimeline(flags, array_timeline_json);
   return 0;
 }

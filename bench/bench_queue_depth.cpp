@@ -79,6 +79,72 @@ void SchedulerComparison(int rounds) {
   }
 }
 
+// Exact (bit-for-bit) histogram equality: same buckets, count, sum, and observed range.
+bool HistEq(const obs::LatencyHistogram& a, const obs::LatencyHistogram& b) {
+  return a.buckets() == b.buckets() && a.Count() == b.Count() && a.Sum() == b.Sum() &&
+         a.Min() == b.Min() && a.Max() == b.Max();
+}
+
+// One open-loop Poisson run with the full observability stack attached (tracer + timeline +
+// SLO + steady-state), or — with `observed` false — the identical workload bare, as the
+// control for the "observability never moves the virtual clock" gate.
+struct OpenLoopLeg {
+  workload::OpenLoopResult result;
+  std::string timeline_json;
+  size_t windows = 0;
+  size_t violations = 0;
+  std::string dominant;       // Of the first violation span.
+  bool recovered = false;     // The last violation span ended before the final window.
+  bool merge_exact = false;   // Window histograms merge to the run-wide one, bit for bit.
+  uint64_t steady_windows = 0;
+  common::Time final_time = 0;
+};
+
+OpenLoopLeg RunOpenLoopLeg(const workload::OpenLoopOptions& options, common::Duration window,
+                           common::Duration budget, bool observed) {
+  common::Clock clock;
+  simdisk::SimDisk disk(simdisk::Truncated(simdisk::Hp97560(), 36), &clock);
+  core::Vld vld(&disk, core::VldConfig{.queue_depth = 32});
+  bench::Check(vld.Format(), "format");
+  OpenLoopLeg leg;
+  if (!observed) {
+    leg.result = bench::CheckOk(workload::RunOpenLoopPoisson(vld, options), "open loop bare");
+    leg.final_time = clock.Now();
+    return leg;
+  }
+  obs::TraceRecorder tracer(&clock);
+  disk.set_tracer(&tracer);
+  obs::Timeline timeline(obs::TimelineConfig{.window = window, .start = clock.Now()});
+  obs::WindowedHistogram& latency = timeline.AddHistogram("latency");
+  obs::RegisterBreakdownCounters(timeline, tracer, "breakdown.");
+  vld.RegisterTimelineProbes(timeline, "");
+  timeline.AddSlo("latency", budget, "breakdown.");
+  timeline.AddSteadySeries("vld.free_blocks");
+  timeline.AddSteadySeries("p99:latency");
+  timeline.ConfigureSteadyState(6, 0.15);
+  leg.result =
+      bench::CheckOk(workload::RunOpenLoopPoisson(vld, options, &timeline, &latency),
+                     "open loop");
+  timeline.Finish(clock.Now());
+  leg.final_time = clock.Now();
+  leg.timeline_json = timeline.Json();
+  leg.windows = timeline.windows().size();
+  obs::LatencyHistogram merged;
+  for (const obs::TimelineWindow& w : timeline.windows()) {
+    merged.Merge(w.histograms[0]);
+  }
+  leg.merge_exact =
+      HistEq(merged, latency.total()) && HistEq(merged, leg.result.latency_hist);
+  const obs::Timeline::SloResult& slo = timeline.slos()[0];
+  leg.violations = slo.violations.size();
+  if (!slo.violations.empty()) {
+    leg.dominant = slo.violations.front().dominant;
+    leg.recovered = slo.violations.back().end_window < timeline.windows().back().index;
+  }
+  leg.steady_windows = timeline.steady_windows();
+  return leg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,6 +308,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Open-loop Poisson leg: arrivals are exogenous (decoupled from completions), so offered
+  // load above the ~380 IOPS depth-32 service capacity grows an unbounded backlog and
+  // arrival->completion latency climbs until the burst ends — the timeline's SLO monitor must
+  // see that breach, attribute its dominant component, and watch it recover. Run twice on the
+  // same seed (timeline export must be byte-identical) plus once bare (observability must not
+  // move the virtual clock).
+  bench::Note("\nOpen-loop Poisson arrivals (150/s base, 1.2k/s burst; p99 SLO 50 ms/250 ms "
+              "window):");
+  workload::OpenLoopOptions olopt;
+  olopt.rate_ops_per_s = 150;
+  olopt.burst_rate_ops_per_s = 1200;
+  olopt.burst_start = flags.smoke ? common::Milliseconds(400) : common::Milliseconds(1000);
+  olopt.burst_duration = flags.smoke ? common::Milliseconds(400) : common::Milliseconds(1000);
+  olopt.arrivals = flags.smoke ? 700 : 2000;
+  olopt.seed = kSeed;
+  const common::Duration ol_window = common::Milliseconds(250);
+  const common::Duration ol_budget = common::Milliseconds(50);
+  const OpenLoopLeg leg = RunOpenLoopLeg(olopt, ol_window, ol_budget, true);
+  const OpenLoopLeg rerun = RunOpenLoopLeg(olopt, ol_window, ol_budget, true);
+  const OpenLoopLeg bare = RunOpenLoopLeg(olopt, ol_window, ol_budget, false);
+  bench::PrintPercentileHeader();
+  bench::PrintPercentileRow("open-loop", leg.result.achieved_iops, leg.result.latency_hist);
+  std::printf("%-16s offered %.0f/s, peak backlog %llu, %zu windows, %zu violation span(s), "
+              "dominant '%s'\n",
+              "", leg.result.offered_rate,
+              static_cast<unsigned long long>(leg.result.max_backlog), leg.windows,
+              leg.violations, leg.dominant.c_str());
+  report.AddRow("open-loop", leg.result.achieved_iops, leg.result.latency_hist,
+                leg.result.breakdown,
+                {{"offered_rate", leg.result.offered_rate},
+                 {"max_backlog", static_cast<double>(leg.result.max_backlog)},
+                 {"windows", static_cast<double>(leg.windows)},
+                 {"slo_violations", static_cast<double>(leg.violations)},
+                 {"steady_windows", static_cast<double>(leg.steady_windows)}});
+  const bool ol_deterministic =
+      !leg.timeline_json.empty() && leg.timeline_json == rerun.timeline_json;
+  const bool ol_windows = leg.windows >= 1;
+  const bool ol_breach = leg.violations >= 1 && !leg.dominant.empty();
+  const bool ol_clock_pure = leg.final_time == bare.final_time &&
+                             leg.result.makespan == bare.result.makespan;
+
   bench::Note("");
   // Acceptance gates: depth-1 latency identical to the sync path (tracing attached — it must
   // not move the clock), IOPS monotonically non-decreasing in depth, >= 2x throughput at
@@ -260,8 +367,21 @@ int main(int argc, char** argv) {
               cached_flush_seen ? "yes" : "NO");
   std::printf("read-heavy SPTF > FCFS at depth >= 8: %s (worst fairness %.2f)\n",
               sptf_beats_fcfs ? "yes" : "NO", worst_fairness);
+  std::printf("open-loop timeline byte-identical on rerun: %s\n",
+              ol_deterministic ? "yes" : "NO");
+  std::printf("open-loop timeline has windows: %s (%zu)\n", ol_windows ? "yes" : "NO",
+              leg.windows);
+  std::printf("open-loop burst breaches the SLO with a dominant component: %s\n",
+              ol_breach ? "yes" : "NO");
+  std::printf("open-loop SLO breach recovers before end of run: %s\n",
+              leg.recovered ? "yes" : "NO");
+  std::printf("window histograms merge to run-wide exactly: %s\n",
+              leg.merge_exact ? "yes" : "NO");
+  std::printf("observability never moves the virtual clock: %s\n",
+              ol_clock_pure ? "yes" : "NO");
   if (!depth1_matches || !monotonic || !doubled || !breakdown_sums || !cached_flush_seen ||
-      !sptf_beats_fcfs) {
+      !sptf_beats_fcfs || !ol_deterministic || !ol_windows || !ol_breach || !leg.recovered ||
+      !leg.merge_exact || !ol_clock_pure) {
     std::fprintf(stderr, "FATAL: queue-depth acceptance gates failed\n");
     return 1;
   }
@@ -271,5 +391,6 @@ int main(int argc, char** argv) {
   bench::Note("hides per-command controller overhead behind media time; SPTF additionally cuts");
   bench::Note("positioning on a deep queue (Section 4.2's 'many entries share one sector').");
   report.MaybeWrite(flags);
+  bench::MaybeWriteTimeline(flags, leg.timeline_json);
   return 0;
 }

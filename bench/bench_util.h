@@ -209,6 +209,39 @@ class MetricsReport {
   std::vector<Row> rows_;
 };
 
+// Path for a bench's timeline artifact, derived from --json=PATH: "X.json" becomes
+// "X.timeline.json" (any other PATH just gains the suffix). Empty when --json was not given,
+// so timeline artifacts always land next to the vlog-bench/1 report.
+inline std::string TimelinePath(const BenchFlags& flags) {
+  if (flags.json_path.empty()) {
+    return "";
+  }
+  std::string path = flags.json_path;
+  const char suffix[] = ".json";
+  const size_t n = sizeof(suffix) - 1;
+  if (path.size() >= n && path.compare(path.size() - n, n, suffix) == 0) {
+    path.resize(path.size() - n);
+  }
+  return path + ".timeline.json";
+}
+
+// Writes a vlog-timeline/1 document next to the --json report; no-op without --json.
+inline void MaybeWriteTimeline(const BenchFlags& flags, const std::string& timeline_json) {
+  const std::string path = TimelinePath(flags);
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(timeline_json.data(), 1, timeline_json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("timeline written to %s\n", path.c_str());
+}
+
 // Prints one aligned percentile table line for a row (values in ms), matching the JSON schema.
 inline void PrintPercentileRow(const std::string& label, double iops,
                                const obs::LatencyHistogram& latency_ns) {

@@ -18,8 +18,10 @@ for preset in "${presets[@]}"; do
 done
 
 # Bench smoke: a short queue-depth sweep whose acceptance gates (depth-1 == sync, monotone
-# IOPS, >= 2x at depth 16, breakdown sums to latency) act as an end-to-end regression check,
-# emitting the unified vlog-bench/1 JSON alongside.
+# IOPS, >= 2x at depth 16, breakdown sums to latency, and the open-loop leg's timeline gates:
+# >= 1 closed window, an SLO breach with recovery, exact window-merge, byte-identical rerun)
+# act as an end-to-end regression check, emitting the unified vlog-bench/1 JSON alongside plus
+# the windowed vlog-timeline/1 artifact (BENCH_queue_depth.timeline.json).
 if [ -x build/bench/bench_queue_depth ]; then
   echo "=== bench smoke: queue_depth ==="
   ./build/bench/bench_queue_depth --smoke --json=BENCH_queue_depth.json

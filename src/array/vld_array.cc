@@ -5,9 +5,20 @@
 #include <cstring>
 
 #include "src/core/map_sector.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 
 namespace vlog::array {
+
+void VldArray::RegisterTimelineProbes(obs::Timeline& timeline) const {
+  timeline.AddGauge("array.queued_requests",
+                    [this] { return static_cast<uint64_t>(queue_.size()); });
+  timeline.AddGauge("array.healthy_members",
+                    [this] { return static_cast<uint64_t>(healthy_members()); });
+  for (uint32_t m = 0; m < member_count(); ++m) {
+    members_[m]->RegisterTimelineProbes(timeline, "m" + std::to_string(m) + ".");
+  }
+}
 
 VldArray::VldArray(std::vector<core::Vld*> members, VldArrayConfig config)
     : members_(std::move(members)), config_(config) {

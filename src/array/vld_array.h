@@ -131,6 +131,11 @@ class VldArray : public simdisk::BlockDevice {
   const obs::LatencyHistogram& latency_hist() const { return latency_hist_; }
   const obs::LatencyHistogram& member_hist(uint32_t i) const { return member_hist_[i]; }
 
+  // Registers array-level gauges plus every member's VLD and disk probes, each member under
+  // prefix "m<i>." — so a two-member array exposes m0.vld.free_blocks, m1.disk.sectors_written,
+  // and so on. Drive the timeline with Poll(array.now()). Pure reads; never advances any clock.
+  void RegisterTimelineProbes(obs::Timeline& timeline) const;
+
  private:
   // One contiguous piece of an array extent on a single member.
   struct Run {

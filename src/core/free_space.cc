@@ -89,6 +89,19 @@ std::optional<uint32_t> FreeSpaceMap::NearestFreeInTrack(uint64_t track, uint32_
   return std::nullopt;
 }
 
+uint64_t FreeSpaceMap::TracksBelowFreeFraction(double frac) const {
+  uint64_t below = 0;
+  for (uint64_t track = 0; track < track_free_.size(); ++track) {
+    if (track_system_[track] != 0) {
+      continue;  // Reserved tracks are never compaction victims.
+    }
+    const double free_fraction =
+        static_cast<double>(track_free_[track]) / static_cast<double>(blocks_per_track_);
+    below += free_fraction < frac ? 1 : 0;
+  }
+  return below;
+}
+
 double FreeSpaceMap::Utilization() const {
   const uint64_t usable = states_.size() - system_blocks_;
   if (usable == 0) {

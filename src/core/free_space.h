@@ -65,6 +65,12 @@ class FreeSpaceMap {
   // Fraction of allocatable (non-system) blocks that are live.
   double Utilization() const;
 
+  // Compaction debt: the number of system-free tracks whose free fraction has fallen below
+  // `frac` — tracks the fill-to-threshold allocator can no longer use without the compactor
+  // first hole-plugging them. Timeline probes sample this per window, so its trajectory shows
+  // whether background compaction keeps pace with foreground traffic. O(tracks).
+  uint64_t TracksBelowFreeFraction(double frac) const;
+
  private:
   uint64_t CylinderOfTrack(uint64_t track) const { return track / tracks_per_cylinder_; }
 

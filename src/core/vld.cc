@@ -5,7 +5,37 @@
 #include <cstring>
 #include <set>
 
+#include "src/obs/timeline.h"
+
 namespace vlog::core {
+
+void Vld::RegisterTimelineProbes(obs::Timeline& timeline, const std::string& prefix) const {
+  // Counters — per-window deltas are host/compactor throughput and log activity.
+  timeline.AddCounter(prefix + "vld.host_writes", [this] { return stats_.host_writes; });
+  timeline.AddCounter(prefix + "vld.host_reads", [this] { return stats_.host_reads; });
+  timeline.AddCounter(prefix + "vld.blocks_written", [this] { return stats_.blocks_written; });
+  timeline.AddCounter(prefix + "vld.relocations", [this] { return stats_.relocations; });
+  timeline.AddCounter(prefix + "vld.group_commits", [this] { return stats_.group_commits; });
+  timeline.AddCounter(prefix + "vld.log_appends", [this] { return vlog_.stats().appends; });
+  timeline.AddCounter(prefix + "vld.compactor_tracks",
+                      [this] { return compactor_->stats().tracks_compacted; });
+  timeline.AddCounter(prefix + "vld.compactor_busy_ns", [this] {
+    return static_cast<uint64_t>(compactor_->stats().busy_time);
+  });
+  // Gauges — instantaneous state at each window close.
+  timeline.AddGauge(prefix + "vld.queue_depth",
+                    [this] { return static_cast<uint64_t>(queue_.size()); });
+  timeline.AddGauge(prefix + "vld.free_blocks", [this] { return space_.free_blocks(); });
+  timeline.AddGauge(prefix + "vld.utilization_ppm", [this] {
+    return static_cast<uint64_t>(space_.Utilization() * 1e6);
+  });
+  timeline.AddGauge(prefix + "vld.empty_tracks", [this] { return space_.EmptyTrackCount(); });
+  // Compaction debt: tracks too full for the fill-to-threshold allocator until hole-plugged.
+  timeline.AddGauge(prefix + "vld.compaction_debt_tracks", [this] {
+    return space_.TracksBelowFreeFraction(config_.track_switch_threshold);
+  });
+  disk_->RegisterTimelineProbes(timeline, prefix);
+}
 
 Vld::Layout Vld::ComputeLayout(const simdisk::DiskGeometry& geometry, const VldConfig& config) {
   Layout layout;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/common/status.h"
@@ -195,6 +196,13 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   const EagerAllocator& allocator() const { return allocator_; }
   const Compactor& compactor() const { return *compactor_; }
   const FreeSpaceMap& space() const { return space_; }
+
+  // Registers this VLD's timeline series under `prefix` — throughput and log/compactor
+  // counters plus queue-depth, free-space, utilization, and compaction-debt gauges — and the
+  // underlying disk's probes under the same prefix. Closures capture `this`; the timeline must
+  // not be polled after the VLD (or its disk) is destroyed. Pure reads: registering and
+  // sampling never advance the virtual clock.
+  void RegisterTimelineProbes(obs::Timeline& timeline, const std::string& prefix) const;
 
  private:
   struct Layout {

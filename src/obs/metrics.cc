@@ -56,7 +56,8 @@ std::string MetricsRegistry::Json() const {
   w.BeginObject();
   for (const auto* entry : SortedByName(gauges_)) {
     w.Key(entry->first);
-    w.UInt(entry->second());
+    const auto pinned = sampled_.find(entry->first);
+    w.UInt(pinned != sampled_.end() ? pinned->second : entry->second());
   }
   w.EndObject();
   w.Key("histograms");

@@ -32,10 +32,25 @@ class MetricsRegistry {
   // Registers a named read-on-demand gauge (replaces any previous gauge of the same name).
   void RegisterGauge(const std::string& name, std::function<uint64_t()> fn) {
     gauges_[name] = std::move(fn);
+    sampled_.erase(name);  // A stale pinned value must not shadow the new source.
   }
 
+  // Evaluates every registered gauge once, now, and pins the sampled values: subsequent Json()
+  // exports render the pinned snapshot instead of re-reading the live closures. This is what
+  // keeps a timeline window sample and the final export coherent — without it, Json() reads
+  // each gauge lazily at export time, after the run has moved on (and a closure with side
+  // effects would fire once per export instead of once per sample).
+  void Sample() {
+    for (const auto& [name, fn] : gauges_) {
+      sampled_[name] = fn();
+    }
+  }
+  // Drops the pinned snapshot; Json() reads the live closures again.
+  void ClearSample() { sampled_.clear(); }
+
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,p90,p99,max}}}
-  // with each section's keys in sorted order.
+  // with each section's keys in sorted order. Gauges render the pinned Sample() values when
+  // one exists, falling back to a live read for gauges registered after the last Sample().
   std::string Json() const;
 
   const std::unordered_map<std::string, uint64_t>& counters() const { return counters_; }
@@ -52,6 +67,7 @@ class MetricsRegistry {
   std::unordered_map<std::string, uint64_t> counters_;
   std::unordered_map<std::string, LatencyHistogram> histograms_;
   std::unordered_map<std::string, std::function<uint64_t()>> gauges_;
+  std::unordered_map<std::string, uint64_t> sampled_;  // Pinned gauge values (see Sample()).
 };
 
 // Renders one histogram summary object: {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,

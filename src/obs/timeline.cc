@@ -1,0 +1,376 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace vlog::obs {
+
+Timeline::Timeline(TimelineConfig config) : config_(config), last_close_(config.start) {}
+
+void Timeline::AddCounter(std::string name, std::function<uint64_t()> source) {
+  counter_names_.push_back(std::move(name));
+  counters_.push_back(Counter{std::move(source), 0});
+  // Baseline the counter at registration so window 0 reports growth since attach, not since
+  // process start (sources are often mid-run cumulative stats).
+  counters_.back().last = counters_.back().source();
+}
+
+void Timeline::AddGauge(std::string name, std::function<uint64_t()> source) {
+  gauge_names_.push_back(std::move(name));
+  gauges_.push_back(std::move(source));
+}
+
+WindowedHistogram& Timeline::AddHistogram(std::string name) {
+  histogram_names_.push_back(std::move(name));
+  histograms_.push_back(std::make_unique<WindowedHistogram>());
+  return *histograms_.back();
+}
+
+void Timeline::AddSlo(const std::string& hist, common::Duration budget,
+                      std::string component_prefix) {
+  SloResult slo;
+  slo.hist = hist;
+  slo.budget = budget;
+  slo.component_prefix = std::move(component_prefix);
+  slos_.push_back(std::move(slo));
+  OpenSpan span;
+  span.component_sums.resize(counters_.size(), 0);
+  open_spans_.push_back(std::move(span));
+}
+
+void Timeline::AddSteadySeries(std::string series) {
+  steady_series_.push_back(std::move(series));
+  steady_history_.emplace_back();
+}
+
+void Timeline::ConfigureSteadyState(uint32_t windows, double tolerance) {
+  steady_k_ = windows == 0 ? 1 : windows;
+  steady_tolerance_ = tolerance;
+}
+
+void Timeline::CloseWindow(common::Time end_time) {
+  TimelineWindow w;
+  w.index = next_index_;
+  w.start = last_close_;
+  w.end = end_time;
+  w.counters.reserve(counters_.size());
+  for (Counter& c : counters_) {
+    const uint64_t now = c.source();
+    w.counters.push_back(now - c.last);
+    c.last = now;
+  }
+  w.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    w.gauges.push_back(g());
+  }
+  w.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    w.histograms.push_back(h->Rotate());
+  }
+  windows_.push_back(std::move(w));
+  ++next_index_;
+  last_close_ = end_time;
+  EvaluateSlos(windows_.back());
+  EvaluateSteadyState();
+}
+
+void Timeline::Poll(common::Time now) {
+  if (finished_) {
+    return;
+  }
+  // Close every window whose nominal boundary has passed. A Poll that crosses several
+  // boundaries samples the sources once per close in immediate succession: the first elapsed
+  // window absorbs the whole delta, later ones report zero (see header: attribution
+  // granularity is one driver batch).
+  while (config_.start + static_cast<common::Duration>(next_index_ + 1) * config_.window <=
+         now) {
+    CloseWindow(config_.start +
+                static_cast<common::Duration>(next_index_ + 1) * config_.window);
+  }
+}
+
+void Timeline::Finish(common::Time now) {
+  if (finished_) {
+    return;
+  }
+  Poll(now);
+  // The trailing partial window: close it if any time passed or any sample landed since the
+  // last boundary, so the merge identity (windows sum to the run-wide totals) always holds.
+  bool tail_samples = false;
+  for (const auto& h : histograms_) {
+    tail_samples |= h->window().Count() > 0;
+  }
+  if (now > last_close_ || tail_samples) {
+    CloseWindow(now > last_close_ ? now : last_close_);
+  }
+  // Close any open violation spans at the final window.
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    if (open_spans_[i].open) {
+      CloseViolation(i, windows_.empty() ? open_spans_[i].start_window : windows_.back().index,
+                     windows_.empty() ? open_spans_[i].start : windows_.back().end);
+    }
+  }
+  finished_ = true;
+}
+
+void Timeline::CloseViolation(size_t i, uint64_t end_window, common::Time end) {
+  OpenSpan& open = open_spans_[i];
+  SloResult& slo = slos_[i];
+  SloViolation v;
+  v.start_window = open.start_window;
+  v.end_window = end_window;
+  v.start = open.start;
+  v.end = end;
+  v.worst_p99 = open.worst_p99;
+  std::string best;
+  uint64_t best_sum = 0;
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    if (counter_names_[c].rfind(slo.component_prefix, 0) != 0) {
+      continue;
+    }
+    const uint64_t sum = open.component_sums[c];
+    const std::string name = counter_names_[c].substr(slo.component_prefix.size());
+    if (best.empty() || sum > best_sum || (sum == best_sum && name < best)) {
+      best = name;
+      best_sum = sum;
+    }
+  }
+  v.dominant = std::move(best);
+  slo.violations.push_back(std::move(v));
+  slo.in_violation = false;
+  open.open = false;
+}
+
+void Timeline::EvaluateSlos(const TimelineWindow& w) {
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    SloResult& slo = slos_[i];
+    OpenSpan& open = open_spans_[i];
+    // Locate the watched histogram (registration order).
+    double p99 = 0;
+    bool empty = true;
+    for (size_t h = 0; h < histogram_names_.size(); ++h) {
+      if (histogram_names_[h] == slo.hist) {
+        p99 = w.histograms[h].Percentile(99);
+        empty = w.histograms[h].Count() == 0;
+        break;
+      }
+    }
+    const bool violating = !empty && p99 > static_cast<double>(slo.budget);
+    if (violating) {
+      if (!open.open) {
+        open.open = true;
+        open.start_window = w.index;
+        open.start = w.start;
+        open.worst_p99 = 0;
+        std::fill(open.component_sums.begin(), open.component_sums.end(), 0);
+        slo.in_violation = true;
+      }
+      open.worst_p99 = std::max(open.worst_p99, p99);
+      for (size_t c = 0; c < counters_.size(); ++c) {
+        if (counter_names_[c].rfind(slo.component_prefix, 0) == 0) {
+          open.component_sums[c] += w.counters[c];
+        }
+      }
+      continue;
+    }
+    if (open.open) {
+      // The breach ended at the previous window; emit the span.
+      CloseViolation(i, w.index - 1, w.start);
+    }
+  }
+}
+
+double Timeline::SteadySample(const std::string& series, const TimelineWindow& w) const {
+  if (series.rfind("p99:", 0) == 0) {
+    const std::string hist = series.substr(4);
+    for (size_t h = 0; h < histogram_names_.size(); ++h) {
+      if (histogram_names_[h] == hist) {
+        return w.histograms[h].Percentile(99);
+      }
+    }
+    return 0;
+  }
+  for (size_t g = 0; g < gauge_names_.size(); ++g) {
+    if (gauge_names_[g] == series) {
+      return static_cast<double>(w.gauges[g]);
+    }
+  }
+  return 0;
+}
+
+bool Timeline::Stationary(const std::vector<double>& history) const {
+  if (history.size() < steady_k_) {
+    return false;
+  }
+  const size_t n = steady_k_;
+  const size_t base = history.size() - n;
+  double mean = 0, lo = history[base], hi = history[base];
+  for (size_t i = 0; i < n; ++i) {
+    const double v = history[base + i];
+    mean += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  mean /= static_cast<double>(n);
+  const double scale = std::max(std::abs(mean), 1.0);
+  // Min-max excursion over the K windows.
+  if ((hi - lo) > steady_tolerance_ * scale) {
+    return false;
+  }
+  if (n < 2) {
+    return true;
+  }
+  // Least-squares slope per window; total drift over the K windows must stay within tolerance.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double y = history[base + i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  const double slope = denom != 0 ? (static_cast<double>(n) * sxy - sx * sy) / denom : 0;
+  return std::abs(slope * static_cast<double>(n - 1)) <= steady_tolerance_ * scale;
+}
+
+void Timeline::EvaluateSteadyState() {
+  if (steady_series_.empty()) {
+    return;
+  }
+  const TimelineWindow& w = windows_.back();
+  for (size_t s = 0; s < steady_series_.size(); ++s) {
+    steady_history_[s].push_back(SteadySample(steady_series_[s], w));
+  }
+  bool steady = true;
+  for (const std::vector<double>& history : steady_history_) {
+    steady &= Stationary(history);
+  }
+  steady_now_ = steady;
+  steady_windows_ = steady ? steady_windows_ + 1 : 0;
+}
+
+bool Timeline::IsSteady() const { return !steady_series_.empty() && steady_now_; }
+
+std::string Timeline::Json() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("vlog-timeline/1");
+  w.Key("window_ns");
+  w.Int(config_.window);
+  w.Key("start_ns");
+  w.Int(config_.start);
+  w.Key("windows");
+  w.BeginArray();
+  for (const TimelineWindow& win : windows_) {
+    w.BeginObject();
+    w.Key("index");
+    w.UInt(win.index);
+    w.Key("start_ns");
+    w.Int(win.start);
+    w.Key("end_ns");
+    w.Int(win.end);
+    w.Key("counters");
+    w.BeginObject();
+    for (size_t c = 0; c < counter_names_.size(); ++c) {
+      w.Key(counter_names_[c]);
+      w.UInt(win.counters[c]);
+    }
+    w.EndObject();
+    w.Key("gauges");
+    w.BeginObject();
+    for (size_t g = 0; g < gauge_names_.size(); ++g) {
+      w.Key(gauge_names_[g]);
+      w.UInt(win.gauges[g]);
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (size_t h = 0; h < histogram_names_.size(); ++h) {
+      w.Key(histogram_names_[h]);
+      WriteHistogramSummary(w, win.histograms[h]);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("slo");
+  w.BeginArray();
+  for (const SloResult& slo : slos_) {
+    w.BeginObject();
+    w.Key("histogram");
+    w.String(slo.hist);
+    w.Key("budget_ns");
+    w.Int(slo.budget);
+    w.Key("violations");
+    w.BeginArray();
+    for (const SloViolation& v : slo.violations) {
+      w.BeginObject();
+      w.Key("start_window");
+      w.UInt(v.start_window);
+      w.Key("end_window");
+      w.UInt(v.end_window);
+      w.Key("start_ns");
+      w.Int(v.start);
+      w.Key("end_ns");
+      w.Int(v.end);
+      w.Key("worst_p99");
+      w.Double(v.worst_p99);
+      w.Key("dominant");
+      w.String(v.dominant);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("steady");
+  w.BeginObject();
+  w.Key("k");
+  w.UInt(steady_k_);
+  w.Key("tolerance");
+  w.Double(steady_tolerance_);
+  w.Key("series");
+  w.BeginArray();
+  for (const std::string& s : steady_series_) {
+    w.String(s);
+  }
+  w.EndArray();
+  w.Key("steady");
+  w.Bool(IsSteady());
+  w.Key("consecutive_windows");
+  w.UInt(steady_windows_);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void RegisterBreakdownCounters(Timeline& timeline, const TraceRecorder& tracer,
+                               const std::string& prefix) {
+  const TimeBreakdown* totals = &tracer.totals();
+  timeline.AddCounter(prefix + "host_cpu",
+                      [totals] { return static_cast<uint64_t>(totals->host_cpu); });
+  timeline.AddCounter(prefix + "controller",
+                      [totals] { return static_cast<uint64_t>(totals->controller); });
+  timeline.AddCounter(prefix + "seek", [totals] { return static_cast<uint64_t>(totals->seek); });
+  timeline.AddCounter(prefix + "head_switch",
+                      [totals] { return static_cast<uint64_t>(totals->head_switch); });
+  timeline.AddCounter(prefix + "rotation",
+                      [totals] { return static_cast<uint64_t>(totals->rotation); });
+  timeline.AddCounter(prefix + "transfer",
+                      [totals] { return static_cast<uint64_t>(totals->transfer); });
+  timeline.AddCounter(prefix + "flush",
+                      [totals] { return static_cast<uint64_t>(totals->flush); });
+  timeline.AddCounter(prefix + "queueing",
+                      [totals] { return static_cast<uint64_t>(totals->queueing); });
+}
+
+}  // namespace vlog::obs

@@ -1,0 +1,218 @@
+// Simulated-time timeline engine: windowed metrics, SLO tracking, steady-state detection.
+//
+// The existing observability layer answers "what happened overall" — run-wide histograms,
+// cumulative counters, end-of-run JSON. Sustained-load work (open-loop arrivals, duty-cycled
+// compaction under a latency budget) needs "what happened *when*": saturation knees, the
+// window where compaction interfered with foreground traffic, the long-horizon free-space
+// trajectory. The Timeline provides that as a sequence of fixed-width windows on the virtual
+// clock.
+//
+// Tick semantics. The simulation is polling-driven (a bench loop submits a batch, FlushQueue
+// advances the clock, repeat), so the timeline cannot interrupt mid-batch. Instead the driver
+// calls Poll(now) at its natural batch boundaries; Poll closes every window whose nominal end
+// `start + (k+1)*window` has passed. Window k nominally covers [start + k*W, start + (k+1)*W).
+// Attribution granularity is therefore one driver batch: histogram samples recorded between
+// two Polls belong to the window that was open when they were recorded, and counters are
+// sampled at Poll time (a Poll that crosses several boundaries charges the whole delta to the
+// first elapsed window and zero to the rest). Finish(now) closes the trailing partial window.
+//
+// Determinism rules. The timeline holds no clock and never advances one — Poll/Finish receive
+// the current sim-time as a value, sources are read-only closures over simulation state, and
+// all exported numbers are either exact integers or doubles printed with JsonWriter's fixed
+// "%.3f". Two same-seed runs therefore produce byte-identical TimelineJson() output, the same
+// guarantee the trace layer makes (and the bench smoke gate asserts it by rerunning).
+//
+// Series kinds:
+//   counters    cumulative uint64 sources (stats fields, tracer totals); each window reports
+//               the delta since the previous window close — a rate series.
+//   gauges      point-in-time uint64 sources (queue depth, free blocks, dirty sectors),
+//               sampled at each window close.
+//   histograms  WindowedHistograms the driver records into (latencies); each window keeps the
+//               full bucket vector, so merging every window's histogram reproduces the
+//               run-wide histogram bit for bit (asserted in tests).
+//
+// On top of the windows sit SLO monitors ("p99 of histogram H <= B per window"; consecutive
+// violating windows coalesce into violation spans carrying the dominant latency component
+// during the breach) and a steady-state detector (every registered series trend-stationary
+// over the last K windows — the gate long-horizon sustained-load runs assert).
+#ifndef SRC_OBS_TIMELINE_H_
+#define SRC_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/obs/histogram.h"
+
+namespace vlog::obs {
+
+// Records into both the current window's histogram and the run-wide one. Rotation (by the
+// owning Timeline) takes the window histogram and resets it; the totals are never reset, so
+// total() is exactly the merge of every rotated window plus the still-open one.
+class WindowedHistogram {
+ public:
+  void Record(int64_t value) {
+    window_.Record(value);
+    total_.Record(value);
+  }
+  const LatencyHistogram& window() const { return window_; }
+  const LatencyHistogram& total() const { return total_; }
+
+  // Returns the current window's histogram and starts a fresh one.
+  LatencyHistogram Rotate() {
+    LatencyHistogram out = std::move(window_);
+    window_ = LatencyHistogram();
+    return out;
+  }
+
+ private:
+  LatencyHistogram window_;
+  LatencyHistogram total_;
+};
+
+struct TimelineConfig {
+  common::Duration window = common::Milliseconds(250);  // Nominal window width.
+  common::Time start = 0;  // Window 0 nominally covers [start, start + window).
+};
+
+// One closed window. Values are indexed by series registration order (the Timeline holds the
+// names); `end` is the nominal boundary except for a Finish()-closed partial tail window.
+struct TimelineWindow {
+  uint64_t index = 0;
+  common::Time start = 0;
+  common::Time end = 0;
+  std::vector<uint64_t> counters;  // Delta of each counter source since the previous close.
+  std::vector<uint64_t> gauges;    // Each gauge source sampled at close.
+  std::vector<LatencyHistogram> histograms;  // Each windowed histogram's rotated window.
+};
+
+class Timeline {
+ public:
+  explicit Timeline(TimelineConfig config = {});
+
+  // --- Registration (before the first Poll) ---
+
+  // Cumulative source: each window reports source() - previous close's value.
+  void AddCounter(std::string name, std::function<uint64_t()> source);
+  // Point-in-time source, sampled at each window close.
+  void AddGauge(std::string name, std::function<uint64_t()> source);
+  // A histogram the driver records into; the window's copy rotates out at each close. The
+  // reference stays valid for the Timeline's lifetime.
+  WindowedHistogram& AddHistogram(std::string name);
+
+  // Declares "p99 of histogram `hist` <= budget over each window". Violating windows coalesce
+  // into spans; the span's dominant component is the counter (among those whose name begins
+  // with `component_prefix`) with the largest summed delta over the breach, ties broken by
+  // name. An empty window does not violate.
+  void AddSlo(const std::string& hist, common::Duration budget, std::string component_prefix);
+
+  // Adds a series the steady-state detector watches: a gauge name, or "p99:<histogram name>".
+  void AddSteadySeries(std::string series);
+  // K consecutive windows over which every steady series must be trend-stationary, and the
+  // relative tolerance on both the least-squares drift and the min-max range.
+  void ConfigureSteadyState(uint32_t windows, double tolerance);
+
+  // --- Driving ---
+
+  // Closes every window whose nominal end is <= now. Reads sources; never advances any clock.
+  void Poll(common::Time now);
+  // Closes the in-progress partial window at `now` (no-op if nothing was recorded and no time
+  // has passed since the last boundary). Call once at end of run, before exporting.
+  void Finish(common::Time now);
+
+  // --- Results ---
+
+  const std::vector<TimelineWindow>& windows() const { return windows_; }
+  const std::vector<std::string>& counter_names() const { return counter_names_; }
+  const std::vector<std::string>& gauge_names() const { return gauge_names_; }
+  const std::vector<std::string>& histogram_names() const { return histogram_names_; }
+
+  struct SloViolation {
+    uint64_t start_window = 0;  // First violating window index (inclusive).
+    uint64_t end_window = 0;    // Last violating window index (inclusive).
+    common::Time start = 0;     // start_window's start.
+    common::Time end = 0;       // end_window's end.
+    double worst_p99 = 0;       // Max window p99 over the span (ns).
+    std::string dominant;       // Component with the largest summed delta over the breach.
+  };
+  struct SloResult {
+    std::string hist;
+    common::Duration budget = 0;
+    std::string component_prefix;
+    std::vector<SloViolation> violations;  // Closed spans, in time order.
+    bool in_violation = false;             // An open span exists (close it via Finish()).
+  };
+  const std::vector<SloResult>& slos() const { return slos_; }
+
+  // True when every steady series was trend-stationary over the last K closed windows (false
+  // until K windows exist or when no series is registered).
+  bool IsSteady() const;
+  // Number of consecutive closed windows (ending at the newest) whose close left IsSteady()
+  // true; 0 when the run never settled.
+  uint64_t steady_windows() const { return steady_windows_; }
+
+  // {"schema":"vlog-timeline/1",...} — windows in order, series in registration order,
+  // violation spans and the steady-state verdict included. Byte-identical across same-seed
+  // runs.
+  std::string Json() const;
+
+ private:
+  struct Counter {
+    std::function<uint64_t()> source;
+    uint64_t last = 0;  // Value at the previous window close.
+  };
+  void CloseWindow(common::Time end_time);
+  void EvaluateSlos(const TimelineWindow& w);
+  // Emits the open span of slo `i` as a violation ending at window `end_window`/time `end`.
+  void CloseViolation(size_t i, uint64_t end_window, common::Time end);
+  void EvaluateSteadyState();
+  double SteadySample(const std::string& series, const TimelineWindow& w) const;
+  // True when the last K samples of `history` are trend-stationary within tolerance.
+  bool Stationary(const std::vector<double>& history) const;
+
+  TimelineConfig config_;
+  uint64_t next_index_ = 0;         // Next window to close.
+  common::Time last_close_ = 0;     // Time the previous window closed (== its `end`).
+  std::vector<std::string> counter_names_;
+  std::vector<Counter> counters_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::function<uint64_t()>> gauges_;
+  std::vector<std::string> histogram_names_;
+  // Deque-like stability: histograms are appended once at registration and referenced by the
+  // driver, so they live behind unique ownership.
+  std::vector<std::unique_ptr<WindowedHistogram>> histograms_;
+  std::vector<TimelineWindow> windows_;
+  std::vector<SloResult> slos_;
+  // Per-SLO open-span accumulator state (parallel to slos_).
+  struct OpenSpan {
+    bool open = false;
+    uint64_t start_window = 0;
+    common::Time start = 0;
+    double worst_p99 = 0;
+    std::vector<uint64_t> component_sums;  // Parallel to counters_ (non-prefix entries stay 0).
+  };
+  std::vector<OpenSpan> open_spans_;
+  std::vector<std::string> steady_series_;
+  std::vector<std::vector<double>> steady_history_;  // Parallel to steady_series_.
+  uint32_t steady_k_ = 8;
+  double steady_tolerance_ = 0.05;
+  bool steady_now_ = false;
+  uint64_t steady_windows_ = 0;
+  bool finished_ = false;
+};
+
+class TraceRecorder;
+
+// Registers one counter per latency component of `tracer`'s running span totals, named
+// `prefix` + component ("queueing", "seek", "rotation", "transfer", "flush", "controller",
+// "head_switch", "host_cpu"). Pointing an SLO's component_prefix at `prefix` makes breach
+// spans report which component dominated. The tracer must outlive the timeline's last Poll.
+void RegisterBreakdownCounters(Timeline& timeline, const TraceRecorder& tracer,
+                               const std::string& prefix);
+
+}  // namespace vlog::obs
+
+#endif  // SRC_OBS_TIMELINE_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/rng.h"
+#include "src/obs/timeline.h"
 
 namespace vlog::simdisk {
 
@@ -16,6 +17,30 @@ SimDisk::SimDisk(DiskParams params, common::Clock* clock)
 SimDisk::SimDisk(DiskParams params, common::Clock* clock, std::vector<std::byte> media)
     : params_(std::move(params)), clock_(clock), media_(std::move(media)), cache_(params_.cache) {
   media_.resize(params_.geometry.CapacityBytes());
+}
+
+void SimDisk::RegisterTimelineProbes(obs::Timeline& timeline, const std::string& prefix) const {
+  // Counters: per-window deltas give sector throughput; busy-time deltas divided by the window
+  // width give mechanical (media) and controller (bus) utilization.
+  timeline.AddCounter(prefix + "disk.sectors_read", [this] { return stats_.sectors_read; });
+  timeline.AddCounter(prefix + "disk.sectors_written", [this] { return stats_.sectors_written; });
+  timeline.AddCounter(prefix + "disk.mech_busy_ns", [this] {
+    const LatencyBreakdown& b = stats_.breakdown;
+    return static_cast<uint64_t>(b.locate + b.transfer + b.flush);
+  });
+  timeline.AddCounter(prefix + "disk.ctrl_busy_ns", [this] {
+    return static_cast<uint64_t>(stats_.breakdown.scsi_overhead);
+  });
+  // Gauges: instantaneous write-cache pressure at each window close.
+  timeline.AddGauge(prefix + "disk.cache_dirty_sectors",
+                    [this] { return cache_.dirty_sectors(); });
+  timeline.AddGauge(prefix + "disk.cache_dirty_ppm", [this]() -> uint64_t {
+    const uint64_t capacity = params_.cache.capacity_sectors;
+    if (capacity == 0) {
+      return 0;
+    }
+    return cache_.dirty_sectors() * 1000000 / capacity;
+  });
 }
 
 common::Status SimDisk::CheckRange(Lba lba, size_t bytes, const char* op) const {

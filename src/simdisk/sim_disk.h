@@ -16,6 +16,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/common/status.h"
@@ -25,6 +26,10 @@
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/latency.h"
 #include "src/simdisk/track_buffer.h"
+
+namespace vlog::obs {
+class Timeline;
+}  // namespace vlog::obs
 
 namespace vlog::simdisk {
 
@@ -127,6 +132,12 @@ class SimDisk : public BlockDevice {
   // simulated time.
   void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
   obs::TraceRecorder* tracer() const { return tracer_; }
+
+  // Registers this disk's timeline series under `prefix`: sector-count and busy-time counters
+  // (whose per-window deltas give throughput and disk/bus utilization) and write-cache dirty
+  // gauges. The closures capture `this`, so the timeline must not be polled after the disk is
+  // destroyed. Pure reads — sampling never advances the clock.
+  void RegisterTimelineProbes(obs::Timeline& timeline, const std::string& prefix) const;
 
   // --- Failure injection for crash-recovery tests ---
 

@@ -48,7 +48,9 @@ void Summarize(std::vector<common::Duration> latencies, common::Duration elapsed
 template <typename Device, typename NowFn>
 common::StatusOr<ArraySweepResult> RunUpdates(Device& dev, NowFn now, uint32_t depth,
                                               int updates, int warmup, uint64_t seed,
-                                              uint32_t region_blocks) {
+                                              uint32_t region_blocks,
+                                              obs::Timeline* timeline = nullptr,
+                                              obs::WindowedHistogram* window_latency = nullptr) {
   if (depth == 0 || depth > dev.queue_depth()) {
     return common::InvalidArgument("array sweep: depth out of range");
   }
@@ -73,7 +75,13 @@ common::StatusOr<ArraySweepResult> RunUpdates(Device& dev, NowFn now, uint32_t d
     if (latencies != nullptr) {
       for (const auto& c : done.value()) {
         latencies->push_back(c.Latency());
+        if (window_latency != nullptr) {
+          window_latency->Record(c.Latency());
+        }
       }
+    }
+    if (timeline != nullptr) {
+      timeline->Poll(now());
     }
     return common::OkStatus();
   };
@@ -104,9 +112,12 @@ common::StatusOr<ArraySweepResult> RunUpdates(Device& dev, NowFn now, uint32_t d
 
 common::StatusOr<ArraySweepResult> RunArrayRandomUpdates(array::VldArray& array, uint32_t depth,
                                                          int updates, int warmup, uint64_t seed,
-                                                         uint32_t region_blocks) {
+                                                         uint32_t region_blocks,
+                                                         obs::Timeline* timeline,
+                                                         obs::WindowedHistogram* latency) {
   return RunUpdates(
-      array, [&] { return array.now(); }, depth, updates, warmup, seed, region_blocks);
+      array, [&] { return array.now(); }, depth, updates, warmup, seed, region_blocks, timeline,
+      latency);
 }
 
 common::StatusOr<ArraySweepResult> RunArrayRandomUpdates(core::Vld& vld, uint32_t depth,

@@ -21,6 +21,7 @@
 #include "src/common/time.h"
 #include "src/core/vld.h"
 #include "src/obs/histogram.h"
+#include "src/obs/timeline.h"
 
 namespace vlog::workload {
 
@@ -38,11 +39,16 @@ struct ArraySweepResult {
 // Runs `warmup` unmeasured then `updates` measured random one-block updates over the first
 // `region_blocks` array blocks (0 = the first half of the device), `depth` streams
 // closed-loop. Payload bytes follow the deterministic pattern (block * 131 + offset * 7) so
-// reads can verify content later. The device must be freshly formatted.
+// reads can verify content later. The device must be freshly formatted. When `timeline` is
+// non-null it is Poll()ed with the array barrier time at every batch boundary (warmup
+// included); when `latency` is non-null every measured completion's latency is recorded there
+// too, so a timeline window histogram tracks the same series the result histogram summarizes.
 common::StatusOr<ArraySweepResult> RunArrayRandomUpdates(array::VldArray& array, uint32_t depth,
                                                          int updates, int warmup,
                                                          uint64_t seed = 2,
-                                                         uint32_t region_blocks = 0);
+                                                         uint32_t region_blocks = 0,
+                                                         obs::Timeline* timeline = nullptr,
+                                                         obs::WindowedHistogram* latency = nullptr);
 
 // The bare-member baseline: the identical stream/region/seed sequence through a single Vld's
 // queue. Pass the array run's region so the request sequences match block for block.

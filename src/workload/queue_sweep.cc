@@ -288,4 +288,124 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
   return result;
 }
 
+common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
+                                                    const OpenLoopOptions& options,
+                                                    obs::Timeline* timeline,
+                                                    obs::WindowedHistogram* latency) {
+  if (options.rate_ops_per_s <= 0) {
+    return common::InvalidArgument("open loop: rate must be positive");
+  }
+  if (options.arrivals <= 0) {
+    return common::InvalidArgument("open loop: arrivals must be positive");
+  }
+  const uint32_t batch_limit =
+      options.max_batch == 0 ? vld.queue_depth()
+                             : std::min(options.max_batch, vld.queue_depth());
+  const uint32_t block_sectors = kUpdateBytes / vld.SectorBytes();
+  const uint32_t blocks = vld.logical_blocks() / 2;
+  common::Clock* clock = vld.disk().clock();
+  const common::Time run_start = clock->Now();
+
+  // The arrival process is generated up front, sequentially, so the schedule depends only on
+  // the seed and the options — never on how the device keeps up. Exponential interarrivals at
+  // the rate in force at the previous arrival's timestamp (base, or burst inside the burst
+  // interval).
+  common::Rng rng(options.seed);
+  std::vector<common::Time> arrival_times;
+  arrival_times.reserve(static_cast<size_t>(options.arrivals));
+  common::Time t = run_start;
+  const common::Time burst_lo = run_start + options.burst_start;
+  const common::Time burst_hi = burst_lo + options.burst_duration;
+  for (int i = 0; i < options.arrivals; ++i) {
+    const bool in_burst =
+        options.burst_rate_ops_per_s > 0 && t >= burst_lo && t < burst_hi;
+    const double rate = in_burst ? options.burst_rate_ops_per_s : options.rate_ops_per_s;
+    const double u = rng.NextDouble();
+    const double gap_ns = -std::log1p(-u) * 1e9 / rate;
+    t += static_cast<common::Duration>(gap_ns) + 1;  // Strictly increasing arrival times.
+    arrival_times.push_back(t);
+  }
+
+  std::vector<std::byte> payload(kUpdateBytes);
+  OpenLoopResult result;
+  obs::TraceRecorder* tracer = vld.disk().tracer();
+  const obs::TimeBreakdown totals_before =
+      tracer != nullptr ? tracer->totals() : obs::TimeBreakdown{};
+
+  // Completion id -> arrival time of the oldest-submitted requests (at most queue_depth).
+  std::vector<std::pair<uint64_t, common::Time>> inflight;
+  inflight.reserve(batch_limit);
+  size_t next_arrival = 0;   // First arrival not yet ingested into the backlog.
+  size_t next_submit = 0;    // First arrival not yet submitted to the device.
+  uint64_t completed = 0;
+  while (completed < static_cast<uint64_t>(options.arrivals)) {
+    const common::Time now = clock->Now();
+    // Ingest every arrival whose timestamp has passed (they queue in the backlog).
+    while (next_arrival < arrival_times.size() && arrival_times[next_arrival] <= now) {
+      ++next_arrival;
+    }
+    result.max_backlog = std::max(result.max_backlog,
+                                  static_cast<uint64_t>(next_arrival - next_submit));
+    if (next_submit == next_arrival) {
+      // Device idle and nothing has arrived: jump to the next arrival. Open loop means the
+      // clock advances with the arrival process, not with the device.
+      clock->AdvanceTo(arrival_times[next_arrival]);
+      if (timeline != nullptr) {
+        timeline->Poll(clock->Now());
+      }
+      continue;
+    }
+    // Submit up to one device batch from the backlog (oldest first), then group-service it.
+    const size_t n =
+        std::min<size_t>(batch_limit, next_arrival - next_submit);
+    for (size_t i = 0; i < n; ++i) {
+      const common::Time arrival = arrival_times[next_submit];
+      const uint32_t block = static_cast<uint32_t>(rng.Below(blocks));
+      const simdisk::Lba lba = static_cast<simdisk::Lba>(block) * block_sectors;
+      uint64_t id = 0;
+      if (rng.Chance(options.read_fraction)) {
+        ASSIGN_OR_RETURN(id, vld.SubmitRead(lba, block_sectors));
+      } else {
+        FillAffinePayload(payload, block * 131u);
+        ASSIGN_OR_RETURN(id, vld.SubmitWrite(lba, payload));
+      }
+      inflight.emplace_back(id, arrival);
+      ++next_submit;
+    }
+    ASSIGN_OR_RETURN(std::vector<core::Vld::QueuedCompletion> done, vld.FlushQueue());
+    for (const core::Vld::QueuedCompletion& c : done) {
+      const auto it = std::find_if(inflight.begin(), inflight.end(),
+                                   [&](const auto& e) { return e.first == c.id; });
+      if (it == inflight.end()) {
+        return common::FailedPrecondition("open loop: unknown completion id");
+      }
+      const common::Duration lat = c.complete_time - it->second;
+      *it = inflight.back();
+      inflight.pop_back();
+      result.latency_hist.Record(lat);
+      if (latency != nullptr) {
+        latency->Record(lat);
+      }
+      ++completed;
+    }
+    if (timeline != nullptr) {
+      timeline->Poll(clock->Now());
+    }
+  }
+
+  result.ops = completed;
+  result.makespan = clock->Now() - run_start;
+  const common::Duration arrival_span = arrival_times.back() - run_start;
+  result.offered_rate = arrival_span > 0 ? static_cast<double>(options.arrivals) /
+                                               common::ToSeconds(arrival_span)
+                                         : 0;
+  result.achieved_iops = result.makespan > 0 ? static_cast<double>(completed) /
+                                                   common::ToSeconds(result.makespan)
+                                             : 0;
+  if (tracer != nullptr) {
+    result.breakdown = tracer->totals() - totals_before;
+  }
+  return result;
+}
+
 }  // namespace vlog::workload

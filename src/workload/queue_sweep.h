@@ -17,6 +17,7 @@
 #include "src/common/time.h"
 #include "src/core/vld.h"
 #include "src/obs/histogram.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 
 namespace vlog::workload {
@@ -107,6 +108,53 @@ struct MixedStreamOptions {
 // the measured window. The Vld must be freshly formatted with queue_depth >= streams.
 common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
                                                     const MixedStreamOptions& options);
+
+// --- Open-loop Poisson arrival driver ---
+//
+// Unlike the closed-loop drivers above (where the submission rate adapts to the device —
+// saturation shows up as flat throughput, never as unbounded queues), arrivals here are an
+// exogenous Poisson process: requests arrive whether or not earlier ones completed, queue in
+// an unbounded arrival backlog in front of the device queue, and latency is measured
+// arrival -> completion, so time spent waiting in the backlog counts. Offered load above the
+// service capacity therefore produces the classic open-loop signature — latency grows with
+// the backlog until the offered rate drops back below capacity — which is exactly the SLO
+// breach-and-recovery shape the timeline leg of bench_queue_depth asserts.
+
+struct OpenLoopOptions {
+  double rate_ops_per_s = 2000;      // Base Poisson arrival rate.
+  // Arrivals inside [burst_start, burst_start + burst_duration) (relative to run start) use
+  // this rate instead — set above the device's service capacity to force an SLO breach that
+  // recovers once the burst ends. 0 disables the burst.
+  double burst_rate_ops_per_s = 0;
+  common::Duration burst_start = 0;
+  common::Duration burst_duration = 0;
+  int arrivals = 2000;        // Total arrivals; the run ends when all have completed.
+  double read_fraction = 0;   // P(an arrival is a 4 KB read) — writes otherwise.
+  uint64_t seed = 2;
+  // Max requests submitted per FlushQueue batch (clamped to the device queue depth; 0 = use
+  // the device queue depth). Smaller batches poll the timeline more often.
+  uint32_t max_batch = 0;
+};
+
+struct OpenLoopResult {
+  uint64_t ops = 0;
+  double offered_rate = 0;   // Arrivals per second of arrival-process span.
+  double achieved_iops = 0;  // Completions per second of makespan.
+  common::Duration makespan = 0;
+  uint64_t max_backlog = 0;  // Peak arrival-backlog depth (arrived, not yet submitted).
+  obs::LatencyHistogram latency_hist;  // Arrival -> completion (includes backlog wait).
+  obs::TimeBreakdown breakdown;        // Tracer totals over the run (zero untraced).
+};
+
+// Runs `arrivals` open-loop 4 KB random ops over the first half of the logical space. When
+// `timeline` is non-null it is Poll()ed at every batch boundary and idle jump (the driver
+// never calls Finish — the caller owns export). When `latency` is non-null every completion's
+// arrival->completion latency is recorded there as well as in the result histogram, so a
+// timeline window histogram can track the same series. The Vld must be freshly formatted.
+common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
+                                                    const OpenLoopOptions& options,
+                                                    obs::Timeline* timeline = nullptr,
+                                                    obs::WindowedHistogram* latency = nullptr);
 
 }  // namespace vlog::workload
 

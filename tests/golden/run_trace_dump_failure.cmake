@@ -1,0 +1,17 @@
+# Failure-path check for trace_dump's flag parsing: an unknown flag or a malformed numeric
+# value must exit nonzero (with a usage message), never silently run a degenerate workload.
+#
+# Invoked by ctest as:
+#   cmake -DTOOL=<trace_dump> -DFLAGS="--rounds=abc" -P this_file
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+execute_process(
+  COMMAND ${TOOL} ${flag_list}
+  OUTPUT_QUIET
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "trace_dump ${FLAGS} exited 0; malformed flags must fail")
+endif()
+if(NOT err MATCHES "usage|trace_dump")
+  message(FATAL_ERROR "trace_dump ${FLAGS} failed without a usage/diagnostic message: ${err}")
+endif()

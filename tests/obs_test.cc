@@ -112,6 +112,23 @@ TEST(TraceRecorderTest, PublishToRegistryExportsHistograms) {
   EXPECT_NE(json.find("\"req.completed\":1"), std::string::npos) << json;
 }
 
+// --- MetricsRegistry gauge sampling -------------------------------------------------------
+
+TEST(MetricsRegistryTest, SamplePinsGaugeValuesUntilCleared) {
+  obs::MetricsRegistry registry;
+  uint64_t live = 10;
+  registry.RegisterGauge("depth", [&] { return live; });
+  registry.Sample();  // Pins 10.
+  live = 99;
+  EXPECT_NE(registry.Json().find("\"depth\":10"), std::string::npos) << registry.Json();
+  registry.ClearSample();  // Back to reading the live closure.
+  EXPECT_NE(registry.Json().find("\"depth\":99"), std::string::npos) << registry.Json();
+  // Re-registering a gauge drops its stale pin: the new source must win immediately.
+  registry.Sample();
+  registry.RegisterGauge("depth", [] { return uint64_t{7}; });
+  EXPECT_NE(registry.Json().find("\"depth\":7"), std::string::npos) << registry.Json();
+}
+
 // --- Cross-layer propagation through the queued VLD engine --------------------------------
 
 struct QueuedRun {

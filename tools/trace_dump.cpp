@@ -5,6 +5,10 @@
 //   trace_dump --span=N        event-by-event tree for span N (its full journey down the stack)
 //   trace_dump --events        the chronological event log (all spans interleaved)
 //   trace_dump --json          the raw vlog-trace/1 JSON (byte-identical across runs)
+//   trace_dump --timeline      windowed metrics over the run: per-window table plus one ASCII
+//                              sparkline per series (counters, gauges, per-window p99); with
+//                              --json, the machine-readable vlog-timeline/1 document instead
+//   --window=MS                timeline window width in ms (default 25)
 //   --depth=D --rounds=R       workload shape (defaults: depth 4, 8 rounds)
 //   --cache=N                  volatile write-back cache of N sectors (default 0 = off); the
 //                              VLD's barriers then destage it, so flush/destage events appear
@@ -21,6 +25,7 @@
 //
 // The workload is deterministic (fixed seed on the virtual clock), so every mode's output is
 // stable run to run — the same property the trace determinism test asserts.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +37,7 @@
 #include "src/array/vld_array.h"
 #include "src/common/rng.h"
 #include "src/core/vld.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/sim_disk.h"
@@ -65,46 +71,175 @@ struct Stack {
   std::unique_ptr<core::Vld> vld;
 };
 
+// Strict numeric flag parsing: the whole value must be a number. atoi/atof silently turned
+// "--rounds=abc" into 0, which then ran a degenerate workload and exited 0 — a malformed flag
+// must instead reach the usage path and exit nonzero.
+bool ParseU64(const char* s, uint64_t* out) {
+  if (*s == '\0' || *s == '-' || *s == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (*s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
+               "[--array=N] [--disk=D] [--window=MS] [--span=N|--events|--json|--timeline]\n");
+  return 2;
+}
+
+// One sparkline glyph per window, normalized to the series max (blank when the max is 0).
+std::string Spark(const std::vector<uint64_t>& values) {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  uint64_t max = 0;
+  for (const uint64_t v : values) {
+    max = std::max(max, v);
+  }
+  std::string out;
+  out.reserve(values.size());
+  for (const uint64_t v : values) {
+    out.push_back(max == 0 ? ' ' : kLevels[v * 9 / max]);
+  }
+  return out;
+}
+
+void PrintTimeline(const obs::Timeline& timeline) {
+  const std::vector<obs::TimelineWindow>& windows = timeline.windows();
+  std::printf("timeline: %zu windows\n", windows.size());
+  std::printf("%4s %10s %10s %6s %10s %10s %10s\n", "win", "start ms", "end ms", "ops",
+              "p50 ms", "p99 ms", "max ms");
+  for (const obs::TimelineWindow& w : windows) {
+    const obs::LatencyHistogram& h = w.histograms[0];
+    std::printf("%4llu %10.3f %10.3f %6llu %10.3f %10.3f %10.3f\n",
+                static_cast<unsigned long long>(w.index), Ms(w.start), Ms(w.end),
+                static_cast<unsigned long long>(h.Count()), h.Percentile(50) / 1e6,
+                h.Percentile(99) / 1e6, static_cast<double>(h.Max()) / 1e6);
+  }
+  std::printf("\nseries sparklines (normalized per series; max on the right):\n");
+  const auto series_line = [&](const std::string& name, const std::vector<uint64_t>& vals) {
+    uint64_t max = 0;
+    for (const uint64_t v : vals) {
+      max = std::max(max, v);
+    }
+    std::printf("  %-28s |%s| max=%llu\n", name.c_str(), Spark(vals).c_str(),
+                static_cast<unsigned long long>(max));
+  };
+  std::vector<uint64_t> vals(windows.size());
+  for (size_t h = 0; h < timeline.histogram_names().size(); ++h) {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      vals[i] = static_cast<uint64_t>(windows[i].histograms[h].Percentile(99));
+    }
+    series_line("p99:" + timeline.histogram_names()[h], vals);
+  }
+  for (size_t c = 0; c < timeline.counter_names().size(); ++c) {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      vals[i] = windows[i].counters[c];
+    }
+    series_line(timeline.counter_names()[c], vals);
+  }
+  for (size_t g = 0; g < timeline.gauge_names().size(); ++g) {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      vals[i] = windows[i].gauges[g];
+    }
+    series_line(timeline.gauge_names()[g], vals);
+  }
+  for (const obs::Timeline::SloResult& slo : timeline.slos()) {
+    std::printf("\nslo: p99(%s) <= %.3f ms per window: %zu violation span(s)\n",
+                slo.hist.c_str(), Ms(slo.budget), slo.violations.size());
+    for (const obs::Timeline::SloViolation& v : slo.violations) {
+      std::printf("  windows %llu..%llu (%.3f..%.3f ms): worst p99 %.3f ms, dominant %s\n",
+                  static_cast<unsigned long long>(v.start_window),
+                  static_cast<unsigned long long>(v.end_window), Ms(v.start), Ms(v.end),
+                  v.worst_p99 / 1e6, v.dominant.c_str());
+    }
+  }
+  std::printf("steady state: %s (%llu consecutive steady window(s))\n",
+              timeline.IsSteady() ? "yes" : "no",
+              static_cast<unsigned long long>(timeline.steady_windows()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint32_t depth = 4;
-  int rounds = 8;
+  uint64_t depth = 4;
+  uint64_t rounds = 8;
   uint64_t cache_sectors = 0;
   double read_fraction = 0.0;
-  uint32_t array_members = 0;  // 0 = bare VLD (no array layer).
+  uint64_t array_members = 0;  // 0 = bare VLD (no array layer).
   int show_disk = -1;          // -1 = every member.
+  uint64_t window_ms = 25;
   uint64_t show_span = 0;
   bool show_events = false;
   bool show_json = false;
+  bool show_timeline = false;
   for (int i = 1; i < argc; ++i) {
+    uint64_t disk_value = 0;
     if (std::strncmp(argv[i], "--depth=", 8) == 0) {
-      depth = static_cast<uint32_t>(std::atoi(argv[i] + 8));
+      if (!ParseU64(argv[i] + 8, &depth)) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
-      rounds = std::atoi(argv[i] + 9);
+      if (!ParseU64(argv[i] + 9, &rounds)) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
-      cache_sectors = static_cast<uint64_t>(std::atoll(argv[i] + 8));
+      if (!ParseU64(argv[i] + 8, &cache_sectors)) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--reads=", 8) == 0) {
-      read_fraction = std::atof(argv[i] + 8);
+      if (!ParseDouble(argv[i] + 8, &read_fraction)) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--array=", 8) == 0) {
-      array_members = static_cast<uint32_t>(std::atoi(argv[i] + 8));
+      if (!ParseU64(argv[i] + 8, &array_members)) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--disk=", 7) == 0) {
-      show_disk = std::atoi(argv[i] + 7);
+      if (!ParseU64(argv[i] + 7, &disk_value) || disk_value > 7) {
+        return Usage();
+      }
+      show_disk = static_cast<int>(disk_value);
+    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      if (!ParseU64(argv[i] + 9, &window_ms) || window_ms == 0) {
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--span=", 7) == 0) {
-      show_span = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+      if (!ParseU64(argv[i] + 7, &show_span) || show_span == 0) {
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--events") == 0) {
       show_events = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       show_json = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      show_timeline = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
-                   "[--array=N] [--disk=D] [--span=N|--events|--json]\n");
-      return 2;
+      return Usage();
     }
   }
-  const uint32_t members = array_members == 0 ? 1 : array_members;
-  if (depth == 0 || depth > 32 || rounds <= 0 || read_fraction < 0 || read_fraction > 1 ||
+  const uint32_t members = static_cast<uint32_t>(array_members == 0 ? 1 : array_members);
+  if (depth == 0 || depth > 32 || rounds == 0 || read_fraction < 0 || read_fraction > 1 ||
       members > 8) {
     std::fprintf(stderr,
                  "trace_dump: depth must be 1..32, rounds > 0, reads in [0, 1], array 1..8\n");
@@ -171,7 +306,36 @@ int main(int argc, char** argv) {
       s->disk->set_tracer(s->tracer.get());
     }
   }
-  for (int round = 0; round < rounds; ++round) {
+  // The timeline attaches after setup so window 0 starts at the workload, not at Format:
+  // the completion-latency histogram the driver records into, per-member breakdown counters
+  // from each recorder, every layer's probes, a default per-window p99 SLO, and a short
+  // steady-state watch on the latency series.
+  std::unique_ptr<obs::Timeline> timeline;
+  obs::WindowedHistogram* timeline_latency = nullptr;
+  const auto device_now = [&] {
+    return array != nullptr ? array->now() : stacks[0]->clock.Now();
+  };
+  if (show_timeline) {
+    timeline = std::make_unique<obs::Timeline>(obs::TimelineConfig{
+        .window = common::Milliseconds(static_cast<common::Duration>(window_ms)),
+        .start = device_now()});
+    timeline_latency = &timeline->AddHistogram("latency");
+    if (array != nullptr) {
+      for (uint32_t m = 0; m < members; ++m) {
+        obs::RegisterBreakdownCounters(*timeline, *stacks[m]->tracer,
+                                       "m" + std::to_string(m) + ".breakdown.");
+      }
+      array->RegisterTimelineProbes(*timeline);
+      timeline->AddSlo("latency", common::Milliseconds(25), "m0.breakdown.");
+    } else {
+      obs::RegisterBreakdownCounters(*timeline, *stacks[0]->tracer, "breakdown.");
+      stacks[0]->vld->RegisterTimelineProbes(*timeline, "");
+      timeline->AddSlo("latency", common::Milliseconds(25), "breakdown.");
+    }
+    timeline->AddSteadySeries("p99:latency");
+    timeline->ConfigureSteadyState(4, 0.2);
+  }
+  for (uint64_t round = 0; round < rounds; ++round) {
     simdisk::Lba raw_lba = 0;
     bool have_write = false;
     for (uint32_t i = 0; i < depth; ++i) {
@@ -192,9 +356,31 @@ int main(int argc, char** argv) {
         }
       }
     }
-    Fatal(array != nullptr ? array->FlushQueue().status()
-                           : stacks[0]->vld->FlushQueue().status(),
-          "flush");
+    const auto flush = [&](auto& dev) {
+      auto done = dev.FlushQueue();
+      Fatal(done.status(), "flush");
+      if (timeline != nullptr) {
+        for (const auto& c : done.value()) {
+          timeline_latency->Record(c.Latency());
+        }
+        timeline->Poll(device_now());
+      }
+    };
+    if (array != nullptr) {
+      flush(*array);
+    } else {
+      flush(*stacks[0]->vld);
+    }
+  }
+
+  if (timeline != nullptr) {
+    timeline->Finish(device_now());
+    if (show_json) {
+      std::printf("%s\n", timeline->Json().c_str());
+    } else {
+      PrintTimeline(*timeline);
+    }
+    return 0;
   }
 
   // The members whose recorders the chosen output mode renders (--disk narrows to one).
@@ -275,8 +461,9 @@ int main(int argc, char** argv) {
     total_spans += stacks[m]->tracer->spans().size();
     total_events += stacks[m]->tracer->event_count();
   }
-  std::printf("%u-deep queued %s writes, %d rounds: %zu spans, %zu events\n", depth,
-              array != nullptr ? "array" : "VLD", rounds, total_spans, total_events);
+  std::printf("%llu-deep queued %s writes, %llu rounds: %zu spans, %zu events\n",
+              static_cast<unsigned long long>(depth), array != nullptr ? "array" : "VLD",
+              static_cast<unsigned long long>(rounds), total_spans, total_events);
   std::printf("%6s %4s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "disk", "layer",
               "submit ms", "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
   for (uint32_t m : shown) {
