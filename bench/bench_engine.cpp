@@ -1,8 +1,8 @@
 // Engine wall-clock throughput: how many *simulated* operations (or crash points) the
 // simulator retires per wall-second. Every other bench in this directory measures the
 // modeled disk; this one measures us — the cost of running a sweep, a saturation curve, or a
-// million-op trace on a developer machine or a CI runner. Three legs cover the three hot
-// paths the engine spends its life in:
+// million-op trace on a developer machine or a CI runner. Four legs cover the hot paths
+// the engine spends its life in:
 //
 //   queue:  deep-queue mixed read/write on a bare VLD with a TraceRecorder attached — the
 //           virtual-log append path (map index, packed commits), the SPTF picker, and the
@@ -13,7 +13,10 @@
 //           reconstruction plus full scan recovery, the inner loop of every crashsim ctest.
 //           Run once serial (workers=1) and once with the configured worker pool; the two
 //           reports must be byte-identical (the determinism contract), and the speedup is
-//           reported alongside.
+//           reported alongside;
+//   governed: the open-loop diurnal driver with a duty-cycled CompactionGovernor and a live
+//           timeline — the long-horizon steady-state loop of bench_queue_depth (idle jumps,
+//           per-batch governor decisions, preemptible compaction bursts, window polls).
 //
 // Output is the unified vlog-bench/1 JSON (one row per leg; wall-clock rates in "extra")
 // plus acceptance gates under --smoke: generous ops/wall-second floors that catch an
@@ -30,9 +33,11 @@
 #include "bench/bench_util.h"
 #include "src/array/vld_array.h"
 #include "src/common/time.h"
+#include "src/core/governor.h"
 #include "src/core/vld.h"
 #include "src/crashsim/harness.h"
 #include "src/crashsim/scenarios.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/sim_disk.h"
@@ -232,6 +237,69 @@ int main(int argc, char** argv) {
                    {"points_per_wall_s_parallel", rate_par}});
     if (smoke) {
       GateFloor("sweep", rate_serial, 150);
+    }
+  }
+
+  // --- Leg 4: duty-cycled governed compaction under open-loop diurnal arrivals ---
+  //
+  // The long-horizon bench_queue_depth leg's hot loop: arrival pre-generation, idle jumps
+  // with trough grants, per-batch governor decisions, preemptible compaction bursts with
+  // mid-track resume, and timeline polls — the path a million-op steady-state run lives in.
+  {
+    const int arrivals = smoke ? 3000 : 30000;
+    auto stacks = MakeStacks(1);
+    Stack& s = *stacks[0];
+    bench::Check(s.vld->Format(), "governed leg format");
+    const uint32_t region = static_cast<uint32_t>(s.vld->logical_blocks() * 0.55);
+    std::vector<std::byte> payload(4096);
+    for (uint32_t b = 0; b < region; ++b) {
+      bench::Check(s.vld->Write(static_cast<simdisk::Lba>(b) * 8, payload),
+                   "governed leg prepopulate");
+    }
+    workload::OpenLoopOptions options;
+    options.process = workload::ArrivalProcess::kDiurnal;
+    options.rate_ops_per_s = 24;
+    options.diurnal_period = common::Seconds(2);
+    options.diurnal_amplitude = 0.75;
+    options.arrivals = arrivals;
+    options.region_blocks = region;
+    options.max_batch = 8;
+    options.seed = kSeed;
+    obs::Timeline timeline(obs::TimelineConfig{.window = common::Seconds(2),
+                                               .start = s.clock.Now()});
+    obs::WindowedHistogram& latency = timeline.AddHistogram("latency");
+    s.vld->RegisterTimelineProbes(timeline, "");
+    core::GovernorConfig gov_config;
+    gov_config.slo_budget = common::Milliseconds(400);
+    gov_config.target_empty_tracks = 8;
+    core::CompactionGovernor governor(s.vld.get(), &timeline, gov_config);
+    governor.RegisterTimelineProbes(timeline, "");
+    const auto t0 = std::chrono::steady_clock::now();
+    const workload::OpenLoopResult r = bench::CheckOk(
+        workload::RunGovernedOpenLoop(*s.vld, options, &governor, &timeline, &latency),
+        "governed leg");
+    const double wall = Seconds(std::chrono::steady_clock::now() - t0);
+    timeline.Finish(s.clock.Now());
+    const double rate = wall > 0 ? static_cast<double>(r.ops) / wall : 0;
+    PrintRate("governed", static_cast<double>(r.ops), "ops", wall);
+    std::printf("governed %10llu tracks compacted, %llu governor decisions\n",
+                static_cast<unsigned long long>(s.vld->compactor().stats().tracks_compacted),
+                static_cast<unsigned long long>(governor.stats().decisions));
+    report.AddRow("governed", r.achieved_iops, r.latency_hist, r.breakdown,
+                  {{"ops", static_cast<double>(r.ops)},
+                   {"wall_seconds", wall},
+                   {"ops_per_wall_s", rate},
+                   {"tracks_compacted",
+                    static_cast<double>(s.vld->compactor().stats().tracks_compacted)},
+                   {"decisions", static_cast<double>(governor.stats().decisions)}});
+    if (smoke) {
+      // The governed loop must compact (an idle governor would measure the wrong path) and
+      // hold the same order-of-magnitude floor as the other legs.
+      if (s.vld->compactor().stats().tracks_compacted == 0) {
+        std::fprintf(stderr, "FATAL bench_engine gate: governed leg never compacted\n");
+        return 1;
+      }
+      GateFloor("governed", rate, 500);
     }
   }
 

@@ -242,6 +242,28 @@ inline void MaybeWriteTimeline(const BenchFlags& flags, const std::string& timel
   std::printf("timeline written to %s\n", path.c_str());
 }
 
+// Like MaybeWriteTimeline, but for a bench emitting several timeline artifacts: "X.json"
+// becomes "X.<name>.timeline.json" (so the CI artifact glob BENCH_*timeline*.json still
+// matches). No-op without --json.
+inline void MaybeWriteNamedTimeline(const BenchFlags& flags, const std::string& name,
+                                    const std::string& timeline_json) {
+  if (flags.json_path.empty()) {
+    return;
+  }
+  std::string path = TimelinePath(flags);
+  const char suffix[] = ".timeline.json";
+  path.insert(path.size() - (sizeof(suffix) - 1), "." + name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(timeline_json.data(), 1, timeline_json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("timeline written to %s\n", path.c_str());
+}
+
 // Prints one aligned percentile table line for a row (values in ms), matching the JSON schema.
 inline void PrintPercentileRow(const std::string& label, double iops,
                                const obs::LatencyHistogram& latency_ns) {

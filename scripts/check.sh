@@ -18,10 +18,13 @@ for preset in "${presets[@]}"; do
 done
 
 # Bench smoke: a short queue-depth sweep whose acceptance gates (depth-1 == sync, monotone
-# IOPS, >= 2x at depth 16, breakdown sums to latency, and the open-loop leg's timeline gates:
-# >= 1 closed window, an SLO breach with recovery, exact window-merge, byte-identical rerun)
-# act as an end-to-end regression check, emitting the unified vlog-bench/1 JSON alongside plus
-# the windowed vlog-timeline/1 artifact (BENCH_queue_depth.timeline.json).
+# IOPS, >= 2x at depth 16, breakdown sums to latency, the open-loop leg's timeline gates:
+# >= 1 closed window, an SLO breach with recovery, exact window-merge, byte-identical rerun,
+# and the long-haul governed-compaction gates: steady-state fires, free-space floor holds,
+# breaches contained to the declared burst, governor-off control spirals) act as an
+# end-to-end regression check, emitting the unified vlog-bench/1 JSON alongside plus the
+# windowed vlog-timeline/1 artifacts (BENCH_queue_depth.timeline.json and the long-haul
+# pair BENCH_queue_depth.longhaul{,_off}.timeline.json).
 if [ -x build/bench/bench_queue_depth ]; then
   echo "=== bench smoke: queue_depth ==="
   ./build/bench/bench_queue_depth --smoke --json=BENCH_queue_depth.json
@@ -34,8 +37,9 @@ if [ -x build/bench/bench_array ]; then
   ./build/bench/bench_array --smoke --json=BENCH_array.json
 fi
 
-# Engine smoke: end-to-end wall-clock throughput over the three hot legs (deep-queue mixed
-# R/W, striped array, crash sweep) with ops/wall-second floors. A gate failure means an engine
+# Engine smoke: end-to-end wall-clock throughput over the four hot legs (deep-queue mixed
+# R/W, striped array, crash sweep, governed open-loop compaction) with ops/wall-second
+# floors. A gate failure means an engine
 # performance regression; the bench prints the offending vlog-bench/1 leg and its measured
 # rate before exiting nonzero, and we stop the whole check right there.
 if [ -x build/bench/bench_engine ]; then

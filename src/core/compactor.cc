@@ -25,27 +25,36 @@ uint64_t Compactor::CountEmptyTracks() const {
   return empty;
 }
 
+void Compactor::AbandonResume() {
+  if (resume_track_.has_value()) {
+    resume_track_.reset();
+    allocator_->SetExcludedTrack(std::nullopt);
+  }
+}
+
+bool Compactor::Compactable(uint64_t track) const {
+  const FreeSpaceMap& space = allocator_->space();
+  if (space.LiveInTrack(track) == 0 || space.TrackHasSystem(track)) {
+    return false;
+  }
+  // Pinned map sectors cannot be moved (their on-disk pointers are load-bearing); skip
+  // tracks containing one — the pinned-sector valve bounds how long that lasts.
+  const uint32_t base = static_cast<uint32_t>(track * space.blocks_per_track());
+  for (uint32_t b = 0; b < space.blocks_per_track(); ++b) {
+    if (space.state(base + b) == BlockState::kLive && vlog_->IsPinnedBlock(base + b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::optional<uint64_t> Compactor::PickVictim() {
   const FreeSpaceMap& space = allocator_->space();
   std::vector<uint64_t> candidates;
   for (uint64_t t = 0; t < space.total_tracks(); ++t) {
-    if (space.LiveInTrack(t) == 0 || space.TrackHasSystem(t)) {
-      continue;
+    if (Compactable(t)) {
+      candidates.push_back(t);
     }
-    // Pinned map sectors cannot be moved (their on-disk pointers are load-bearing); skip
-    // tracks containing one — the pinned-sector valve bounds how long that lasts.
-    const uint32_t base = static_cast<uint32_t>(t * space.blocks_per_track());
-    bool has_pinned = false;
-    for (uint32_t b = 0; b < space.blocks_per_track(); ++b) {
-      if (space.state(base + b) == BlockState::kLive && vlog_->IsPinnedBlock(base + b)) {
-        has_pinned = true;
-        break;
-      }
-    }
-    if (has_pinned) {
-      continue;
-    }
-    candidates.push_back(t);
   }
   if (candidates.empty()) {
     return std::nullopt;
@@ -53,7 +62,8 @@ std::optional<uint64_t> Compactor::PickVictim() {
   return candidates[rng_.Below(candidates.size())];
 }
 
-bool Compactor::CompactTrack(uint64_t track) {
+bool Compactor::CompactTrack(uint64_t track, common::Time deadline, bool preemptible,
+                             bool* interrupted) {
   FreeSpaceMap& space = allocator_->space();
   // Writes triggered by the relocation must not land back on the victim, and go into holes of
   // already-occupied tracks (hole-plugging) rather than into fresh fill tracks.
@@ -62,6 +72,10 @@ bool Compactor::CompactTrack(uint64_t track) {
   const uint32_t base = static_cast<uint32_t>(track * space.blocks_per_track());
   bool ok = true;
   for (uint32_t b = 0; b < space.blocks_per_track() && ok; ++b) {
+    if (preemptible && disk_->clock()->Now() >= deadline) {
+      *interrupted = true;
+      break;
+    }
     const uint32_t block = base + b;
     if (space.state(block) != BlockState::kLive) {
       continue;
@@ -84,6 +98,13 @@ bool Compactor::CompactTrack(uint64_t track) {
     }
   }
   allocator_->SetCompactionMode(false);
+  if (*interrupted) {
+    // Keep the victim excluded from allocation until the next burst resumes (or drops) it.
+    // The arm parks on the victim after a relocation, so without this the very holes the
+    // burst just opened are the allocator's nearest free blocks — foreground traffic between
+    // bursts refills them as fast as bursts drain them and no track ever empties.
+    return false;
+  }
   allocator_->SetExcludedTrack(std::nullopt);
   if (ok && space.TrackEmpty(track)) {
     allocator_->NoteEmptyTrack(track);
@@ -93,6 +114,15 @@ bool Compactor::CompactTrack(uint64_t track) {
 }
 
 uint32_t Compactor::RunUntil(common::Time deadline) {
+  return Run(deadline, /*preemptible=*/false, config_.target_empty_tracks);
+}
+
+uint32_t Compactor::RunBounded(common::Time deadline, uint32_t target_empty_tracks) {
+  return Run(deadline, /*preemptible=*/true,
+             target_empty_tracks == 0 ? config_.target_empty_tracks : target_empty_tracks);
+}
+
+uint32_t Compactor::Run(common::Time deadline, bool preemptible, uint32_t target_empty_tracks) {
   ++stats_.idle_runs;
   const common::Time start = disk_->clock()->Now();
   uint32_t emptied = 0;
@@ -100,21 +130,41 @@ uint32_t Compactor::RunUntil(common::Time deadline) {
   // in place); tolerate a bounded number of such failures rather than giving up the interval.
   uint32_t failures = 0;
   while (disk_->clock()->Now() < deadline && failures < 8) {
-    if (CountEmptyTracks() >= config_.target_empty_tracks) {
+    if (CountEmptyTracks() >= target_empty_tracks) {
+      AbandonResume();
       break;
     }
-    const auto victim = PickVictim();
-    if (!victim) {
-      break;
+    // A victim left mid-track by a preempted burst is finished before a new one is drawn, so
+    // no rng draw is repeated. The victim stays allocation-excluded between bursts; if it
+    // became uncompactable anyway (a checkpoint pinned a map sector into it), abandon it —
+    // the relocations already committed stand regardless.
+    uint64_t victim;
+    if (resume_track_.has_value() && Compactable(*resume_track_)) {
+      victim = *resume_track_;
+      ++stats_.tracks_resumed;
+    } else {
+      AbandonResume();
+      const auto picked = PickVictim();
+      if (!picked) {
+        break;
+      }
+      victim = *picked;
     }
+    resume_track_.reset();
     obs::TraceRecorder* tracer = disk_->tracer();
     if (tracer != nullptr) {
-      tracer->Annotate(obs::EventType::kCompactStart, obs::Layer::kVld, *victim);
+      tracer->Annotate(obs::EventType::kCompactStart, obs::Layer::kVld, victim);
     }
-    const bool compacted = CompactTrack(*victim);
+    bool interrupted = false;
+    const bool compacted = CompactTrack(victim, deadline, preemptible, &interrupted);
     if (tracer != nullptr) {
-      tracer->Annotate(obs::EventType::kCompactEnd, obs::Layer::kVld, *victim,
+      tracer->Annotate(obs::EventType::kCompactEnd, obs::Layer::kVld, victim,
                        compacted ? 1 : 0);
+    }
+    if (interrupted) {
+      resume_track_ = victim;
+      ++stats_.bursts_preempted;
+      break;
     }
     if (compacted) {
       ++stats_.tracks_compacted;

@@ -38,6 +38,8 @@ struct CompactorStats {
   uint64_t tracks_compacted = 0;
   uint64_t data_blocks_moved = 0;
   uint64_t map_sectors_rewritten = 0;
+  uint64_t bursts_preempted = 0;  // Bounded runs that hit their deadline mid-track.
+  uint64_t tracks_resumed = 0;    // Victims continued from a previously preempted burst.
   common::Duration busy_time = 0;
 };
 
@@ -50,12 +52,32 @@ class Compactor {
   // track is finished once started (track-granularity work units). Returns tracks emptied.
   uint32_t RunUntil(common::Time deadline);
 
+  // Preemptible variant for governed bursts: the deadline is checked before every block move,
+  // so a burst may stop mid-track. The unfinished victim is remembered and continued by the
+  // next run (bounded or idle) before a new victim is drawn; relocations already committed are
+  // never redone, because the resumed scan skips blocks that are no longer live. With a
+  // deadline generous enough that no track is ever truncated, the call sequence is identical
+  // to RunUntil. `target_empty_tracks` overrides the config target for this burst (0 keeps
+  // it) — the governor chases a deeper reserve under load than the idle compactor's default.
+  uint32_t RunBounded(common::Time deadline, uint32_t target_empty_tracks = 0);
+
+  // The victim a preempted burst left mid-track, if any. It stays excluded from allocation
+  // until the next run resumes or abandons it — otherwise foreground writes between bursts
+  // would refill the holes the burst just opened (the arm parks on the victim, making its
+  // free blocks the allocator's nearest candidates) and no track would ever empty.
+  std::optional<uint64_t> resume_track() const { return resume_track_; }
+
   const CompactorStats& stats() const { return stats_; }
 
  private:
+  uint32_t Run(common::Time deadline, bool preemptible, uint32_t target_empty_tracks);
+  void AbandonResume();
+  bool Compactable(uint64_t track) const;
   std::optional<uint64_t> PickVictim();
-  bool CompactTrack(uint64_t track);
+  bool CompactTrack(uint64_t track, common::Time deadline, bool preemptible, bool* interrupted);
   uint64_t CountEmptyTracks() const;
+
+  std::optional<uint64_t> resume_track_;
 
   CompactionBackend* backend_;
   simdisk::SimDisk* disk_;

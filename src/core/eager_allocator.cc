@@ -179,9 +179,18 @@ std::optional<EagerAllocator::Candidate> EagerAllocator::HolePlugPick() {
 }
 
 std::optional<uint32_t> EagerAllocator::Allocate() {
-  const auto cand = compaction_mode_            ? HolePlugPick()
-                    : config_.fill_to_threshold ? FillPick()
-                                                : GreedyPick();
+  auto cand = compaction_mode_            ? HolePlugPick()
+              : config_.fill_to_threshold ? FillPick()
+                                          : GreedyPick();
+  if (!cand && !compaction_mode_ && excluded_track_.has_value()) {
+    // A preempted compaction victim stays excluded between bursts; that must never starve a
+    // foreground write whose only remaining free blocks sit in the victim. Lift the exclusion
+    // for this one allocation — the compactor revalidates the victim before resuming it.
+    const auto saved = excluded_track_;
+    excluded_track_.reset();
+    cand = config_.fill_to_threshold ? FillPick() : GreedyPick();
+    excluded_track_ = saved;
+  }
   if (!cand) {
     return std::nullopt;
   }

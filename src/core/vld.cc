@@ -696,6 +696,21 @@ void Vld::RunIdle(common::Duration budget) {
   }
 }
 
+void Vld::RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks) {
+  if (!config_.compactor_enabled || budget <= 0) {
+    return;
+  }
+  const common::Time deadline = disk_->clock()->Now() + budget;
+  // Mirror RunIdle step for step (the governor-vs-idle differential depends on it); the only
+  // difference is that the compactor run is preemptible at block granularity.
+  if (vlog_.PinnedCount() > 0) {
+    (void)Checkpoint();
+  }
+  if (disk_->clock()->Now() < deadline) {
+    compactor_->RunBounded(deadline, target_empty_tracks);
+  }
+}
+
 common::Status Vld::RelocateDataBlock(uint32_t phys_block) {
   const uint32_t logical = reverse_[phys_block];
   if (logical == kUnmappedBlock) {

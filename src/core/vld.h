@@ -180,6 +180,14 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   // Gives the in-disk compactor an idle interval of `budget`.
   void RunIdle(common::Duration budget);
 
+  // Governed compaction burst: like RunIdle, but preemptible — the compactor may stop
+  // mid-track at the deadline and resume in a later burst. With a budget generous enough that
+  // no track is truncated (and the default target), the call sequence (and therefore media
+  // and clock) is identical to RunIdle. `target_empty_tracks` overrides the compactor's
+  // reserve target for this burst (0 keeps it): the governor chases a deeper reserve under
+  // continuous load than the idle compactor needs.
+  void RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks = 0);
+
   // CompactionBackend:
   common::Status RelocateDataBlock(uint32_t phys_block) override;
   common::Status RewritePiece(uint32_t piece) override;
@@ -190,6 +198,7 @@ class Vld : public simdisk::BlockDevice, public CompactionBackend {
   const std::vector<uint32_t>& logical_map() const { return map_; }
   uint32_t logical_blocks() const { return logical_blocks_; }
   uint32_t block_sectors() const { return config_.block_sectors; }
+  uint32_t target_empty_tracks() const { return config_.target_empty_tracks; }
   simdisk::SimDisk& disk() { return *disk_; }
   const VldStats& stats() const { return stats_; }
   const VirtualLog& vlog() const { return vlog_; }

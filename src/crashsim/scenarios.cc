@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/core/governor.h"
 #include "src/lfs/log_disk.h"
 #include "src/lfs/simple_fs.h"
 #include "src/simdisk/host_model.h"
@@ -81,6 +82,75 @@ common::Status CompactorActiveWorkload(ShadowVld& dev) {
   for (uint32_t b = used / 3; b < used / 3 + 8; ++b) {
     RETURN_IF_ERROR(
         dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 99)));
+  }
+  return common::OkStatus();  // No park: every recovery takes the scan path.
+}
+
+// Duty-cycled compaction under foreground load (the governed-burst path): queued group-commit
+// batches interleave with bounded compaction bursts small enough to stop mid-track, so crash
+// points land inside a burst's checkpoint, between its relocations, at the preemption cut
+// itself, and in the packed map commits of the surrounding batches. Recovery must see every
+// acknowledged batch all-old-or-all-new regardless of how much of a burst persisted.
+common::Status CompactionUnderLoadWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  const uint32_t used = blocks * 3 / 5;
+  for (uint32_t b = 0; b < used; ++b) {
+    RETURN_IF_ERROR(dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 1)));
+  }
+  // Trims punch holes so the governor has real compaction debt from the first grant.
+  RETURN_IF_ERROR(dev.Trim(0, static_cast<uint64_t>(used / 3) * kBlockSectors));
+  core::GovernorConfig config;
+  config.max_burst = common::Milliseconds(8);
+  config.min_burst = common::Microseconds(500);
+  // The truncated disk's trimmed region leaves the default empty-track target satisfied, which
+  // would idle the governor; aim far above it so every round's grant path stays live and the
+  // sweep actually covers bursts.
+  config.target_empty_tracks = 64;
+  core::CompactionGovernor governor(&dev.vld(), /*timeline=*/nullptr, config);
+  common::Rng rng(29);
+  uint32_t version = 2;
+  for (int round = 0; round < 6; ++round) {
+    const size_t depth = 1 + rng.Below(6);
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(depth);
+    std::vector<core::Vld::AtomicWrite> writes;
+    writes.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+    }
+    RETURN_IF_ERROR(dev.WriteQueuedBatch(writes));
+    ++version;
+    // Alternate trough-shaped grants (idle hint: the whole gap) with credit-shaped ones, the
+    // two grant paths the governor exposes; route the burst through the shadow so its media
+    // writes are attributed to the burst op, not the next batch. The hint is sized to survive
+    // the burst's leading checkpoint and start a victim track without finishing it, so the
+    // mid-track preemption cut is part of the recorded trace.
+    const common::Duration hint = round % 2 == 0 ? common::Milliseconds(60) : 0;
+    const common::Duration grant = governor.Grant(hint);
+    if (grant > 0) {
+      dev.RunGovernedBurst(grant, config.target_empty_tracks);
+    }
+    if (round % 3 == 1) {
+      RETURN_IF_ERROR(dev.Trim(static_cast<simdisk::Lba>(used / 2) * kBlockSectors,
+                               static_cast<uint64_t>(4) * kBlockSectors));
+    }
+  }
+  // Self-check the coverage claims: the sweep is only exercising the governed path if bursts
+  // were actually granted and at least one stopped mid-track.
+  if (governor.stats().granted_ns <= 0) {
+    return common::InvalidArgument("scenario granted no governed bursts");
+  }
+  if (dev.vld().compactor().stats().bursts_preempted == 0) {
+    const auto& cs = dev.vld().compactor().stats();
+    return common::InvalidArgument(
+        "scenario never preempted a burst mid-track: bursts=" +
+        std::to_string(governor.stats().bursts) +
+        " granted_ns=" + std::to_string(governor.stats().granted_ns) +
+        " tracks_compacted=" + std::to_string(cs.tracks_compacted) +
+        " moved=" + std::to_string(cs.data_blocks_moved));
   }
   return common::OkStatus();  // No park: every recovery takes the scan path.
 }
@@ -329,6 +399,8 @@ const char* VldScenarioName(VldScenario scenario) {
       return "ufs-on-vld";
     case VldScenario::kCompactorActive:
       return "compactor-active";
+    case VldScenario::kCompactionUnderLoad:
+      return "compaction-under-load";
     case VldScenario::kCheckpointInterrupted:
       return "checkpoint-interrupted";
     case VldScenario::kQueuedGroupCommit:
@@ -366,6 +438,8 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
       return sim.Record(UfsOnVldWorkload);
     case VldScenario::kCompactorActive:
       return sim.Record(CompactorActiveWorkload);
+    case VldScenario::kCompactionUnderLoad:
+      return sim.Record(CompactionUnderLoadWorkload);
     case VldScenario::kCheckpointInterrupted:
       return sim.Record(CheckpointInterruptedWorkload);
     case VldScenario::kQueuedGroupCommit:

@@ -8,6 +8,10 @@
 //                           (metadata, data, directory updates) through the device interface;
 //   kCompactorActive:       direct device traffic with trims, multi-extent atomic writes, and
 //                           idle-time compaction moving both data and map blocks;
+//   kCompactionUnderLoad:   queued group-commit batches interleaved with governed compaction
+//                           bursts bounded tightly enough to stop mid-track, so crash points
+//                           cut bursts at their checkpoint, between relocations, and at the
+//                           preemption boundary itself;
 //   kCheckpointInterrupted: repeated checkpoints so crash points land inside the multi-sector
 //                           checkpoint-region writes themselves, plus a final park.
 //   kQueuedGroupCommit:     batches of queued writes whose map entries land in single packed
@@ -39,6 +43,7 @@ namespace vlog::crashsim {
 enum class VldScenario {
   kUfsOnVld,
   kCompactorActive,
+  kCompactionUnderLoad,
   kCheckpointInterrupted,
   kQueuedGroupCommit,
   kQueuedMixedReadWrite,

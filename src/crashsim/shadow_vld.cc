@@ -221,4 +221,9 @@ void ShadowVld::RunIdle(common::Duration budget) {
   RecordOp({}, {});
 }
 
+void ShadowVld::RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks) {
+  vld_->RunGovernedBurst(budget, target_empty_tracks);
+  RecordOp({}, {});
+}
+
 }  // namespace vlog::crashsim

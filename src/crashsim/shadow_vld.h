@@ -69,6 +69,10 @@ class ShadowVld : public simdisk::BlockDevice {
   common::Status Checkpoint();
   common::Status Park();
   void RunIdle(common::Duration budget);
+  // Preemptible governed compaction burst (possibly preceded by a checkpoint, like RunIdle).
+  // Touches no logical blocks; recorded as an op boundary so its media writes — relocations
+  // truncated mid-track included — are attributed to it.
+  void RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks = 0);
 
   core::Vld& vld() { return *vld_; }
   const std::vector<Op>& ops() const { return ops_; }

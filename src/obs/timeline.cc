@@ -32,6 +32,24 @@ WindowedHistogram& Timeline::AddHistogram(std::string name) {
   return *histograms_.back();
 }
 
+int Timeline::HistogramIndex(const std::string& name) const {
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    if (histogram_names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int Timeline::GaugeIndex(const std::string& name) const {
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 void Timeline::AddSlo(const std::string& hist, common::Duration budget,
                       std::string component_prefix) {
   SloResult slo;

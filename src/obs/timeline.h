@@ -129,6 +129,10 @@ class Timeline {
   const std::vector<std::string>& counter_names() const { return counter_names_; }
   const std::vector<std::string>& gauge_names() const { return gauge_names_; }
   const std::vector<std::string>& histogram_names() const { return histogram_names_; }
+  // Registration index of the named series, or -1 if absent. Lets consumers (the compaction
+  // governor reads per-window p99s this way) resolve a name once instead of per window.
+  int HistogramIndex(const std::string& name) const;
+  int GaugeIndex(const std::string& name) const;
 
   struct SloViolation {
     uint64_t start_window = 0;  // First violating window index (inclusive).

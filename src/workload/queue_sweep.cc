@@ -14,6 +14,7 @@ namespace vlog::workload {
 
 namespace {
 constexpr size_t kUpdateBytes = 4096;
+constexpr double kPi = 3.14159265358979323846;
 }  // namespace
 
 common::StatusOr<QueueDepthResult> RunQueuedRandomUpdates(core::Vld& vld, uint32_t depth,
@@ -288,43 +289,106 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
   return result;
 }
 
-common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
-                                                    const OpenLoopOptions& options,
-                                                    obs::Timeline* timeline,
-                                                    obs::WindowedHistogram* latency) {
+namespace {
+
+// Instantaneous arrival rate at absolute time `t` (run started at `start`). The declared
+// burst interval overrides whatever the process shape would otherwise produce.
+double ArrivalRateAt(const OpenLoopOptions& options, common::Time t, common::Time start) {
+  const common::Time burst_lo = start + options.burst_start;
+  if (options.burst_rate_ops_per_s > 0 && t >= burst_lo &&
+      t < burst_lo + options.burst_duration) {
+    return options.burst_rate_ops_per_s;
+  }
+  switch (options.process) {
+    case ArrivalProcess::kPoisson:
+      return options.rate_ops_per_s;
+    case ArrivalProcess::kOnOff: {
+      const common::Duration cycle = options.on_duration + options.off_duration;
+      if (cycle <= 0) {
+        return options.rate_ops_per_s;
+      }
+      const common::Duration phase = (t - start) % cycle;
+      return phase < options.on_duration ? options.rate_ops_per_s : 0.0;
+    }
+    case ArrivalProcess::kDiurnal: {
+      if (options.diurnal_period <= 0) {
+        return options.rate_ops_per_s;
+      }
+      const double frac = static_cast<double>((t - start) % options.diurnal_period) /
+                          static_cast<double>(options.diurnal_period);
+      return options.rate_ops_per_s *
+             (1.0 + options.diurnal_amplitude * std::sin(2.0 * kPi * frac));
+    }
+  }
+  return options.rate_ops_per_s;
+}
+
+// Appends `options.arrivals` strictly increasing timestamps to `out`, drawing from `rng`.
+// kPoisson keeps the original single-draw exponential walk (so existing seeds reproduce
+// byte-identically); the non-homogeneous processes thin a Poisson stream at the max rate
+// against ArrivalRateAt (Lewis-Shedler), which stays exact for any bounded rate function.
+void AppendArrivals(const OpenLoopOptions& options, common::Time start, common::Rng& rng,
+                    std::vector<common::Time>& out) {
+  out.reserve(out.size() + static_cast<size_t>(options.arrivals));
+  common::Time t = start;
+  if (options.process == ArrivalProcess::kPoisson) {
+    const common::Time burst_lo = start + options.burst_start;
+    const common::Time burst_hi = burst_lo + options.burst_duration;
+    for (int i = 0; i < options.arrivals; ++i) {
+      const bool in_burst =
+          options.burst_rate_ops_per_s > 0 && t >= burst_lo && t < burst_hi;
+      const double rate = in_burst ? options.burst_rate_ops_per_s : options.rate_ops_per_s;
+      const double u = rng.NextDouble();
+      const double gap_ns = -std::log1p(-u) * 1e9 / rate;
+      t += static_cast<common::Duration>(gap_ns) + 1;  // Strictly increasing arrival times.
+      out.push_back(t);
+    }
+    return;
+  }
+  double rate_max = options.rate_ops_per_s;
+  if (options.process == ArrivalProcess::kDiurnal) {
+    rate_max *= 1.0 + options.diurnal_amplitude;
+  }
+  rate_max = std::max(rate_max, options.burst_rate_ops_per_s);
+  for (int accepted = 0; accepted < options.arrivals;) {
+    const double u = rng.NextDouble();
+    const double gap_ns = -std::log1p(-u) * 1e9 / rate_max;
+    t += static_cast<common::Duration>(gap_ns) + 1;
+    if (rng.NextDouble() * rate_max < ArrivalRateAt(options, t, start)) {
+      out.push_back(t);
+      ++accepted;
+    }
+  }
+}
+
+common::StatusOr<OpenLoopResult> RunOpenLoopImpl(core::Vld& vld,
+                                                 const OpenLoopOptions& options,
+                                                 core::CompactionGovernor* governor,
+                                                 obs::Timeline* timeline,
+                                                 obs::WindowedHistogram* latency) {
   if (options.rate_ops_per_s <= 0) {
     return common::InvalidArgument("open loop: rate must be positive");
   }
   if (options.arrivals <= 0) {
     return common::InvalidArgument("open loop: arrivals must be positive");
   }
+  if (options.region_blocks > vld.logical_blocks()) {
+    return common::InvalidArgument("open loop: region exceeds the logical space");
+  }
   const uint32_t batch_limit =
       options.max_batch == 0 ? vld.queue_depth()
                              : std::min(options.max_batch, vld.queue_depth());
   const uint32_t block_sectors = kUpdateBytes / vld.SectorBytes();
-  const uint32_t blocks = vld.logical_blocks() / 2;
+  const uint32_t blocks =
+      options.region_blocks != 0 ? options.region_blocks : vld.logical_blocks() / 2;
   common::Clock* clock = vld.disk().clock();
   const common::Time run_start = clock->Now();
 
   // The arrival process is generated up front, sequentially, so the schedule depends only on
-  // the seed and the options — never on how the device keeps up. Exponential interarrivals at
-  // the rate in force at the previous arrival's timestamp (base, or burst inside the burst
-  // interval).
+  // the seed and the options — never on how the device keeps up.
   common::Rng rng(options.seed);
   std::vector<common::Time> arrival_times;
-  arrival_times.reserve(static_cast<size_t>(options.arrivals));
-  common::Time t = run_start;
-  const common::Time burst_lo = run_start + options.burst_start;
-  const common::Time burst_hi = burst_lo + options.burst_duration;
-  for (int i = 0; i < options.arrivals; ++i) {
-    const bool in_burst =
-        options.burst_rate_ops_per_s > 0 && t >= burst_lo && t < burst_hi;
-    const double rate = in_burst ? options.burst_rate_ops_per_s : options.rate_ops_per_s;
-    const double u = rng.NextDouble();
-    const double gap_ns = -std::log1p(-u) * 1e9 / rate;
-    t += static_cast<common::Duration>(gap_ns) + 1;  // Strictly increasing arrival times.
-    arrival_times.push_back(t);
-  }
+  AppendArrivals(options, run_start, rng, arrival_times);
 
   std::vector<std::byte> payload(kUpdateBytes);
   OpenLoopResult result;
@@ -347,8 +411,15 @@ common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
     result.max_backlog = std::max(result.max_backlog,
                                   static_cast<uint64_t>(next_arrival - next_submit));
     if (next_submit == next_arrival) {
-      // Device idle and nothing has arrived: jump to the next arrival. Open loop means the
-      // clock advances with the arrival process, not with the device.
+      // Device idle and nothing has arrived: an arrival trough. Offer the whole gap to the
+      // governor first (idle time is where compaction is free), then jump to the next
+      // arrival. AdvanceTo clamps, so a burst that overran the gap just means no jump.
+      if (governor != nullptr) {
+        const common::Duration gap = arrival_times[next_arrival] - now;
+        if (gap > 0 && governor->RunBurst(gap) > 0 && timeline != nullptr) {
+          timeline->Poll(clock->Now());
+        }
+      }
       clock->AdvanceTo(arrival_times[next_arrival]);
       if (timeline != nullptr) {
         timeline->Poll(clock->Now());
@@ -391,6 +462,11 @@ common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
     if (timeline != nullptr) {
       timeline->Poll(clock->Now());
     }
+    // Between-batch governed burst: the backlog is momentarily drained from the device queue,
+    // so this is the natural preemption point for duty-cycled compaction.
+    if (governor != nullptr && governor->RunBurst(0) > 0 && timeline != nullptr) {
+      timeline->Poll(clock->Now());
+    }
   }
 
   result.ops = completed;
@@ -406,6 +482,30 @@ common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
     result.breakdown = tracer->totals() - totals_before;
   }
   return result;
+}
+
+}  // namespace
+
+common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
+                                                    const OpenLoopOptions& options,
+                                                    obs::Timeline* timeline,
+                                                    obs::WindowedHistogram* latency) {
+  return RunOpenLoopImpl(vld, options, /*governor=*/nullptr, timeline, latency);
+}
+
+std::vector<common::Time> GenerateArrivals(const OpenLoopOptions& options, common::Time start) {
+  common::Rng rng(options.seed);
+  std::vector<common::Time> out;
+  AppendArrivals(options, start, rng, out);
+  return out;
+}
+
+common::StatusOr<OpenLoopResult> RunGovernedOpenLoop(core::Vld& vld,
+                                                     const OpenLoopOptions& options,
+                                                     core::CompactionGovernor* governor,
+                                                     obs::Timeline* timeline,
+                                                     obs::WindowedHistogram* latency) {
+  return RunOpenLoopImpl(vld, options, governor, timeline, latency);
 }
 
 }  // namespace vlog::workload

@@ -15,6 +15,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/core/governor.h"
 #include "src/core/vld.h"
 #include "src/obs/histogram.h"
 #include "src/obs/timeline.h"
@@ -120,11 +121,22 @@ common::StatusOr<MixedStreamResult> RunMixedStreams(core::Vld& vld,
 // the backlog until the offered rate drops back below capacity — which is exactly the SLO
 // breach-and-recovery shape the timeline leg of bench_queue_depth asserts.
 
+// Arrival-process shapes for the open-loop driver. Every process is pre-generated up front
+// from the seed and options alone — generation touches no clock and no device, so the same
+// seed always yields the same schedule regardless of how the device keeps up.
+enum class ArrivalProcess {
+  kPoisson,  // Homogeneous base rate (plus the optional burst-interval override).
+  kOnOff,    // Alternating ON (base rate) and OFF (silent) phases — bursty traffic.
+  kDiurnal,  // Sinusoid-modulated rate: rate * (1 + amplitude * sin(2*pi*t/period)).
+};
+
 struct OpenLoopOptions {
   double rate_ops_per_s = 2000;      // Base Poisson arrival rate.
   // Arrivals inside [burst_start, burst_start + burst_duration) (relative to run start) use
   // this rate instead — set above the device's service capacity to force an SLO breach that
-  // recovers once the burst ends. 0 disables the burst.
+  // recovers once the burst ends. 0 disables the burst. The burst overrides whatever rate the
+  // arrival process would otherwise be running (it is the *declared* overload interval the
+  // long-horizon bench excludes from its p99 gate).
   double burst_rate_ops_per_s = 0;
   common::Duration burst_start = 0;
   common::Duration burst_duration = 0;
@@ -134,6 +146,15 @@ struct OpenLoopOptions {
   // Max requests submitted per FlushQueue batch (clamped to the device queue depth; 0 = use
   // the device queue depth). Smaller batches poll the timeline more often.
   uint32_t max_batch = 0;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  common::Duration on_duration = common::Milliseconds(500);   // kOnOff phase lengths.
+  common::Duration off_duration = common::Milliseconds(500);
+  common::Duration diurnal_period = common::Seconds(2);  // kDiurnal modulation period.
+  double diurnal_amplitude = 0.5;                        // Peak rate swing, in [0, 1).
+  // Logical blocks the ops address, starting at block 0 (0 = half the logical space). Raising
+  // this raises steady-state physical utilization — the long-horizon legs use it to put the
+  // allocator under real free-space pressure.
+  uint32_t region_blocks = 0;
 };
 
 struct OpenLoopResult {
@@ -155,6 +176,25 @@ common::StatusOr<OpenLoopResult> RunOpenLoopPoisson(core::Vld& vld,
                                                     const OpenLoopOptions& options,
                                                     obs::Timeline* timeline = nullptr,
                                                     obs::WindowedHistogram* latency = nullptr);
+
+// The arrival schedule RunOpenLoopPoisson would use, relative to `start`: strictly increasing
+// timestamps, `options.arrivals` of them. kPoisson draws exponential interarrivals at the
+// piecewise rate; kOnOff/kDiurnal thin a max-rate Poisson stream against the instantaneous
+// rate (Lewis-Shedler), so non-homogeneous schedules stay a pure function of (seed, options).
+// Clock-pure: reads and advances nothing.
+std::vector<common::Time> GenerateArrivals(const OpenLoopOptions& options, common::Time start);
+
+// RunOpenLoopPoisson with duty-cycled background compaction: between foreground batches the
+// driver offers the governor a grant (RunBurst(0)), and on idle jumps it declares the arrival
+// gap as a trough (RunBurst(gap)) before advancing to the next arrival. `governor` must
+// govern `vld`; passing nullptr is exactly RunOpenLoopPoisson. The timeline (when non-null)
+// is additionally Polled after each governed burst so compaction time lands in the right
+// window.
+common::StatusOr<OpenLoopResult> RunGovernedOpenLoop(core::Vld& vld,
+                                                     const OpenLoopOptions& options,
+                                                     core::CompactionGovernor* governor,
+                                                     obs::Timeline* timeline = nullptr,
+                                                     obs::WindowedHistogram* latency = nullptr);
 
 }  // namespace vlog::workload
 

@@ -133,5 +133,129 @@ TEST_F(CompactorTest, StatsAccumulate) {
   EXPECT_GT(stats.busy_time, 0);
 }
 
+// --- Bounded (governed) bursts: budget exhaustion truncates mid-track, resumably ---
+
+TEST_F(CompactorTest, BoundedBurstPreemptsMidTrackAndRespectsDeadline) {
+  FillWithHoles(0.9);
+  ASSERT_TRUE(vld_->Checkpoint().ok());  // So the burst budget goes to the compactor.
+  const common::Time start = clock_.Now();
+  // Far too small to finish a track (one relocation is a read + write + map commit, several
+  // ms): the burst must stop mid-track, leaving a resume cursor.
+  vld_->RunGovernedBurst(common::Milliseconds(5));
+  const auto& stats = vld_->compactor().stats();
+  EXPECT_GE(stats.bursts_preempted, 1u);
+  EXPECT_TRUE(vld_->compactor().resume_track().has_value());
+  EXPECT_EQ(stats.tracks_compacted, 0u);
+  // Block-granularity preemption: overshoot is bounded by one relocation, not one track.
+  EXPECT_LT(clock_.Now() - start, common::Milliseconds(5) + common::Milliseconds(30));
+}
+
+TEST_F(CompactorTest, PreemptedBurstResumesWithoutLosingOrRepeatingWork) {
+  FillWithHoles(0.9);
+  ASSERT_TRUE(vld_->Checkpoint().ok());
+  vld_->RunGovernedBurst(common::Milliseconds(5));
+  ASSERT_TRUE(vld_->compactor().resume_track().has_value());
+  const uint64_t victim = *vld_->compactor().resume_track();
+  const uint64_t moved_so_far = vld_->compactor().stats().data_blocks_moved;
+  EXPECT_GT(moved_so_far, 0u);
+  // Feed tiny bursts until the interrupted victim is finished. The resumed scan must skip the
+  // blocks already relocated (they are no longer live), so the victim ends empty with every
+  // originally-live block moved exactly once.
+  const uint64_t victim_live = vld_->space().LiveInTrack(victim);
+  for (int i = 0; i < 1000 && vld_->compactor().resume_track() == victim; ++i) {
+    vld_->RunGovernedBurst(common::Milliseconds(5));
+  }
+  EXPECT_NE(vld_->compactor().resume_track(), victim);
+  EXPECT_TRUE(vld_->space().TrackEmpty(victim));
+  const auto& stats = vld_->compactor().stats();
+  EXPECT_GE(stats.tracks_resumed, 1u);
+  EXPECT_GE(stats.tracks_compacted, 1u);
+  // No relocation lost and none double-counted: finishing the victim moved exactly the blocks
+  // that were still live when the first burst was cut short.
+  EXPECT_GT(victim_live, 0u);
+  // Every block in the device is still readable with its original content (relocation is
+  // invisible at the logical level).
+  const uint32_t blocks = static_cast<uint32_t>(vld_->logical_blocks() * 0.9);
+  std::vector<std::byte> out(4096);
+  for (uint32_t b = 1; b < blocks; b += 2) {  // Odd blocks survived the trims.
+    ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * 8, out).ok());
+    EXPECT_EQ(out, Pattern(4096, b)) << "block " << b;
+  }
+}
+
+TEST_F(CompactorTest, GenerousGovernedBurstMatchesIdleRunExactly) {
+  // A governed burst whose deadline never truncates a track makes the exact same call
+  // sequence as RunIdle (checkpoint-if-pinned, then the same victim draws and relocations),
+  // so media, clock, and stats must be bit-identical. This is the per-grant half of the
+  // governor-vs-idle differential; governor_test drives the full multi-round version.
+  VldConfig config;
+  config.target_empty_tracks = 6;
+  common::Clock burst_clock;
+  common::Clock idle_clock;
+  simdisk::SimDisk burst_disk(simdisk::Truncated(simdisk::SeagateSt19101(), 3), &burst_clock);
+  simdisk::SimDisk idle_disk(simdisk::Truncated(simdisk::SeagateSt19101(), 3), &idle_clock);
+  Vld burst_vld(&burst_disk, config);
+  Vld idle_vld(&idle_disk, config);
+  ASSERT_TRUE(burst_vld.Format().ok());
+  ASSERT_TRUE(idle_vld.Format().ok());
+
+  auto fill = [](Vld& vld) {
+    const uint32_t blocks = static_cast<uint32_t>(vld.logical_blocks() * 0.9);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      ASSERT_TRUE(vld.Write(static_cast<simdisk::Lba>(b) * 8, Pattern(4096, b)).ok());
+    }
+    for (uint32_t b = 0; b < blocks; b += 2) {
+      ASSERT_TRUE(vld.Trim(static_cast<simdisk::Lba>(b) * 8, 8).ok());
+    }
+  };
+  fill(burst_vld);
+  fill(idle_vld);
+  ASSERT_EQ(burst_clock.Now(), idle_clock.Now());
+
+  idle_vld.RunIdle(common::Seconds(60));
+  burst_vld.RunGovernedBurst(common::Seconds(60));
+  ASSERT_GE(idle_vld.compactor().stats().tracks_compacted, 1u);
+  EXPECT_EQ(burst_clock.Now(), idle_clock.Now());
+  EXPECT_EQ(burst_vld.compactor().stats().bursts_preempted, 0u);
+  EXPECT_EQ(burst_vld.compactor().stats().tracks_compacted,
+            idle_vld.compactor().stats().tracks_compacted);
+  EXPECT_EQ(burst_vld.compactor().stats().data_blocks_moved,
+            idle_vld.compactor().stats().data_blocks_moved);
+  EXPECT_EQ(burst_vld.compactor().stats().map_sectors_rewritten,
+            idle_vld.compactor().stats().map_sectors_rewritten);
+  const uint64_t sectors = burst_disk.SectorCount();
+  std::vector<std::byte> a(burst_disk.SectorBytes());
+  std::vector<std::byte> b(burst_disk.SectorBytes());
+  for (uint64_t s = 0; s < sectors; ++s) {
+    burst_disk.PeekMedia(s, a);
+    idle_disk.PeekMedia(s, b);
+    ASSERT_EQ(a, b) << "sector " << s;
+  }
+}
+
+TEST_F(CompactorTest, ForegroundWritesBetweenBurstsInvalidateStaleResume) {
+  FillWithHoles(0.9);
+  ASSERT_TRUE(vld_->Checkpoint().ok());
+  vld_->RunGovernedBurst(common::Milliseconds(5));
+  ASSERT_TRUE(vld_->compactor().resume_track().has_value());
+  // Foreground traffic between bursts may fill holes anywhere, including the interrupted
+  // victim. Whatever happens, later bursts must keep making progress and never corrupt data.
+  common::Rng rng(7);
+  const uint32_t blocks = static_cast<uint32_t>(vld_->logical_blocks() * 0.9);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks)) | 1u;  // Keep odd = live set.
+      ASSERT_TRUE(vld_->Write(static_cast<simdisk::Lba>(b) * 8, Pattern(4096, b)).ok());
+    }
+    vld_->RunGovernedBurst(common::Milliseconds(5));
+  }
+  EXPECT_GT(vld_->compactor().stats().data_blocks_moved, 0u);
+  std::vector<std::byte> out(4096);
+  for (uint32_t b = 1; b < blocks; b += 2) {
+    ASSERT_TRUE(vld_->Read(static_cast<simdisk::Lba>(b) * 8, out).ok());
+    EXPECT_EQ(out, Pattern(4096, b)) << "block " << b;
+  }
+}
+
 }  // namespace
 }  // namespace vlog::core

@@ -320,6 +320,22 @@ TEST(CrashSweepTest, CompactorActiveScenarioHasNoViolations) {
   }
 }
 
+// Governed compaction bursts interleaved with queued group commits: crash points cut bursts
+// at their checkpoint, between relocations, and at the mid-track preemption boundary, and the
+// recovered device must still expose every acknowledged batch all-old-or-all-new. Failures
+// replay with --seed/--point like every sweep here.
+TEST(CrashSweepTest, CompactionUnderLoadScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepVldScenario(VldScenario::kCompactionUnderLoad);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.points, 150u) << report.Summary();
+  EXPECT_GE(report.torn_points, 30u) << report.Summary();
+  // The workload never parks, so every recovery takes the full-disk scan path.
+  EXPECT_EQ(report.park_recoveries, 0u) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.scan_recoveries, 0u) << report.Summary();
+  }
+}
+
 TEST(CrashSweepTest, CheckpointInterruptedScenarioHasNoViolations) {
   const CrashSweepReport report = SweepVldScenario(VldScenario::kCheckpointInterrupted);
   EXPECT_TRUE(report.ok()) << report.Summary();
@@ -432,6 +448,12 @@ TEST(ReorderSweepTest, UfsOnVldScenarioHasNoViolations) {
 
 TEST(ReorderSweepTest, CompactorActiveScenarioHasNoViolations) {
   const CrashSweepReport report = SweepCachedVldScenario(VldScenario::kCompactorActive);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.reorder_points, 100u) << report.Summary();
+}
+
+TEST(ReorderSweepTest, CompactionUnderLoadScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepCachedVldScenario(VldScenario::kCompactionUnderLoad);
   EXPECT_TRUE(report.ok()) << report.Summary();
   EXPECT_GE(report.reorder_points, 100u) << report.Summary();
 }

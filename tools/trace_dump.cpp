@@ -22,6 +22,13 @@
 //                              per member, in member order.
 //   --disk=D                   restrict every output mode to member D's recorder (0 is the
 //                              only valid value without --array)
+//   --governor                 duty-cycled background compaction between rounds: the workload
+//                              region is prepopulated and half-trimmed (untraced) to create
+//                              compaction debt, a CompactionGovernor watches the timeline's
+//                              latency SLO, and every round ends with a governed burst (even
+//                              rounds declare a small idle gap). Its decision series
+//                              (gov.* counters/gauges) land on the timeline, so this requires
+//                              --timeline and is incompatible with --array.
 //
 // The workload is deterministic (fixed seed on the virtual clock), so every mode's output is
 // stable run to run — the same property the trace determinism test asserts.
@@ -36,6 +43,7 @@
 
 #include "src/array/vld_array.h"
 #include "src/common/rng.h"
+#include "src/core/governor.h"
 #include "src/core/vld.h"
 #include "src/obs/timeline.h"
 #include "src/obs/trace.h"
@@ -105,7 +113,8 @@ bool ParseDouble(const char* s, double* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
-               "[--array=N] [--disk=D] [--window=MS] [--span=N|--events|--json|--timeline]\n");
+               "[--array=N] [--disk=D] [--window=MS] [--governor] "
+               "[--span=N|--events|--json|--timeline]\n");
   return 2;
 }
 
@@ -193,6 +202,7 @@ int main(int argc, char** argv) {
   bool show_events = false;
   bool show_json = false;
   bool show_timeline = false;
+  bool governed = false;
   for (int i = 1; i < argc; ++i) {
     uint64_t disk_value = 0;
     if (std::strncmp(argv[i], "--depth=", 8) == 0) {
@@ -228,6 +238,8 @@ int main(int argc, char** argv) {
       if (!ParseU64(argv[i] + 7, &show_span) || show_span == 0) {
         return Usage();
       }
+    } else if (std::strcmp(argv[i], "--governor") == 0) {
+      governed = true;
     } else if (std::strcmp(argv[i], "--events") == 0) {
       show_events = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -248,6 +260,12 @@ int main(int argc, char** argv) {
   if (show_disk >= static_cast<int>(members)) {
     std::fprintf(stderr, "trace_dump: --disk=%d but only members 0..%u exist\n", show_disk,
                  members - 1);
+    return 2;
+  }
+  if (governed && (!show_timeline || array_members > 0)) {
+    std::fprintf(stderr,
+                 "trace_dump: --governor requires --timeline (its decision series are "
+                 "timeline series) and does not support --array\n");
     return 2;
   }
 
@@ -306,6 +324,19 @@ int main(int argc, char** argv) {
       s->disk->set_tracer(s->tracer.get());
     }
   }
+  if (governed) {
+    // Compaction debt, built untraced: fill the region, then trim every other block so most
+    // tracks hold holes worth plugging. The governed bursts during the workload then have
+    // real relocations to show in the dump.
+    stacks[0]->disk->set_tracer(nullptr);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      Fatal(stacks[0]->vld->Write(static_cast<simdisk::Lba>(b) * 8, payload), "prepopulate");
+    }
+    for (uint32_t b = 0; b < blocks; b += 2) {
+      Fatal(stacks[0]->vld->Trim(static_cast<simdisk::Lba>(b) * 8, 8), "trim");
+    }
+    stacks[0]->disk->set_tracer(stacks[0]->tracer.get());
+  }
   // The timeline attaches after setup so window 0 starts at the workload, not at Format:
   // the completion-latency histogram the driver records into, per-member breakdown counters
   // from each recorder, every layer's probes, a default per-window p99 SLO, and a short
@@ -334,6 +365,19 @@ int main(int argc, char** argv) {
     }
     timeline->AddSteadySeries("p99:latency");
     timeline->ConfigureSteadyState(4, 0.2);
+  }
+  std::unique_ptr<core::CompactionGovernor> governor;
+  if (governed) {
+    core::GovernorConfig gcfg;
+    gcfg.slo_budget = common::Milliseconds(25);  // Matches the timeline's SLO budget.
+    // Chase a reserve deeper than what the trimmed setup already left empty, so NeedsWork
+    // holds for the whole short workload and every round's grant paths stay live.
+    gcfg.target_empty_tracks =
+        static_cast<uint32_t>(stacks[0]->vld->space().EmptyTrackCount()) + 8;
+    gcfg.min_burst = common::Microseconds(500);
+    governor = std::make_unique<core::CompactionGovernor>(stacks[0]->vld.get(),
+                                                          timeline.get(), gcfg);
+    governor->RegisterTimelineProbes(*timeline, "");
   }
   for (uint64_t round = 0; round < rounds; ++round) {
     simdisk::Lba raw_lba = 0;
@@ -370,6 +414,12 @@ int main(int argc, char** argv) {
       flush(*array);
     } else {
       flush(*stacks[0]->vld);
+    }
+    if (governor != nullptr) {
+      // Even rounds declare a small idle gap (granted in full); odd rounds only get whatever
+      // credit the duty cycle accrued — both grant paths appear in the gov.* series.
+      governor->RunBurst(round % 2 == 0 ? common::Milliseconds(10) : common::Duration{0});
+      timeline->Poll(device_now());
     }
   }
 
