@@ -57,8 +57,10 @@ inline double Mbps(uint64_t bytes, common::Duration elapsed) {
 //
 //   --smoke        shrink iteration counts for CI (each bench defines what that means)
 //   --json=PATH    write the unified metrics report to PATH
+//   --nvm          run the NVM-staging legs instead of the default sweep (bench_queue_depth)
 struct BenchFlags {
   bool smoke = false;
+  bool nvm = false;
   std::string json_path;
 
   static BenchFlags Parse(int argc, char** argv) {
@@ -66,10 +68,12 @@ struct BenchFlags {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--smoke") == 0) {
         flags.smoke = true;
+      } else if (std::strcmp(argv[i], "--nvm") == 0) {
+        flags.nvm = true;
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         flags.json_path = argv[i] + 7;
       } else {
-        std::fprintf(stderr, "unknown flag %s (known: --smoke --json=PATH)\n", argv[i]);
+        std::fprintf(stderr, "unknown flag %s (known: --smoke --nvm --json=PATH)\n", argv[i]);
         std::exit(2);
       }
     }
@@ -160,6 +164,8 @@ class MetricsReport {
       w.Double(mean_us(row.breakdown.transfer));
       w.Key("flush");
       w.Double(mean_us(row.breakdown.flush));
+      w.Key("nvm");
+      w.Double(mean_us(row.breakdown.nvm));
       w.Key("host_cpu");
       w.Double(mean_us(row.breakdown.host_cpu));
       w.Key("total");

@@ -30,6 +30,23 @@ if [ -x build/bench/bench_queue_depth ]; then
   ./build/bench/bench_queue_depth --smoke --json=BENCH_queue_depth.json
 fi
 
+# NVM staging smoke: the three-way sync-write comparison (eager-only vs NVM-over-naive vs
+# NVM-over-eager) whose gates require the staged sync p99 far below the unstaged eager p99,
+# every small write absorbed by the stage, no overflow drains under the duty cycle, and the
+# exact breakdown identity with the nvm component attributed only on the staged legs.
+if [ -x build/bench/bench_queue_depth ]; then
+  echo "=== bench smoke: queue_depth --nvm ==="
+  ./build/bench/bench_queue_depth --nvm --smoke --json=BENCH_queue_depth_nvm.json
+fi
+
+# Staged crash sweep: the kNvmStagedWrites scenario through the NVM-staged VldCrashSim, which
+# replays the crash-state matrix {NVM intact, NVM torn-tail} x every disk crash point. Zero
+# violations required; the ctest suite already sweeps all other scenarios staged.
+if [ -x build/tests/crashsim_test ]; then
+  echo "=== staged crash sweep ==="
+  ./build/tests/crashsim_test --gtest_filter='NvmStagedSweepTest.*'
+fi
+
 # Array smoke: striped N=1..8 scaling with the N=1-equals-bare-VLD identity, monotone-IOPS,
 # and mirrored degraded-read payload gates.
 if [ -x build/bench/bench_array ]; then

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstring>
 #include <iterator>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -110,6 +112,10 @@ std::string CrashSweepReport::Summary() const {
      << park_recoveries << " park, " << scan_recoveries << " scan, " << checkpoint_recoveries
      << " checkpoint-seeded, " << rolled_back_recoveries << " rolled back a torn commit, "
      << repaired_pieces << " pieces repaired";
+  if (nvm_points + nvm_torn_points > 0) {
+    os << "; nvm: " << nvm_points << " intact replays, " << nvm_torn_points
+       << " torn-tail variants";
+  }
   if (!sorted.empty()) {
     os << "; recovery time ms min/median/p90/max = " << common::ToMilliseconds(sorted.front())
        << "/" << common::ToMilliseconds(Percentile(sorted, 0.5)) << "/"
@@ -182,6 +188,8 @@ CrashSweepReport RunShardedSweep(
     merged.torn_points += s.torn_points;
     merged.corrupt_points += s.corrupt_points;
     merged.reorder_points += s.reorder_points;
+    merged.nvm_points += s.nvm_points;
+    merged.nvm_torn_points += s.nvm_torn_points;
     merged.violations += s.violations;
     if (merged.first_violation_ordinal < 0) {
       merged.first_violation_ordinal = s.first_violation_ordinal;
@@ -207,6 +215,13 @@ CrashSweepReport RunShardedSweep(
 VldCrashSim::VldCrashSim(simdisk::DiskParams params, core::VldConfig config)
     : params_(std::move(params)), config_(config) {}
 
+void VldCrashSim::EnableStage(core::NvmStageConfig stage_config,
+                              simdisk::NvmDeviceParams nvm_params) {
+  staged_ = true;
+  stage_config_ = stage_config;
+  nvm_params_ = nvm_params;
+}
+
 common::Status VldCrashSim::Record(
     const std::function<common::Status(ShadowVld&)>& workload) {
   common::Clock clock;
@@ -222,10 +237,30 @@ common::Status VldCrashSim::Record(
   disk.set_write_observer([this](simdisk::Lba lba, std::span<const std::byte> data,
                                  bool durable) { trace_.Append(lba, data, durable); });
   disk.set_flush_observer([this] { trace_.AppendBarrier(); });
+  std::unique_ptr<simdisk::NvmDevice> nvm;
+  std::unique_ptr<core::NvmStage> stage;
+  if (staged_) {
+    nvm = std::make_unique<simdisk::NvmDevice>(nvm_params_, &clock);
+    stage = std::make_unique<core::NvmStage>(nvm.get(), &vld, stage_config_);
+    RETURN_IF_ERROR(stage->Format());
+    // NVM recording starts after the stage format, mirroring the disk trace: each NVM write
+    // is tagged with the disk trace length at acknowledgement so the sweep can cut both
+    // persistence domains consistently.
+    nvm_trace_.set_base(nvm->Snapshot());
+    nvm->set_write_observer([this](uint64_t offset, std::span<const std::byte> data) {
+      nvm_trace_.Append(offset, data, trace_.size());
+    });
+  }
   ShadowVld shadow(&vld, &trace_);
+  if (staged_) {
+    shadow.AttachStage(stage.get(), &nvm_trace_);
+  }
   common::Status status = workload(shadow);
   disk.set_write_observer(nullptr);
   disk.set_flush_observer(nullptr);
+  if (nvm != nullptr) {
+    nvm->set_write_observer(nullptr);
+  }
   ops_ = shadow.TakeOps();
   return status;
 }
@@ -252,6 +287,16 @@ CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, 
   uint64_t applied = 0;
   size_t op_idx = 0;
   std::vector<std::vector<std::byte>> committed(logical_blocks_);
+
+  // Staged sweeps: the rolling NVM image (NVM is non-volatile, so every write tagged <= the
+  // disk cut is present) plus the pre-write bytes of the last applied NVM record — the undo
+  // buffer torn-NVM-tail variants are synthesized from.
+  size_t nvm_applied = 0;
+  std::vector<std::byte> nvm_image;
+  std::vector<std::byte> nvm_undo;
+  if (staged_) {
+    nvm_image = nvm_trace_.base();
+  }
 
   std::vector<std::byte> probe_block(block_bytes_, std::byte{0xA5});
   std::vector<std::byte> readback(block_bytes_);
@@ -280,6 +325,16 @@ CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, 
         committed[op.blocks[i]] = op.after[i];
       }
       ++op_idx;
+    }
+    // An NVM write tagged T happened before disk write #T was issued, so it is persisted at
+    // every cut with applied >= T — the same fold rule ops use for end_writes.
+    while (staged_ && nvm_applied < nvm_trace_.size() &&
+           nvm_trace_[nvm_applied].disk_writes <= applied) {
+      const NvmWriteRecord& rec = nvm_trace_[nvm_applied];
+      nvm_undo.assign(nvm_image.begin() + static_cast<ptrdiff_t>(rec.offset),
+                      nvm_image.begin() + static_cast<ptrdiff_t>(rec.offset + rec.data.size()));
+      ApplyNvmWrite(nvm_image, rec);
+      ++nvm_applied;
     }
     // Which acknowledged ops may be partially persisted at this point. A prefix/torn point cuts
     // inside at most the next unfinished op; a reorder point's extras can touch every op whose
@@ -352,6 +407,36 @@ CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, 
     report.rolled_back_recoveries += info->discarded_txn_sectors > 0 ? 1 : 0;
     report.repaired_pieces += info->repaired_pieces;
 
+    // Staged sweeps recover the stage over the recovered Vld (stage recovery validates staged
+    // ranges against the backing device, and disk recovery never touches NVM, so the order is
+    // observationally equivalent to recovering the stage first). The reconstructed NVM image
+    // here is intact — every acknowledged append fully persisted — so a replay that reports a
+    // torn tail would itself be a bug. All content checks below then read THROUGH the stage:
+    // an acked-in-NVM write must be served from the replayed overlay.
+    std::optional<simdisk::NvmDevice> nvm_dev;
+    std::optional<core::NvmStage> stage;
+    if (staged_) {
+      nvm_dev.emplace(nvm_params_, &clock, nvm_image);
+      stage.emplace(&*nvm_dev, &vld, stage_config_);
+      auto stage_info = stage->Recover();
+      if (!stage_info.ok()) {
+        report.AddViolation(point,
+                            "nvm stage recovery failed: " + stage_info.status().ToString(),
+                            options.max_violation_details);
+        scratch = std::move(disk).TakeMedia();
+        continue;
+      }
+      ++report.nvm_points;
+      if (stage_info->torn_tail_dropped) {
+        report.AddViolation(point, "intact NVM image replayed with a torn tail",
+                            options.max_violation_details);
+      }
+    }
+    const auto read_block = [&](uint32_t b, std::span<std::byte> out) {
+      const simdisk::Lba lba = static_cast<simdisk::Lba>(b) * block_sectors;
+      return staged_ ? stage->Read(lba, out) : vld.Read(lba, out);
+    };
+
     // Invariant 2: committed contents exact; in-flight blocks all-old or all-new. When several
     // in-flight ops touch the same block, "old" is the first writer's before-image and "new"
     // the last writer's after-image (the group commits atomically, so nothing between is
@@ -374,7 +459,7 @@ CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, 
     bool all_new = true;
     bool content_ok = true;
     for (uint32_t b = 0; b < logical_blocks_ && content_ok; ++b) {
-      if (!vld.Read(static_cast<simdisk::Lba>(b) * block_sectors, readback).ok()) {
+      if (!read_block(b, readback).ok()) {
         report.AddViolation(point, "read of logical block " + std::to_string(b) + " failed",
                             options.max_violation_details);
         content_ok = false;
@@ -442,11 +527,111 @@ CrashSweepReport VldCrashSim::SweepRange(const std::vector<CrashPoint>& points, 
                           options.max_violation_details);
     }
 
-    // Invariant 5: the recovered device still accepts and serves writes.
+    // Torn-NVM-tail matrix: a crash during an NVM append keeps a line-aligned prefix of it. A
+    // tear is only physically admissible at a clean point whose last persisted NVM write is
+    // the append coinciding with this cut (no disk write can land after an append that never
+    // finished) — and only for log records, not single-line superblock updates. Each variant
+    // reverts a line-aligned suffix of that append to its pre-write bytes and re-recovers: the
+    // record CRCs must drop exactly the torn record, so the op that owns the append reads back
+    // all-old-or-all-new and earlier committed staged ops keep their exact contents. These
+    // checks run before the probe, which mutates block 0.
+    if (staged_ && point.kind == CrashKind::kClean && nvm_applied > 0 &&
+        nvm_trace_[nvm_applied - 1].disk_writes == applied &&
+        nvm_trace_[nvm_applied - 1].offset != 0) {
+      const NvmWriteRecord& last = nvm_trace_[nvm_applied - 1];
+      // The op whose acknowledgement covers the torn append — the in-flight op for these
+      // variants. Ops record the NVM trace length at ack, monotonically.
+      const auto owner_it =
+          std::lower_bound(ops_.begin(), ops_.end(), nvm_applied,
+                           [](const ShadowVld::Op& op, size_t n) { return op.nvm_end < n; });
+      const ShadowVld::Op* owner = owner_it != ops_.end() ? &*owner_it : nullptr;
+      std::unordered_set<uint32_t> owner_blocks;
+      if (owner != nullptr) {
+        owner_blocks.insert(owner->blocks.begin(), owner->blocks.end());
+      }
+      // Recently committed ops are collateral-damage sentinels: their records precede the torn
+      // append, so the tear must leave their contents untouched.
+      std::vector<const ShadowVld::Op*> sentinels;
+      for (auto it = owner_it; it != ops_.begin() && sentinels.size() < 6;) {
+        --it;
+        if (it->end_writes <= applied && !it->blocks.empty()) {
+          sentinels.push_back(&*it);
+        }
+      }
+      const uint32_t line = nvm_params_.cache_line_bytes;
+      const uint64_t lines = last.data.size() / line;
+      const uint64_t step = std::max<uint64_t>(1, lines / 4);
+      for (uint64_t cl = 0; cl < lines; cl += step) {
+        const uint64_t cut = cl * line;
+        std::vector<std::byte> torn = nvm_image;
+        std::memcpy(torn.data() + last.offset + cut, nvm_undo.data() + cut,
+                    last.data.size() - cut);
+        simdisk::NvmDevice torn_nvm(nvm_params_, &clock, std::move(torn));
+        core::NvmStage torn_stage(&torn_nvm, &vld, stage_config_);
+        ++report.nvm_torn_points;
+        auto torn_info = torn_stage.Recover();
+        if (!torn_info.ok()) {
+          report.AddViolation(point,
+                              "nvm tear at line " + std::to_string(cl) +
+                                  ": stage recovery failed: " + torn_info.status().ToString(),
+                              options.max_violation_details);
+          continue;
+        }
+        bool t_ok = true;
+        if (owner != nullptr) {
+          bool t_all_old = true;
+          bool t_all_new = true;
+          for (size_t i = 0; i < owner->blocks.size() && t_ok; ++i) {
+            if (!torn_stage.Read(static_cast<simdisk::Lba>(owner->blocks[i]) * block_sectors,
+                                 readback)
+                     .ok()) {
+              report.AddViolation(point,
+                                  "nvm tear at line " + std::to_string(cl) +
+                                      ": read of owning op's block failed",
+                                  options.max_violation_details);
+              t_ok = false;
+              break;
+            }
+            t_all_old = t_all_old && ContentMatches(readback, owner->before[i]);
+            t_all_new = t_all_new && ContentMatches(readback, owner->after[i]);
+          }
+          if (t_ok && !(t_all_old || t_all_new)) {
+            report.AddViolation(point,
+                                "nvm tear at line " + std::to_string(cl) +
+                                    ": op owning the torn append partially applied",
+                                options.max_violation_details);
+          }
+        }
+        for (const ShadowVld::Op* op : sentinels) {
+          for (size_t i = 0; i < op->blocks.size() && t_ok; ++i) {
+            const uint32_t b = op->blocks[i];
+            if (owner_blocks.count(b) != 0 || inflight_index.count(b) != 0) {
+              continue;  // Covered by the all-old-or-all-new checks instead.
+            }
+            if (!torn_stage.Read(static_cast<simdisk::Lba>(b) * block_sectors, readback).ok() ||
+                !ContentMatches(readback, committed[b])) {
+              report.AddViolation(point,
+                                  "nvm tear at line " + std::to_string(cl) +
+                                      ": committed block " + std::to_string(b) + " disturbed",
+                                  options.max_violation_details);
+              t_ok = false;
+            }
+          }
+        }
+      }
+    }
+
+    // Invariant 5: the recovered device still accepts and serves writes. Staged runs push the
+    // probe through the stage and a full drain, exercising destage + allocator in one go.
     if (options.probe_after_recovery) {
-      const common::Status w = vld.Write(0, probe_block);
-      const common::Status r = w.ok() ? vld.Read(0, readback) : w;
-      if (!r.ok() || !ContentMatches(readback, probe_block)) {
+      common::Status st = staged_ ? stage->Write(0, probe_block) : vld.Write(0, probe_block);
+      if (st.ok() && staged_) {
+        st = stage->Drain();
+      }
+      if (st.ok()) {
+        st = staged_ ? stage->Read(0, readback) : vld.Read(0, readback);
+      }
+      if (!st.ok() || !ContentMatches(readback, probe_block)) {
         report.AddViolation(point, "post-recovery probe write/read failed",
                             options.max_violation_details);
       }

@@ -25,9 +25,12 @@
 #include "src/common/time.h"
 #include "src/core/vld.h"
 #include "src/crashsim/crash_point.h"
+#include "src/crashsim/nvm_trace.h"
 #include "src/crashsim/shadow_vld.h"
 #include "src/crashsim/write_trace.h"
+#include "src/nvm/nvm_stage.h"
 #include "src/simdisk/disk_params.h"
+#include "src/simdisk/nvm_device.h"
 #include "src/vlfs/vlfs.h"
 
 namespace vlog::crashsim {
@@ -58,6 +61,10 @@ struct CrashSweepReport {
   uint64_t torn_points = 0;  // Torn prefix/suffix/random variants.
   uint64_t corrupt_points = 0;
   uint64_t reorder_points = 0;  // Write-back destage subset/order variants.
+  // Staged sweeps only: points where the NVM stage replayed an intact image, and synthesized
+  // torn-NVM-tail variants checked on top of clean points.
+  uint64_t nvm_points = 0;
+  uint64_t nvm_torn_points = 0;
   uint64_t seed = 1;            // Echo of the sweep's base seed, for replay instructions.
 
   uint64_t violations = 0;
@@ -104,12 +111,21 @@ class VldCrashSim {
  public:
   VldCrashSim(simdisk::DiskParams params, core::VldConfig config);
 
+  // Layers an NVM staging tier over the Vld for the recording AND the sweep. Call before
+  // Record. The sweep then runs the full crash-state matrix: at every disk crash point the
+  // exact NVM image at that cut is reconstructed and the stage recovered over the recovered
+  // Vld (invariant 2 reads THROUGH the stage, so acked-in-NVM writes must survive), and on
+  // top of clean points whose final NVM append coincides with the cut, torn-NVM-tail variants
+  // are synthesized at cache-line granularity and checked too.
+  void EnableStage(core::NvmStageConfig stage_config, simdisk::NvmDeviceParams nvm_params);
+
   // Formats a fresh VLD, attaches the recorder, and runs `workload`. Call once.
   common::Status Record(const std::function<common::Status(ShadowVld&)>& workload);
 
   CrashSweepReport Sweep(const CrashSweepOptions& options) const;
 
   const WriteTrace& trace() const { return trace_; }
+  const NvmTrace& nvm_trace() const { return nvm_trace_; }
   const std::vector<ShadowVld::Op>& ops() const { return ops_; }
 
  private:
@@ -124,6 +140,11 @@ class VldCrashSim {
   std::vector<ShadowVld::Op> ops_;
   uint32_t logical_blocks_ = 0;
   uint32_t block_bytes_ = 0;
+
+  bool staged_ = false;
+  core::NvmStageConfig stage_config_;
+  simdisk::NvmDeviceParams nvm_params_;
+  NvmTrace nvm_trace_;
 };
 
 // One scripted VLFS operation. All mutating ops are synchronous, so each is committed (or not)

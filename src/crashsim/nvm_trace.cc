@@ -1,0 +1,19 @@
+#include "src/crashsim/nvm_trace.h"
+
+#include <cstring>
+
+namespace vlog::crashsim {
+
+void NvmTrace::Append(uint64_t offset, std::span<const std::byte> data, uint64_t disk_writes) {
+  NvmWriteRecord record;
+  record.offset = offset;
+  record.data.assign(data.begin(), data.end());
+  record.disk_writes = disk_writes;
+  records_.push_back(std::move(record));
+}
+
+void ApplyNvmWrite(std::vector<std::byte>& image, const NvmWriteRecord& record) {
+  std::memcpy(image.data() + record.offset, record.data.data(), record.data.size());
+}
+
+}  // namespace vlog::crashsim

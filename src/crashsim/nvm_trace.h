@@ -1,0 +1,49 @@
+// The recorded NVM write history for staged crash sweeps. Each record is one acknowledged
+// NvmDevice::WriteBytes, tagged with the disk write-trace length at the moment it happened, so
+// a sweep can reconstruct the exact NVM image at any disk crash cut: NVM is non-volatile, so
+// the image at disk cut N is the base plus every NVM write tagged <= N.
+//
+// Torn-tail NVM states are NOT recorded — they are synthesized by the sweep, which reverts a
+// line-aligned suffix of the final append to its pre-write bytes (the memory controller
+// persists whole cache lines in order, so that is the only physically admissible tear).
+#ifndef SRC_CRASHSIM_NVM_TRACE_H_
+#define SRC_CRASHSIM_NVM_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlog::crashsim {
+
+struct NvmWriteRecord {
+  uint64_t offset = 0;
+  std::vector<std::byte> data;
+  // Disk write-trace length when this NVM write was acknowledged. An NVM write tagged T
+  // happened before disk write #T was issued, so it is persisted at every crash cut >= T —
+  // the same fold rule the op shadow uses for end_writes.
+  uint64_t disk_writes = 0;
+};
+
+class NvmTrace {
+ public:
+  void set_base(std::vector<std::byte> base) { base_ = std::move(base); }
+  const std::vector<std::byte>& base() const { return base_; }
+
+  void Append(uint64_t offset, std::span<const std::byte> data, uint64_t disk_writes);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const NvmWriteRecord& operator[](size_t i) const { return records_[i]; }
+
+ private:
+  std::vector<std::byte> base_;
+  std::vector<NvmWriteRecord> records_;
+};
+
+// Applies one record to a reconstructed NVM image.
+void ApplyNvmWrite(std::vector<std::byte>& image, const NvmWriteRecord& record);
+
+}  // namespace vlog::crashsim
+
+#endif  // SRC_CRASHSIM_NVM_TRACE_H_

@@ -391,6 +391,65 @@ common::Status LfsOnVldWorkload(ShadowVld& dev) {
   return dev.Park();
 }
 
+// NVM-stage-focused traffic (run with VldCrashSim::EnableStage): staged sync bursts, direct
+// writes and trims overlapping staged blocks (conflict destage + invalidate), duty-cycled
+// destage pumps, queued batches whose submits and reads cross staged blocks, and a staged
+// tail with NO final drain — the last crash points must recover acked writes whose only copy
+// is the NVM log.
+common::Status NvmStagedWritesWorkload(ShadowVld& dev) {
+  const uint32_t blocks = dev.vld().logical_blocks();
+  common::Rng rng(31);
+  uint32_t version = 1;
+  // Base fill: small single-block writes, all absorbed by the stage.
+  for (uint32_t b = 0; b < 16; ++b) {
+    RETURN_IF_ERROR(dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 1)));
+  }
+  for (int round = 0; round < 5; ++round) {
+    ++version;
+    for (int i = 0; i < 6; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      RETURN_IF_ERROR(
+          dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, version)));
+    }
+    // A two-block write exceeds the staging threshold: it goes direct and must invalidate any
+    // staged copy it overlaps.
+    const uint32_t c = static_cast<uint32_t>(rng.Below(blocks - 2));
+    RETURN_IF_ERROR(dev.Write(static_cast<simdisk::Lba>(c) * kBlockSectors,
+                              Pattern(c, version, 2 * kBlockBytes)));
+    RETURN_IF_ERROR(dev.PumpDestage(common::Milliseconds(2)));
+    if (round % 2 == 0) {
+      const uint32_t t = static_cast<uint32_t>(rng.Below(blocks - 2));
+      RETURN_IF_ERROR(dev.Trim(static_cast<simdisk::Lba>(t) * kBlockSectors,
+                               static_cast<uint64_t>(2) * kBlockSectors));
+    }
+  }
+  // A queued mixed batch whose submits and reads cross staged blocks (submit-time conflict
+  // destages), group-committed through the stage's passthrough.
+  {
+    ++version;
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<core::Vld::AtomicWrite> writes;
+    std::vector<uint32_t> read_blocks;
+    for (uint32_t i = 0; i < 4; ++i) {
+      const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+      payloads.push_back(Pattern(b, version));
+      writes.push_back(core::Vld::AtomicWrite{static_cast<simdisk::Lba>(b) * kBlockSectors,
+                                              payloads.back()});
+      read_blocks.push_back(i % 2 == 0 ? b : static_cast<uint32_t>(rng.Below(blocks)));
+    }
+    RETURN_IF_ERROR(dev.QueuedMixedBatch(writes, read_blocks));
+  }
+  RETURN_IF_ERROR(dev.DrainStage());
+  // Staged residue: acked writes whose only copy is the NVM log when the trace ends. No park,
+  // no drain — the sweep's tail points must replay them.
+  for (uint32_t i = 0; i < 4; ++i) {
+    const uint32_t b = static_cast<uint32_t>(rng.Below(blocks));
+    RETURN_IF_ERROR(
+        dev.Write(static_cast<simdisk::Lba>(b) * kBlockSectors, Pattern(b, 200 + i)));
+  }
+  return common::OkStatus();
+}
+
 }  // namespace
 
 const char* VldScenarioName(VldScenario scenario) {
@@ -409,6 +468,8 @@ const char* VldScenarioName(VldScenario scenario) {
       return "queued-mixed-read-write";
     case VldScenario::kLfsOnVld:
       return "lfs-on-vld";
+    case VldScenario::kNvmStagedWrites:
+      return "nvm-staged-writes";
   }
   return "?";
 }
@@ -432,6 +493,19 @@ vlfs::VlfsConfig CrashSimVlfsConfig() {
   return vlfs::VlfsConfig{};
 }
 
+simdisk::NvmDeviceParams CrashSimNvmParams() {
+  simdisk::NvmDeviceParams params;
+  params.size_bytes = 256 * 1024;
+  return params;
+}
+
+core::NvmStageConfig CrashSimNvmStageConfig() {
+  // Threshold = the scenarios' block size, so single-block sync writes stage and multi-block
+  // writes exercise the direct/conflict path.
+  return core::NvmStageConfig{.stage_threshold_sectors = kBlockSectors,
+                              .destage_batch_records = 4};
+}
+
 common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
   switch (scenario) {
     case VldScenario::kUfsOnVld:
@@ -448,6 +522,8 @@ common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim) {
       return sim.Record(QueuedMixedReadWriteWorkload);
     case VldScenario::kLfsOnVld:
       return sim.Record(LfsOnVldWorkload);
+    case VldScenario::kNvmStagedWrites:
+      return sim.Record(NvmStagedWritesWorkload);
   }
   return common::InvalidArgument("unknown scenario");
 }

@@ -48,6 +48,12 @@ enum class VldScenario {
   kQueuedGroupCommit,
   kQueuedMixedReadWrite,
   kLfsOnVld,
+  // NVM-stage-focused traffic: bursts of small staged sync writes, overlapping direct writes
+  // and trims (the conflict/invalidate protocol), duty-cycled destage pumps, queued batches
+  // over staged blocks, and a staged-residue tail so crash points land with acked writes whose
+  // ONLY copy is the NVM log. Meaningful only with VldCrashSim::EnableStage; without a stage
+  // the destage pumps are no-ops and it degenerates to plain sync traffic.
+  kNvmStagedWrites,
 };
 
 const char* VldScenarioName(VldScenario scenario);
@@ -60,6 +66,11 @@ simdisk::DiskParams CrashSimDiskParams();
 simdisk::DiskParams CrashSimCachedDiskParams();
 core::VldConfig CrashSimVldConfig();
 vlfs::VlfsConfig CrashSimVlfsConfig();
+// The NVM staging tier the staged sweeps layer over the Vld (any scenario can run with it via
+// VldCrashSim::EnableStage). 256 KiB keeps overflow drains in play for the fill-heavy
+// scenarios without making them the only destage path.
+simdisk::NvmDeviceParams CrashSimNvmParams();
+core::NvmStageConfig CrashSimNvmStageConfig();
 
 // Records the scenario's workload into `sim` (which must be freshly constructed).
 common::Status RecordVldScenario(VldScenario scenario, VldCrashSim& sim);

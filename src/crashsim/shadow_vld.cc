@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/nvm/nvm_stage.h"
+
 namespace vlog::crashsim {
 
 ShadowVld::ShadowVld(core::Vld* vld, const WriteTrace* trace)
@@ -10,6 +12,11 @@ ShadowVld::ShadowVld(core::Vld* vld, const WriteTrace* trace)
       trace_(trace),
       block_bytes_(vld->block_sectors() * vld->SectorBytes()),
       shadow_(vld->logical_blocks()) {}
+
+void ShadowVld::AttachStage(core::NvmStage* stage, const NvmTrace* nvm_trace) {
+  stage_ = stage;
+  nvm_trace_ = nvm_trace;
+}
 
 std::vector<std::byte> ShadowVld::Overlay(uint32_t block, uint32_t first_sector,
                                           uint64_t sector_count,
@@ -26,6 +33,7 @@ void ShadowVld::RecordOp(std::vector<uint32_t> blocks,
                          std::vector<std::vector<std::byte>> after) {
   Op op;
   op.end_writes = trace_->size();
+  op.nvm_end = nvm_trace_ != nullptr ? nvm_trace_->size() : 0;
   for (size_t i = 0; i < blocks.size(); ++i) {
     // A block touched twice in one op (legal in WriteAtomic) keeps its pre-op `before` and the
     // last `after`: intermediate versions are never observable across a crash.
@@ -45,7 +53,7 @@ void ShadowVld::RecordOp(std::vector<uint32_t> blocks,
 }
 
 common::Status ShadowVld::Read(simdisk::Lba lba, std::span<std::byte> out) {
-  RETURN_IF_ERROR(vld_->Read(lba, out));
+  RETURN_IF_ERROR(stage_ != nullptr ? stage_->Read(lba, out) : vld_->Read(lba, out));
   // Verify against the shadow: a divergence while the device is healthy is a live bug, better
   // caught here than blamed on a crash point later.
   const uint32_t sector_bytes = SectorBytes();
@@ -70,7 +78,7 @@ common::Status ShadowVld::Read(simdisk::Lba lba, std::span<std::byte> out) {
 }
 
 common::Status ShadowVld::Write(simdisk::Lba lba, std::span<const std::byte> in) {
-  RETURN_IF_ERROR(vld_->Write(lba, in));
+  RETURN_IF_ERROR(stage_ != nullptr ? stage_->Write(lba, in) : vld_->Write(lba, in));
   const uint32_t sector_bytes = SectorBytes();
   const uint32_t bs = vld_->block_sectors();
   const uint64_t sectors = in.size() / sector_bytes;
@@ -93,7 +101,7 @@ common::Status ShadowVld::Write(simdisk::Lba lba, std::span<const std::byte> in)
 }
 
 common::Status ShadowVld::Trim(simdisk::Lba lba, uint64_t sectors) {
-  RETURN_IF_ERROR(vld_->Trim(lba, sectors));
+  RETURN_IF_ERROR(stage_ != nullptr ? stage_->Trim(lba, sectors) : vld_->Trim(lba, sectors));
   // Mirror Vld::Trim: only whole covered blocks are dropped; partial edges are ignored.
   const uint32_t bs = vld_->block_sectors();
   const uint32_t first = static_cast<uint32_t>((lba + bs - 1) / bs);
@@ -109,7 +117,7 @@ common::Status ShadowVld::Trim(simdisk::Lba lba, uint64_t sectors) {
 }
 
 common::Status ShadowVld::WriteAtomic(std::span<const core::Vld::AtomicWrite> writes) {
-  RETURN_IF_ERROR(vld_->WriteAtomic(writes));
+  RETURN_IF_ERROR(stage_ != nullptr ? stage_->WriteAtomic(writes) : vld_->WriteAtomic(writes));
   const uint32_t bs = vld_->block_sectors();
   std::vector<uint32_t> blocks;
   std::vector<std::vector<std::byte>> after;
@@ -141,18 +149,24 @@ common::Status ShadowVld::QueuedMixedBatch(std::span<const core::Vld::AtomicWrit
   size_t ri = 0;
   while (wi < writes.size() || ri < read_blocks.size()) {
     if (wi < writes.size()) {
-      RETURN_IF_ERROR(vld_->SubmitWrite(writes[wi].lba, writes[wi].data).status());
+      // Staged submits resolve overlay conflicts (destage + flush + invalidate) at submit
+      // time, so any media writes they emit land before trace_before below.
+      RETURN_IF_ERROR((stage_ != nullptr ? stage_->SubmitWrite(writes[wi].lba, writes[wi].data)
+                                         : vld_->SubmitWrite(writes[wi].lba, writes[wi].data))
+                          .status());
       ++wi;
     }
     if (ri < read_blocks.size()) {
-      ASSIGN_OR_RETURN(const uint64_t id,
-                       vld_->SubmitRead(static_cast<simdisk::Lba>(read_blocks[ri]) * bs, bs));
+      const simdisk::Lba read_lba = static_cast<simdisk::Lba>(read_blocks[ri]) * bs;
+      ASSIGN_OR_RETURN(const uint64_t id, stage_ != nullptr ? stage_->SubmitRead(read_lba, bs)
+                                                            : vld_->SubmitRead(read_lba, bs));
       reads.push_back({id, read_blocks[ri], wi});
       ++ri;
     }
   }
   const uint64_t trace_before = trace_->size();
-  ASSIGN_OR_RETURN(const std::vector<core::Vld::QueuedCompletion> done, vld_->FlushQueue());
+  ASSIGN_OR_RETURN(const std::vector<core::Vld::QueuedCompletion> done,
+                   stage_ != nullptr ? stage_->FlushQueue() : vld_->FlushQueue());
   if (writes.empty() && trace_->size() != trace_before) {
     return common::Corruption("QueuedMixedBatch: read-only batch emitted media writes");
   }
@@ -224,6 +238,24 @@ void ShadowVld::RunIdle(common::Duration budget) {
 void ShadowVld::RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks) {
   vld_->RunGovernedBurst(budget, target_empty_tracks);
   RecordOp({}, {});
+}
+
+common::Status ShadowVld::PumpDestage(common::Duration budget) {
+  if (stage_ == nullptr) {
+    return common::OkStatus();
+  }
+  RETURN_IF_ERROR(stage_->RunDestageBurst(budget).status());
+  RecordOp({}, {});
+  return common::OkStatus();
+}
+
+common::Status ShadowVld::DrainStage() {
+  if (stage_ == nullptr) {
+    return common::OkStatus();
+  }
+  RETURN_IF_ERROR(stage_->Drain());
+  RecordOp({}, {});
+  return common::OkStatus();
 }
 
 }  // namespace vlog::crashsim

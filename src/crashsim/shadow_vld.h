@@ -18,9 +18,15 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/time.h"
 #include "src/core/vld.h"
+#include "src/crashsim/nvm_trace.h"
 #include "src/crashsim/write_trace.h"
 #include "src/simdisk/block_device.h"
+
+namespace vlog::core {
+class NvmStage;
+}  // namespace vlog::core
 
 namespace vlog::crashsim {
 
@@ -28,6 +34,9 @@ class ShadowVld : public simdisk::BlockDevice {
  public:
   struct Op {
     uint64_t end_writes = 0;  // Trace length when the command was acknowledged.
+    // NVM trace length when the command was acknowledged (0 when no stage is attached). An op
+    // whose staged append is the torn one is the sweep's in-flight op for that NVM tear.
+    uint64_t nvm_end = 0;
     // Touched logical blocks with their full before/after contents. An empty vector means the
     // block is unmapped and reads back as zeros.
     std::vector<uint32_t> blocks;
@@ -37,6 +46,11 @@ class ShadowVld : public simdisk::BlockDevice {
 
   // `trace` must be the trace attached to the Vld's SimDisk write observer.
   ShadowVld(core::Vld* vld, const WriteTrace* trace);
+
+  // Routes all subsequent traffic through an NVM staging tier layered over the same Vld.
+  // `nvm_trace` must be the trace attached to the stage's NvmDevice write observer; ops then
+  // record the NVM trace length at acknowledgement alongside the disk trace length.
+  void AttachStage(core::NvmStage* stage, const NvmTrace* nvm_trace);
 
   // BlockDevice. Reads are verified against the shadow (a mismatch during recording is itself
   // a bug worth failing loudly on) and writes are recorded as ops.
@@ -73,7 +87,13 @@ class ShadowVld : public simdisk::BlockDevice {
   // Touches no logical blocks; recorded as an op boundary so its media writes — relocations
   // truncated mid-track included — are attributed to it.
   void RunGovernedBurst(common::Duration budget, uint32_t target_empty_tracks = 0);
+  // Staged-mode background maintenance: a duty-cycled destage burst / a full synchronous
+  // drain. Both are recorded as op boundaries (their media writes belong to them, not to the
+  // next command) and are no-ops when no stage is attached.
+  common::Status PumpDestage(common::Duration budget);
+  common::Status DrainStage();
 
+  core::NvmStage* stage() { return stage_; }
   core::Vld& vld() { return *vld_; }
   const std::vector<Op>& ops() const { return ops_; }
   std::vector<Op> TakeOps() { return std::move(ops_); }
@@ -88,6 +108,8 @@ class ShadowVld : public simdisk::BlockDevice {
 
   core::Vld* vld_;
   const WriteTrace* trace_;
+  core::NvmStage* stage_ = nullptr;      // Non-null in staged mode.
+  const NvmTrace* nvm_trace_ = nullptr;  // Non-null in staged mode.
   uint32_t block_bytes_;
   std::vector<std::vector<std::byte>> shadow_;  // Per logical block; empty = zeros.
   std::vector<Op> ops_;

@@ -387,6 +387,7 @@ void RegisterBreakdownCounters(Timeline& timeline, const TraceRecorder& tracer,
                       [totals] { return static_cast<uint64_t>(totals->transfer); });
   timeline.AddCounter(prefix + "flush",
                       [totals] { return static_cast<uint64_t>(totals->flush); });
+  timeline.AddCounter(prefix + "nvm", [totals] { return static_cast<uint64_t>(totals->nvm); });
   timeline.AddCounter(prefix + "queueing",
                       [totals] { return static_cast<uint64_t>(totals->queueing); });
 }

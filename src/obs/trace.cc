@@ -11,6 +11,8 @@ const char* LayerName(Layer layer) {
       return "host";
     case Layer::kFs:
       return "fs";
+    case Layer::kNvm:
+      return "nvm";
     case Layer::kVld:
       return "vld";
     case Layer::kVlog:
@@ -59,6 +61,10 @@ const char* EventTypeName(EventType type) {
       return "bus_xfer";
     case EventType::kDestage:
       return "destage";
+    case EventType::kNvmWrite:
+      return "nvm_write";
+    case EventType::kNvmRead:
+      return "nvm_read";
     case EventType::kReadForward:
       return "read_forward";
     case EventType::kFlush:
@@ -73,6 +79,14 @@ const char* EventTypeName(EventType type) {
       return "compact_start";
     case EventType::kCompactEnd:
       return "compact_end";
+    case EventType::kNvmStage:
+      return "nvm_stage";
+    case EventType::kNvmInvalidate:
+      return "nvm_invalidate";
+    case EventType::kNvmDestageStart:
+      return "nvm_destage_start";
+    case EventType::kNvmDestageEnd:
+      return "nvm_destage_end";
   }
   return "?";
 }
@@ -85,6 +99,7 @@ TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& rhs) {
   rotation += rhs.rotation;
   transfer += rhs.transfer;
   flush += rhs.flush;
+  nvm += rhs.nvm;
   queueing += rhs.queueing;
   return *this;
 }
@@ -98,6 +113,7 @@ TimeBreakdown TimeBreakdown::operator-(const TimeBreakdown& rhs) const {
   d.rotation = rotation - rhs.rotation;
   d.transfer = transfer - rhs.transfer;
   d.flush = flush - rhs.flush;
+  d.nvm = nvm - rhs.nvm;
   d.queueing = queueing - rhs.queueing;
   return d;
 }
@@ -175,6 +191,10 @@ void TraceRecorder::Charge(EventType type, Layer layer, common::Duration dur, ui
       break;
     case EventType::kDestage:
       bd.flush += dur;
+      break;
+    case EventType::kNvmWrite:
+    case EventType::kNvmRead:
+      bd.nvm += dur;
       break;
     default:
       break;
@@ -257,6 +277,8 @@ std::string TraceRecorder::TraceJson() const {
       w.Int(s.breakdown.transfer);
       w.Key("flush");
       w.Int(s.breakdown.flush);
+      w.Key("nvm");
+      w.Int(s.breakdown.nvm);
       w.Key("queueing");
       w.Int(s.breakdown.queueing);
       w.EndObject();

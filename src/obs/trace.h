@@ -7,9 +7,9 @@
 // (VLFS -> VLD -> VirtualLog -> RequestQueue -> SimDisk) by SpanScope guards. One host write
 // is therefore followable end to end, and its latency decomposes exactly:
 //
-//   latency = host_cpu + controller + seek + head_switch + rotation + transfer + queueing
+//   latency = host_cpu + controller + seek + head_switch + rotation + transfer + nvm + queueing
 //
-// where the first six are the durations of the span's own charged events and `queueing` is the
+// where all but the last are the durations of the span's own charged events and `queueing` is the
 // residual — time the request spent waiting on work not its own (other requests' media time,
 // a shared group commit, a busy controller). For a synchronous request the residual is zero by
 // construction; the identity is asserted in tests.
@@ -37,7 +37,7 @@ namespace vlog::obs {
 class MetricsRegistry;
 
 // Which layer of the stack emitted an event.
-enum class Layer : uint8_t { kHost, kFs, kVld, kVlog, kQueue, kDisk };
+enum class Layer : uint8_t { kHost, kFs, kNvm, kVld, kVlog, kQueue, kDisk };
 
 // What a span's request is doing. Reads and writes take different paths through a queued
 // device (reads are position-schedulable, writes are eager), so tooling wants them apart.
@@ -58,6 +58,8 @@ enum class EventType : uint8_t {
   kBusXfer,     // Bus transfer out of the track buffer.
   kDestage,     // Write-cache destage: mechanical time writing one dirty extent (a=lba,
                 // b=sectors). Emitted by Flush and by capacity-pressure drains.
+  kNvmWrite,    // Byte-addressable NVM append/superblock write (a=byte offset, b=bytes).
+  kNvmRead,     // NVM overlay read serving staged sectors (a=lba, b=sectors).
   // Markers (dur == 0).
   kReadForward,   // A queued read served sectors from a pending (unserviced) write's payload
                   // instead of the media (a=first lba forwarded, b=sectors forwarded).
@@ -67,6 +69,10 @@ enum class EventType : uint8_t {
   kCheckpoint,    // A full-map checkpoint (a=sequence number).
   kCompactStart,  // Idle-time compaction began (a=victim track).
   kCompactEnd,    // Idle-time compaction finished (a=victim track, b=emptied).
+  kNvmStage,      // A small sync write was absorbed by the NVM stage (a=lba, b=sectors).
+  kNvmInvalidate,  // Staged sectors superseded by a direct write/trim (a=lba, b=sectors).
+  kNvmDestageStart,  // A background destage batch began (a=log records pending).
+  kNvmDestageEnd,    // A background destage batch finished (a=records, b=sectors destaged).
 };
 
 const char* LayerName(Layer layer);
@@ -95,10 +101,11 @@ struct TimeBreakdown {
   common::Duration rotation = 0;
   common::Duration transfer = 0;
   common::Duration flush = 0;  // Write-cache destage time charged to this span.
+  common::Duration nvm = 0;    // Byte-addressable NVM staging-tier time (appends + overlay reads).
   common::Duration queueing = 0;
 
   common::Duration Accounted() const {
-    return host_cpu + controller + seek + head_switch + rotation + transfer + flush;
+    return host_cpu + controller + seek + head_switch + rotation + transfer + flush + nvm;
   }
   common::Duration Total() const { return Accounted() + queueing; }
 

@@ -1,0 +1,77 @@
+#include "src/simdisk/nvm_device.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace vlog::simdisk {
+
+NvmDevice::NvmDevice(NvmDeviceParams params, common::Clock* clock)
+    : params_(params), clock_(clock), media_(params.size_bytes) {}
+
+NvmDevice::NvmDevice(NvmDeviceParams params, common::Clock* clock, std::vector<std::byte> image)
+    : params_(params), clock_(clock), media_(std::move(image)) {
+  media_.resize(params_.size_bytes);
+}
+
+common::Status NvmDevice::CheckRange(uint64_t offset, size_t bytes, const char* op) const {
+  if (offset > params_.size_bytes || bytes > params_.size_bytes - offset) {
+    return common::InvalidArgument(std::string(op) + ": NVM range [" + std::to_string(offset) +
+                                   ", +" + std::to_string(bytes) + ") exceeds " +
+                                   std::to_string(params_.size_bytes) + " bytes");
+  }
+  return common::OkStatus();
+}
+
+uint64_t NvmDevice::Lines(uint64_t offset, size_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  const uint64_t line = params_.cache_line_bytes;
+  const uint64_t first = offset / line;
+  const uint64_t last = (offset + bytes - 1) / line;
+  return last - first + 1;
+}
+
+common::Status NvmDevice::WriteBytes(uint64_t offset, std::span<const std::byte> in) {
+  RETURN_IF_ERROR(CheckRange(offset, in.size(), "NvmDevice::WriteBytes"));
+  const common::Duration cost =
+      params_.write_latency +
+      params_.line_write_cost * static_cast<common::Duration>(Lines(offset, in.size()));
+  clock_->Advance(cost);
+  if (tracer_ != nullptr) {
+    tracer_->Charge(obs::EventType::kNvmWrite, obs::Layer::kNvm, cost, offset, in.size());
+  }
+  std::memcpy(media_.data() + offset, in.data(), in.size());
+  ++stats_.writes;
+  stats_.bytes_written += in.size();
+  if (write_observer_) {
+    write_observer_(offset, in);
+  }
+  return common::OkStatus();
+}
+
+common::Status NvmDevice::ReadBytes(uint64_t offset, std::span<std::byte> out) {
+  RETURN_IF_ERROR(CheckRange(offset, out.size(), "NvmDevice::ReadBytes"));
+  const common::Duration cost =
+      params_.read_latency +
+      params_.line_read_cost * static_cast<common::Duration>(Lines(offset, out.size()));
+  clock_->Advance(cost);
+  if (tracer_ != nullptr) {
+    tracer_->Charge(obs::EventType::kNvmRead, obs::Layer::kNvm, cost, offset, out.size());
+  }
+  std::memcpy(out.data(), media_.data() + offset, out.size());
+  ++stats_.reads;
+  stats_.bytes_read += out.size();
+  return common::OkStatus();
+}
+
+void NvmDevice::Peek(uint64_t offset, std::span<std::byte> out) const {
+  std::memcpy(out.data(), media_.data() + offset, out.size());
+}
+
+void NvmDevice::Poke(uint64_t offset, std::span<const std::byte> in) {
+  std::memcpy(media_.data() + offset, in.data(), in.size());
+}
+
+}  // namespace vlog::simdisk

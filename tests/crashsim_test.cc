@@ -515,6 +515,107 @@ TEST(ReorderSweepTest, SweepDetectsMissingBarriers) {
 }
 
 // ---------------------------------------------------------------------------
+// NVM-staged sweeps: the same scenarios with the write-ahead staging tier
+// layered over the Vld. At every disk crash point the exact NVM image at that
+// cut is reconstructed and the stage recovered over the recovered Vld; all
+// content checks read through the stage, so a write acknowledged at NVM
+// latency must survive every point or the sweep fails. On top of clean points
+// whose final NVM append coincides with the cut, torn-NVM-tail variants are
+// synthesized at cache-line granularity — the second axis of the crash-state
+// matrix. --seed/--point replay works unchanged.
+// ---------------------------------------------------------------------------
+
+CrashSweepReport SweepStagedVldScenario(VldScenario scenario, bool cached = false) {
+  VldCrashSim sim(cached ? CrashSimCachedDiskParams() : CrashSimDiskParams(),
+                  CrashSimVldConfig());
+  sim.EnableStage(CrashSimNvmStageConfig(), CrashSimNvmParams());
+  const common::Status recorded = RecordVldScenario(scenario, sim);
+  EXPECT_TRUE(recorded.ok()) << recorded.ToString();
+  return sim.Sweep(SeededSweepOptions());
+}
+
+// The stage-focused scenario: staged bursts, conflict-inducing direct writes and trims,
+// destage pumps, a queued mixed batch, and a staged-residue tail whose acked writes exist
+// ONLY in the NVM log when the trace ends.
+TEST(NvmStagedSweepTest, NvmStagedWritesScenarioHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kNvmStagedWrites);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+    EXPECT_GT(report.nvm_torn_points, 0u) << report.Summary();
+  }
+}
+
+// Reorder x stage: the cached disk's destage subsets compose with NVM replay.
+TEST(NvmStagedSweepTest, NvmStagedWritesCachedScenarioHasNoViolations) {
+  const CrashSweepReport report =
+      SweepStagedVldScenario(VldScenario::kNvmStagedWrites, /*cached=*/true);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.reorder_points, 0u) << report.Summary();
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+// Every pre-existing scenario re-swept with the stage layered on: the staging tier must be
+// transparent to UFS, LFS, compaction, checkpoints, and the queued paths alike.
+TEST(NvmStagedSweepTest, UfsOnVldStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kUfsOnVld);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, CompactorActiveStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kCompactorActive);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, CompactionUnderLoadStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kCompactionUnderLoad);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, CheckpointInterruptedStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kCheckpointInterrupted);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, QueuedGroupCommitStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kQueuedGroupCommit);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, QueuedMixedReadWriteStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kQueuedMixedReadWrite);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+TEST(NvmStagedSweepTest, LfsOnVldStagedHasNoViolations) {
+  const CrashSweepReport report = SweepStagedVldScenario(VldScenario::kLfsOnVld);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (!Replaying()) {
+    EXPECT_GT(report.nvm_points, 0u) << report.Summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Parallel-sweep determinism: sharding a sweep across worker threads must be
 // invisible in the report. Every crash point's ordinal, image, and variant
 // seed are fixed at enumeration time, so the merged report at any worker
@@ -529,6 +630,8 @@ void ExpectIdenticalReports(const CrashSweepReport& serial, const CrashSweepRepo
   EXPECT_EQ(serial.torn_points, sharded.torn_points) << "workers=" << workers;
   EXPECT_EQ(serial.corrupt_points, sharded.corrupt_points) << "workers=" << workers;
   EXPECT_EQ(serial.reorder_points, sharded.reorder_points) << "workers=" << workers;
+  EXPECT_EQ(serial.nvm_points, sharded.nvm_points) << "workers=" << workers;
+  EXPECT_EQ(serial.nvm_torn_points, sharded.nvm_torn_points) << "workers=" << workers;
   EXPECT_EQ(serial.seed, sharded.seed) << "workers=" << workers;
   EXPECT_EQ(serial.violations, sharded.violations) << "workers=" << workers;
   EXPECT_EQ(serial.violation_details, sharded.violation_details) << "workers=" << workers;
@@ -584,6 +687,27 @@ TEST(ParallelSweepTest, WorkerCountIsInvisibleWhenViolationsFire) {
   options.workers = 1;
   const CrashSweepReport serial = sim.Sweep(options);
   ASSERT_GT(serial.violations, 0u) << serial.Summary();
+  for (const uint32_t workers : {2u, 8u}) {
+    options.workers = workers;
+    ExpectIdenticalReports(serial, sim.Sweep(options), workers);
+  }
+}
+
+// Sharding must stay invisible with the staged matrices in play too: the rolling NVM image
+// and undo buffer are rebuilt per shard, and the per-point nvm counters merge in ordinal
+// order.
+TEST(ParallelSweepTest, WorkerCountIsInvisibleInStagedReports) {
+  if (Replaying()) {
+    GTEST_SKIP() << "determinism comparison needs the full point sweep, not a --point replay";
+  }
+  VldCrashSim sim(CrashSimDiskParams(), CrashSimVldConfig());
+  sim.EnableStage(CrashSimNvmStageConfig(), CrashSimNvmParams());
+  ASSERT_TRUE(RecordVldScenario(VldScenario::kNvmStagedWrites, sim).ok());
+  CrashSweepOptions options = SeededSweepOptions();
+  options.workers = 1;
+  const CrashSweepReport serial = sim.Sweep(options);
+  EXPECT_TRUE(serial.ok()) << serial.Summary();
+  ASSERT_GT(serial.nvm_torn_points, 0u) << serial.Summary();
   for (const uint32_t workers : {2u, 8u}) {
     options.workers = workers;
     ExpectIdenticalReports(serial, sim.Sweep(options), workers);

@@ -13,10 +13,15 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/vld.h"
 #include "src/crashsim/crash_point.h"
 #include "src/crashsim/write_trace.h"
+#include "src/lfs/log_disk.h"
+#include "src/lfs/simple_fs.h"
+#include "src/nvm/nvm_stage.h"
 #include "src/simdisk/disk_params.h"
 #include "src/simdisk/host_model.h"
+#include "src/simdisk/nvm_device.h"
 #include "src/simdisk/sim_disk.h"
 #include "src/ufs/ufs.h"
 #include "src/vlfs/vlfs.h"
@@ -33,7 +38,15 @@ std::vector<std::byte> Pattern(size_t n, uint32_t seed) {
   return v;
 }
 
-enum class Stack { kUfsRegular, kUfsVld, kLfsRegular, kLfsVld, kVlfs };
+// The staged rows mount the same file systems over an NVM staging tier fronting the VLD: the
+// stage absorbs small sync writes at NVM latency and destages them later, so an acknowledged
+// (and even a Sync'd) write may exist ONLY in the NVM log — a persistence domain, not a
+// volatile cache. The conformance contract must be oblivious to that difference. The VLFS has
+// no separate staged row: it mounts directly on the disk geometry and is itself the
+// file-level virtual log, so its own commit path already provides what the stage adds to
+// UFS/LFS — its rows below are the VLFS entry of the staged matrix.
+enum class Stack { kUfsRegular, kUfsVld, kLfsRegular, kLfsVld, kVlfs, kUfsVldStaged,
+                   kLfsVldStaged };
 
 const char* StackName(Stack stack) {
   switch (stack) {
@@ -47,6 +60,10 @@ const char* StackName(Stack stack) {
       return "LfsVld";
     case Stack::kVlfs:
       return "Vlfs";
+    case Stack::kUfsVldStaged:
+      return "UfsVldStaged";
+    case Stack::kLfsVldStaged:
+      return "LfsVldStaged";
   }
   return "?";
 }
@@ -64,6 +81,30 @@ class StackHarness {
       vlfs_ = std::make_unique<vlfs::Vlfs>(disk_.get(), host_.get());
       EXPECT_TRUE(vlfs_->Format().ok());
       fs_ = vlfs_.get();
+      raw_ = disk_.get();
+      return;
+    }
+    if (stack == Stack::kUfsVldStaged || stack == Stack::kLfsVldStaged) {
+      simdisk::DiskParams params = simdisk::Truncated(simdisk::SeagateSt19101(), 6);
+      params.cache.capacity_sectors = cache_sectors;
+      disk_ = std::make_unique<simdisk::SimDisk>(params, &clock_);
+      host_ = std::make_unique<simdisk::HostModel>(simdisk::ZeroCostHost(), &clock_);
+      vld_ = std::make_unique<core::Vld>(disk_.get(), core::VldConfig{});
+      EXPECT_TRUE(vld_->Format().ok());
+      nvm_ = std::make_unique<simdisk::NvmDevice>(simdisk::NvmDeviceParams{}, &clock_);
+      stage_ = std::make_unique<core::NvmStage>(nvm_.get(), vld_.get());
+      EXPECT_TRUE(stage_->Format().ok());
+      if (stack == Stack::kUfsVldStaged) {
+        ufs_ = std::make_unique<ufs::Ufs>(stage_.get(), host_.get());
+        EXPECT_TRUE(ufs_->Format().ok());
+        fs_ = ufs_.get();
+      } else {
+        lld_ = std::make_unique<lfs::LogStructuredDisk>(stage_.get());
+        EXPECT_TRUE(lld_->Format().ok());
+        simple_fs_ = std::make_unique<lfs::SimpleFs>(lld_.get(), host_.get());
+        EXPECT_TRUE(simple_fs_->Format().ok());
+        fs_ = simple_fs_.get();
+      }
       raw_ = disk_.get();
       return;
     }
@@ -85,12 +126,20 @@ class StackHarness {
 
   fs::FileSystem& fs() { return *fs_; }
   simdisk::SimDisk& raw_disk() { return *raw_; }
+  // Non-null only for the staged rows.
+  core::NvmStage* stage() { return stage_.get(); }
 
  private:
   common::Clock clock_;
   std::unique_ptr<simdisk::SimDisk> disk_;
   std::unique_ptr<simdisk::HostModel> host_;
   std::unique_ptr<vlfs::Vlfs> vlfs_;
+  std::unique_ptr<core::Vld> vld_;
+  std::unique_ptr<simdisk::NvmDevice> nvm_;
+  std::unique_ptr<core::NvmStage> stage_;
+  std::unique_ptr<ufs::Ufs> ufs_;
+  std::unique_ptr<lfs::LogStructuredDisk> lld_;
+  std::unique_ptr<lfs::SimpleFs> simple_fs_;
   std::unique_ptr<workload::Platform> platform_;
   fs::FileSystem* fs_ = nullptr;
   simdisk::SimDisk* raw_ = nullptr;
@@ -246,7 +295,8 @@ TEST_P(FsConformanceTest, SyncWritesInterleavedWithReads) {
 
 INSTANTIATE_TEST_SUITE_P(AllStacks, FsConformanceTest,
                          ::testing::Values(Stack::kUfsRegular, Stack::kUfsVld,
-                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs),
+                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs,
+                                           Stack::kUfsVldStaged, Stack::kLfsVldStaged),
                          [](const ::testing::TestParamInfo<Stack>& param_info) {
                            return StackName(param_info.param);
                          });
@@ -316,9 +366,38 @@ TEST_P(CachedFsBarrierTest, AckedBeforeSyncMayRemainVolatile) {
   EXPECT_EQ(disk().cache_dirty_sectors(), 0u);
 }
 
+// The staged barrier-audit row: Sync's contract is "no volatile copy anywhere", NOT
+// "everything on the disk media". The NVM log is a persistence domain, so staged sectors are
+// allowed — required, even, for the latency story — to remain only in NVM across Sync. What
+// Sync must still do is drain the volatile drive cache under any direct/destage traffic.
+TEST_P(CachedFsBarrierTest, StagedSyncMayLeaveDataOnlyInNvm) {
+  if (GetParam() != Stack::kUfsVldStaged && GetParam() != Stack::kLfsVldStaged) {
+    GTEST_SKIP() << "only the staged rows hold acknowledged data in the NVM tier";
+  }
+  ASSERT_TRUE(fs().Create("/staged").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        fs().Write("/staged", i * 4096, Pattern(4096, 60 + i), fs::WritePolicy::kSync).ok());
+  }
+  ASSERT_TRUE(fs().Sync().ok());
+  EXPECT_EQ(disk().cache_dirty_sectors(), 0u)
+      << "Sync must still drain the volatile drive cache below the stage";
+  // The stage was actually exercised, and Sync did NOT force a destage: the NVM log is
+  // durable, so eagerly flushing it would only burn the latency win.
+  ASSERT_NE(harness_.stage(), nullptr);
+  EXPECT_GT(harness_.stage()->stats().staged_writes, 0u);
+  // Whatever still lives only in NVM must read back through the stack.
+  std::vector<std::byte> out(4096);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fs().Read("/staged", i * 4096, out).ok());
+    EXPECT_EQ(out, Pattern(4096, 60 + i)) << "chunk " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStacks, CachedFsBarrierTest,
                          ::testing::Values(Stack::kUfsRegular, Stack::kUfsVld,
-                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs),
+                                           Stack::kLfsRegular, Stack::kLfsVld, Stack::kVlfs,
+                                           Stack::kUfsVldStaged, Stack::kLfsVldStaged),
                          [](const ::testing::TestParamInfo<Stack>& param_info) {
                            return StackName(param_info.param);
                          });
@@ -448,6 +527,60 @@ TEST(CachedBarrierRemountTest, VlfsAcknowledgedOpsSurviveRemountAtSyncBarrier) {
   EXPECT_EQ(out, kept);
   EXPECT_EQ(fs2.Stat("/later").status().code(), common::StatusCode::kNotFound)
       << "/later was created after the crash cut";
+}
+
+// The staged row's remount audit: a synced file whose data still lives ONLY in the NVM log
+// (never destaged to the disk) must survive a crash that loses the drive cache and the
+// stage's DRAM overlay. Recovery replays the NVM log over the recovered VLD; the remounted
+// file system reads the staged blocks back through the rebuilt overlay.
+TEST(StagedBarrierRemountTest, UfsSyncedDataSurvivesCrashWhenNvmHoldsOnlyCopy) {
+  simdisk::DiskParams params = simdisk::Truncated(simdisk::SeagateSt19101(), 6);
+  params.cache.capacity_sectors = kCacheSectors;
+  common::Clock clock;
+  simdisk::SimDisk disk(params, &clock);
+  simdisk::HostModel host(simdisk::ZeroCostHost(), &clock);
+  core::Vld vld(&disk, core::VldConfig{});
+  ASSERT_TRUE(vld.Format().ok());
+  simdisk::NvmDevice nvm(simdisk::NvmDeviceParams{}, &clock);
+  core::NvmStage stage(&nvm, &vld);
+  ASSERT_TRUE(stage.Format().ok());
+  ufs::Ufs fs(&stage, &host);
+  ASSERT_TRUE(fs.Format().ok());
+  // Quiesce the format's own staged residue so /kept's blocks are attributable.
+  ASSERT_TRUE(stage.Drain().ok());
+
+  const auto kept = Pattern(3 * 4096, 61);
+  ASSERT_TRUE(fs.Create("/kept").ok());
+  ASSERT_TRUE(fs.Write("/kept", 0, kept, fs::WritePolicy::kSync).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+  ASSERT_GT(stage.staged_sectors(), 0u)
+      << "the test needs the NVM log to hold the only copy of the synced data";
+  EXPECT_EQ(disk.cache_dirty_sectors(), 0u);
+
+  // Power cut: the drive cache and the stage's DRAM overlay are lost; the disk media and the
+  // NVM log survive.
+  const std::vector<std::byte> media = crashsim::SnapshotMedia(disk);
+  std::vector<std::byte> nvm_image = nvm.Snapshot();
+
+  common::Clock clock2;
+  simdisk::SimDisk disk2(params, &clock2);
+  disk2.PokeMedia(0, media);
+  simdisk::HostModel host2(simdisk::ZeroCostHost(), &clock2);
+  core::Vld vld2(&disk2, core::VldConfig{});
+  ASSERT_TRUE(vld2.Recover().ok());
+  simdisk::NvmDevice nvm2(simdisk::NvmDeviceParams{}, &clock2, std::move(nvm_image));
+  core::NvmStage stage2(&nvm2, &vld2);
+  auto info = stage2.Recover();
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_FALSE(info->torn_tail_dropped);
+  ASSERT_GT(stage2.staged_sectors(), 0u) << "recovery must rebuild the staged overlay";
+  ufs::Ufs fs2(&stage2, &host2);
+  ASSERT_TRUE(fs2.Mount().ok());
+  std::vector<std::byte> out(kept.size());
+  auto n = fs2.Read("/kept", 0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, kept.size());
+  EXPECT_EQ(out, kept) << "synced data lost with the stage's DRAM overlay";
 }
 
 }  // namespace

@@ -22,6 +22,14 @@
 //                              per member, in member order.
 //   --disk=D                   restrict every output mode to member D's recorder (0 is the
 //                              only valid value without --array)
+//   --nvm                      front the VLD with the NVM staging tier: the queued rounds pass
+//                              through the stage, and each round adds a small staged sync
+//                              write (an NVM log append), an overlapping direct write on odd
+//                              rounds (the invalidate protocol), and a bounded destage burst,
+//                              with a full drain at the end — so the dump shows the whole NVM
+//                              event vocabulary (nvm_write/nvm_stage/nvm_invalidate/destage
+//                              markers and the nvm breakdown component). Incompatible with
+//                              --array (the stage fronts a single VLD).
 //   --governor                 duty-cycled background compaction between rounds: the workload
 //                              region is prepopulated and half-trimmed (untraced) to create
 //                              compaction debt, a CompactionGovernor watches the timeline's
@@ -45,9 +53,11 @@
 #include "src/common/rng.h"
 #include "src/core/governor.h"
 #include "src/core/vld.h"
+#include "src/nvm/nvm_stage.h"
 #include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/simdisk/disk_params.h"
+#include "src/simdisk/nvm_device.h"
 #include "src/simdisk/sim_disk.h"
 
 namespace {
@@ -113,7 +123,7 @@ bool ParseDouble(const char* s, double* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: trace_dump [--depth=D] [--rounds=R] [--cache=N] [--reads=P] "
-               "[--array=N] [--disk=D] [--window=MS] [--governor] "
+               "[--array=N] [--disk=D] [--window=MS] [--governor] [--nvm] "
                "[--span=N|--events|--json|--timeline]\n");
   return 2;
 }
@@ -203,6 +213,7 @@ int main(int argc, char** argv) {
   bool show_json = false;
   bool show_timeline = false;
   bool governed = false;
+  bool nvm = false;
   for (int i = 1; i < argc; ++i) {
     uint64_t disk_value = 0;
     if (std::strncmp(argv[i], "--depth=", 8) == 0) {
@@ -240,6 +251,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--governor") == 0) {
       governed = true;
+    } else if (std::strcmp(argv[i], "--nvm") == 0) {
+      nvm = true;
     } else if (std::strcmp(argv[i], "--events") == 0) {
       show_events = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -268,6 +281,10 @@ int main(int argc, char** argv) {
                  "timeline series) and does not support --array\n");
     return 2;
   }
+  if (nvm && array_members > 0) {
+    std::fprintf(stderr, "trace_dump: --nvm fronts a single VLD and does not support --array\n");
+    return 2;
+  }
 
   // The canned workload: `rounds` closed-loop rounds of `depth` random 4 KB updates through
   // the queued engine (group commit) — the bare VLD, or an N-member striped array whose
@@ -283,6 +300,8 @@ int main(int argc, char** argv) {
     s->vld = std::make_unique<core::Vld>(s->disk.get(), core::VldConfig{.queue_depth = 32});
     stacks.push_back(std::move(s));
   }
+  std::unique_ptr<simdisk::NvmDevice> nvm_dev;
+  std::unique_ptr<core::NvmStage> nvm_stage;
   std::unique_ptr<array::VldArray> array;
   if (array_members > 0) {
     std::vector<core::Vld*> vlds;
@@ -295,6 +314,13 @@ int main(int argc, char** argv) {
   } else {
     Fatal(stacks[0]->vld->Format(), "format");
   }
+  if (nvm) {
+    nvm_dev = std::make_unique<simdisk::NvmDevice>(simdisk::NvmDeviceParams{},
+                                                   &stacks[0]->clock);
+    nvm_stage = std::make_unique<core::NvmStage>(nvm_dev.get(), stacks[0]->vld.get());
+    Fatal(nvm_stage->Format(), "stage format");
+    nvm_stage->set_tracer(stacks[0]->tracer.get());
+  }
 
   const uint64_t sectors =
       array != nullptr ? array->SectorCount() : stacks[0]->vld->SectorCount();
@@ -302,10 +328,16 @@ int main(int argc, char** argv) {
   common::Rng rng(2);
   std::vector<std::byte> payload(4096, std::byte{0x42});
   const auto submit_write = [&](simdisk::Lba lba) {
+    if (nvm_stage != nullptr) {
+      return nvm_stage->SubmitWrite(lba, payload).status();
+    }
     return array != nullptr ? array->SubmitWrite(lba, payload).status()
                             : stacks[0]->vld->SubmitWrite(lba, payload).status();
   };
   const auto submit_read = [&](simdisk::Lba lba) {
+    if (nvm_stage != nullptr) {
+      return nvm_stage->SubmitRead(lba, 8).status();
+    }
     return array != nullptr ? array->SubmitRead(lba, 8).status()
                             : stacks[0]->vld->SubmitRead(lba, 8).status();
   };
@@ -361,6 +393,9 @@ int main(int argc, char** argv) {
     } else {
       obs::RegisterBreakdownCounters(*timeline, *stacks[0]->tracer, "breakdown.");
       stacks[0]->vld->RegisterTimelineProbes(*timeline, "");
+      if (nvm_stage != nullptr) {
+        nvm_stage->RegisterTimelineProbes(*timeline, "nvm.");
+      }
       timeline->AddSlo("latency", common::Milliseconds(25), "breakdown.");
     }
     timeline->AddSteadySeries("p99:latency");
@@ -412,8 +447,25 @@ int main(int argc, char** argv) {
     };
     if (array != nullptr) {
       flush(*array);
+    } else if (nvm_stage != nullptr) {
+      flush(*nvm_stage);
     } else {
       flush(*stacks[0]->vld);
+    }
+    if (nvm_stage != nullptr) {
+      // One small staged sync write (an NVM log append), an overlapping above-threshold
+      // direct write on odd rounds (conflict destage + invalidate record), and a bounded
+      // destage burst: every NVM event type lands in the dump.
+      const simdisk::Lba staged_lba = static_cast<simdisk::Lba>((round % 4) * 8);
+      Fatal(nvm_stage->Write(staged_lba, payload), "staged write");
+      if (round % 2 == 1) {
+        const std::vector<std::byte> big(4 * 4096, std::byte{0x17});
+        Fatal(nvm_stage->Write(staged_lba, big), "direct overlap write");
+      }
+      Fatal(nvm_stage->RunDestageBurst(common::Milliseconds(2)).status(), "destage");
+      if (timeline != nullptr) {
+        timeline->Poll(device_now());
+      }
     }
     if (governor != nullptr) {
       // Even rounds declare a small idle gap (granted in full); odd rounds only get whatever
@@ -423,6 +475,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (nvm_stage != nullptr) {
+    Fatal(nvm_stage->Drain(), "drain");
+  }
   if (timeline != nullptr) {
     timeline->Finish(device_now());
     if (show_json) {
@@ -499,9 +554,11 @@ int main(int argc, char** argv) {
     }
     const obs::TimeBreakdown& bd = span->breakdown;
     std::printf("  breakdown: queueing %.3f + controller %.3f + seek %.3f + head_switch %.3f "
-                "+ rotation %.3f + transfer %.3f + flush %.3f + host %.3f = %.3f ms\n",
+                "+ rotation %.3f + transfer %.3f + flush %.3f + nvm %.3f + host %.3f "
+                "= %.3f ms\n",
                 Ms(bd.queueing), Ms(bd.controller), Ms(bd.seek), Ms(bd.head_switch),
-                Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.host_cpu), Ms(bd.Total()));
+                Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.nvm), Ms(bd.host_cpu),
+                Ms(bd.Total()));
     return 0;
   }
 
@@ -514,8 +571,9 @@ int main(int argc, char** argv) {
   std::printf("%llu-deep queued %s writes, %llu rounds: %zu spans, %zu events\n",
               static_cast<unsigned long long>(depth), array != nullptr ? "array" : "VLD",
               static_cast<unsigned long long>(rounds), total_spans, total_events);
-  std::printf("%6s %4s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s\n", "span", "disk", "layer",
-              "submit ms", "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush", "total");
+  std::printf("%6s %4s %6s %10s %10s | %9s %9s %9s %9s %9s %9s %9s %9s\n", "span", "disk",
+              "layer", "submit ms", "latency", "queue", "ctrl", "seek", "rot", "xfer", "flush",
+              "nvm", "total");
   for (uint32_t m : shown) {
     const auto& spans = stacks[m]->tracer->spans();
     for (size_t i = 0; i < spans.size(); ++i) {
@@ -525,10 +583,11 @@ int main(int argc, char** argv) {
         continue;
       }
       const obs::TimeBreakdown& bd = span.breakdown;
-      std::printf("%6llu %4u %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
-                  static_cast<unsigned long long>(id), span.disk, obs::LayerName(span.layer),
-                  Ms(span.submit), Ms(span.Latency()), Ms(bd.queueing), Ms(bd.controller),
-                  Ms(bd.seek), Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.Total()));
+      std::printf(
+          "%6llu %4u %6s %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+          static_cast<unsigned long long>(id), span.disk, obs::LayerName(span.layer),
+          Ms(span.submit), Ms(span.Latency()), Ms(bd.queueing), Ms(bd.controller), Ms(bd.seek),
+          Ms(bd.rotation), Ms(bd.transfer), Ms(bd.flush), Ms(bd.nvm), Ms(bd.Total()));
     }
   }
   std::printf("(rerun with --span=N for one span's event tree, --events for the full log,\n"
